@@ -1,0 +1,52 @@
+"""Shared formatting/helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper and prints a
+paper-vs-measured comparison.  Absolute numbers come from a simulator, so
+the comparisons to read are *shapes*: orderings, ratios, crossovers — see
+DESIGN.md §5 ("Fidelity targets") and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["banner", "fmt_us", "fmt_rate", "percentiles_us", "print_rows"]
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+def fmt_us(seconds: float | None) -> str:
+    """Human latency: us below 1 ms, ms below 1 s, else seconds."""
+    if seconds is None:
+        return "-"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.2f}s"
+
+
+def fmt_rate(rate: float) -> str:
+    return f"{rate:.2e}"
+
+
+def percentiles_us(rtts_s: np.ndarray, qs=(50, 90, 99, 99.9, 99.99)) -> dict:
+    """Named percentiles of an RTT sample, in seconds."""
+    return {f"P{q}": float(np.percentile(rtts_s, q)) for q in qs}
+
+
+def print_rows(headers: list[str], rows: list[list[str]]) -> None:
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))

@@ -1,0 +1,105 @@
+"""Ablation: always-on full coverage vs a few selected servers (§6.1).
+
+"Using only a small number of selected servers for latency measurement
+limits the coverage of Pingmesh data ... letting all the servers participate
+gives us the maximum possible coverage."
+
+The drill: poison one ToR with a pattern black-hole, then run the detector
+on probing evidence gathered by (a) every server and (b) progressively
+smaller sampled subsets.  Full participation detects reliably; sparse
+sampling misses the black-hole or can no longer localize it.
+"""
+
+import pytest
+
+from _helpers import banner, print_rows
+from repro.core.dsa.blackhole import BlackholeDetector
+from repro.netsim.fabric import Fabric
+from repro.netsim.faults import BlackholeType1
+from repro.netsim.topology import TopologySpec
+
+SPEC = TopologySpec(n_podsets=4, pods_per_podset=8, servers_per_pod=8)
+POISONED_POD = 5
+TRIALS = 6
+
+
+def _gather(fabric, participating, rounds=2):
+    """Probe rows from ``participating`` servers only (intra-pod + ToR-level)."""
+    dc = fabric.topology.dc(0)
+    allowed = {server.device_id for server in participating}
+    rows = []
+    for server in participating:
+        peers = [
+            peer
+            for peer in dc.servers_in_pod(server.pod_index)
+            if peer is not server and peer.device_id in allowed
+        ]
+        for pod in range(dc.spec.n_pods):
+            if pod == server.pod_index:
+                continue
+            candidates = [
+                p for p in dc.servers_in_pod(pod) if p.device_id in allowed
+            ]
+            if candidates:
+                peers.append(candidates[server.host_index % len(candidates)])
+        for peer in peers:
+            for _ in range(rounds):
+                result = fabric.probe(server, peer)
+                rows.append(
+                    {
+                        "src": result.src,
+                        "dst": result.dst,
+                        "src_dc": 0,
+                        "dst_dc": 0,
+                        "src_podset": server.podset_index,
+                        "src_pod": server.pod_index,
+                        "dst_pod": peer.pod_index,
+                        "success": result.success,
+                        "rtt_us": result.rtt_s * 1e6,
+                    }
+                )
+    return rows
+
+
+def _detection_rate(sample_every):
+    """Fraction of trials where the poisoned ToR is localized."""
+    hits = 0
+    for trial in range(TRIALS):
+        fabric = Fabric.single_dc(SPEC, seed=100 + trial)
+        dc = fabric.topology.dc(0)
+        fabric.faults.inject(
+            BlackholeType1(
+                switch_id=dc.tors[POISONED_POD].device_id, fraction=0.5
+            )
+        )
+        participating = dc.servers[:: sample_every]
+        rows = _gather(fabric, participating)
+        report = BlackholeDetector(min_reporting_servers=1).detect(rows)
+        if POISONED_POD in [c.pod for c in report.tors_to_reload]:
+            hits += 1
+    return hits / TRIALS
+
+
+@pytest.fixture(scope="module")
+def rates():
+    return {
+        "all servers (1/1)": _detection_rate(1),
+        "1 in 4 servers": _detection_rate(4),
+        "1 in 8 servers": _detection_rate(8),
+        "1 in 16 servers": _detection_rate(16),
+    }
+
+
+def bench_ablation_coverage(benchmark, rates):
+    def report():
+        banner("Ablation — full coverage vs sampled servers (ToR black-hole)")
+        print_rows(
+            ["participation", "black-hole localization rate"],
+            [[label, f"{rate * 100:.0f}%"] for label, rate in rates.items()],
+        )
+        print("paper's position (§6.1): only full participation gives full coverage")
+
+    benchmark.pedantic(report, rounds=1, iterations=1)
+    assert rates["all servers (1/1)"] == 1.0
+    # Sparse participation degrades detection.
+    assert rates["1 in 16 servers"] < rates["all servers (1/1)"]

@@ -1,0 +1,63 @@
+"""Engineering benchmark: the simulator's probe throughput.
+
+Not a paper figure — the capacity planning behind every other bench.  The
+paper's fleet produces "more than 200 billion probes per day"; our benches
+replay millions.  This records what the two probe paths deliver so
+regressions in the hot loop are visible.
+"""
+
+import pytest
+
+from repro.netsim.fabric import Fabric
+from repro.netsim.topology import TopologySpec
+
+
+@pytest.fixture(scope="module")
+def fabric():
+    return Fabric.single_dc(TopologySpec(), seed=3)
+
+
+@pytest.fixture(scope="module")
+def cross_pair(fabric):
+    dc = fabric.topology.dc(0)
+    return dc.servers_in_podset(0)[0], dc.servers_in_podset(1)[0]
+
+
+def bench_scalar_probe(benchmark, fabric, cross_pair):
+    """Full-fidelity scalar probe (per-hop decisions, faults, counters)."""
+    a, b = cross_pair
+    result = benchmark(lambda: fabric.probe(a, b))
+    assert result.rtt_s >= 0
+
+
+def bench_scalar_probe_with_payload(benchmark, fabric, cross_pair):
+    a, b = cross_pair
+    result = benchmark(lambda: fabric.probe(a, b, payload_bytes=1000))
+    assert result.rtt_s >= 0
+
+
+def bench_batch_probe_100k(benchmark, fabric, cross_pair):
+    """Vectorized path: 100k probes per call."""
+    a, b = cross_pair
+    batch = benchmark(lambda: fabric.batch_probe(a, b, 100_000))
+    assert batch.n == 100_000
+
+
+def bench_batch_vs_scalar_speedup(benchmark, fabric, cross_pair):
+    """The batch path must stay orders of magnitude faster per probe."""
+    import time
+
+    a, b = cross_pair
+
+    def measure():
+        start = time.perf_counter()
+        for _ in range(200):
+            fabric.probe(a, b)
+        scalar_per_probe = (time.perf_counter() - start) / 200
+        start = time.perf_counter()
+        fabric.batch_probe(a, b, 200_000)
+        batch_per_probe = (time.perf_counter() - start) / 200_000
+        return scalar_per_probe / batch_per_probe
+
+    speedup = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert speedup > 20

@@ -1,0 +1,104 @@
+"""Figure 8: network latency patterns through visualization.
+
+Four scenarios over the full PingmeshSystem, each rendered as the pod-pair
+P99 heatmap and classified by the pattern detector:
+
+    (a) Normal          — (almost) all green
+    (b) Podset down     — white cross (power loss: no data from/to podset)
+    (c) Podset failure  — red cross (Leaf problem: out-of-SLA latency)
+    (d) Spine failure   — green squares on the diagonal, red elsewhere
+"""
+
+import pytest
+
+from _helpers import banner
+from repro.core.agent.agent import AgentConfig
+from repro.core.dsa.pipeline import DsaConfig
+from repro.core.system import PingmeshSystem, PingmeshSystemConfig
+from repro.netsim.faults import CongestionFault, podset_down
+from repro.netsim.topology import TopologySpec
+
+FAST_DSA = DsaConfig(ingestion_delay_s=0.0, near_real_time_period_s=300.0)
+
+
+def _system(seed):
+    return PingmeshSystem(
+        PingmeshSystemConfig(
+            specs=(TopologySpec(),),
+            seed=seed,
+            dsa=FAST_DSA,
+            agent=AgentConfig(upload_period_s=120.0),
+        )
+    )
+
+
+def _render(system, title, expected):
+    heatmap = system.dsa.latest_heatmap(0, t=system.clock.now)
+    classification = heatmap.classify()
+    banner(f"Figure 8{title} — expected: {expected}")
+    print(heatmap.render_ascii())
+    print(
+        f"classified: {classification.pattern.value}"
+        + (
+            f" (podsets {classification.affected_podsets})"
+            if classification.affected_podsets
+            else ""
+        )
+    )
+    return classification
+
+
+def bench_fig8a_normal(benchmark):
+    def scenario():
+        system = _system(seed=31)
+        system.run_for(650.0)
+        return _render(system, "(a) normal", "all green")
+
+    classification = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    assert classification.pattern.value == "normal"
+
+
+def bench_fig8b_podset_down(benchmark):
+    def scenario():
+        system = _system(seed=32)
+        system.run_for(300.0)
+        podset_down(system.topology, 0, 1)
+        system.run_for(400.0)
+        return _render(system, "(b) podset down", "white cross")
+
+    classification = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    assert classification.pattern.value == "podset-down"
+    assert classification.affected_podsets == [1]
+
+
+def bench_fig8c_podset_failure(benchmark):
+    def scenario():
+        system = _system(seed=33)
+        for leaf in system.topology.dc(0).leaves_of(0):
+            system.fabric.faults.inject(
+                CongestionFault(
+                    switch_id=leaf.device_id, drop_prob=0.0, extra_queue_s=7e-3
+                )
+            )
+        system.run_for(650.0)
+        return _render(system, "(c) podset failure", "red cross")
+
+    classification = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    assert classification.pattern.value == "podset-failure"
+    assert classification.affected_podsets == [0]
+
+
+def bench_fig8d_spine_failure(benchmark):
+    def scenario():
+        system = _system(seed=34)
+        for spine in system.topology.dc(0).spines:
+            system.fabric.faults.inject(
+                CongestionFault(
+                    switch_id=spine.device_id, drop_prob=0.0, extra_queue_s=7e-3
+                )
+            )
+        system.run_for(650.0)
+        return _render(system, "(d) spine failure", "green diagonal squares")
+
+    classification = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    assert classification.pattern.value == "spine-failure"

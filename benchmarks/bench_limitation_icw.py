@@ -1,0 +1,94 @@
+"""§6.4's second limitation, reproduced and then fixed.
+
+"A bug introduced in our TCP parameter configuration software rewrote the
+TCP parameters to their default value.  As a result, for some of our
+services, the initial congestion window (ICW) reduced from 16 to 4.  For
+long distance TCP sessions, the session finish time increased by several
+hundreds of milliseconds if the sessions need multiple round trips.
+Pingmesh did not catch this because it only measures single packet RTT."
+
+Regenerated: a 64 KB transfer between US-West and Europe, before and after
+the ICW regression, measured by (a) the regular single-RTT Pingmesh probe
+(blind) and (b) the multi-RTT transfer probe this reproduction adds.
+"""
+
+import numpy as np
+import pytest
+
+from _helpers import banner, fmt_us, print_rows
+from repro.netsim.fabric import Fabric
+from repro.netsim.topology import MultiDCTopology, TopologySpec
+from repro.netsim.transfer import transfer_probe
+
+PAYLOAD = 64_000
+N_SAMPLES = 300
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    fabric = Fabric(
+        MultiDCTopology(
+            [
+                TopologySpec(name="w", region="us-west"),
+                TopologySpec(name="e", region="europe"),
+            ]
+        ),
+        seed=19,
+    )
+    a = fabric.topology.dc(0).servers[0]
+    b = fabric.topology.dc(1).servers[0]
+
+    def sample(icw):
+        pings, transfers = [], []
+        for _ in range(N_SAMPLES):
+            result = transfer_probe(fabric, a, b, PAYLOAD, icw_segments=icw)
+            if result.success:
+                pings.append(result.handshake_rtt_s)
+                transfers.append(result.completion_s)
+        return np.array(pings), np.array(transfers)
+
+    ping16, xfer16 = sample(16)
+    ping4, xfer4 = sample(4)
+    return {
+        "ping": (np.median(ping16), np.median(ping4)),
+        "xfer": (np.median(xfer16), np.median(xfer4)),
+        "wan_rtt": fabric.topology.wan_rtt[(0, 1)],
+    }
+
+
+def bench_icw_limitation(benchmark, measurements):
+    def report():
+        banner("§6.4 — the ICW=16→4 regression: single-RTT ping is blind")
+        ping16, ping4 = measurements["ping"]
+        xfer16, xfer4 = measurements["xfer"]
+        print_rows(
+            ["measurement", "ICW=16 (tuned)", "ICW=4 (regressed)", "delta"],
+            [
+                [
+                    "single-RTT ping P50",
+                    fmt_us(ping16),
+                    fmt_us(ping4),
+                    fmt_us(abs(ping4 - ping16)),
+                ],
+                [
+                    "64 KB transfer P50",
+                    fmt_us(xfer16),
+                    fmt_us(xfer4),
+                    fmt_us(xfer4 - xfer16),
+                ],
+            ],
+        )
+        print(
+            "paper: finish time of multi-round-trip sessions increased by "
+            "several hundreds of milliseconds; Pingmesh's ping did not catch it"
+        )
+
+    benchmark.pedantic(report, rounds=1, iterations=1)
+    ping16, ping4 = measurements["ping"]
+    xfer16, xfer4 = measurements["xfer"]
+    wan_rtt = measurements["wan_rtt"]
+    # The ping is blind: medians agree within noise.
+    assert ping4 == pytest.approx(ping16, rel=0.1)
+    # The transfer probe sees the regression: ~2 extra WAN round trips.
+    assert xfer4 - xfer16 > 1.5 * wan_rtt
+    assert xfer4 - xfer16 > 0.1  # "several hundreds of milliseconds" regime

@@ -1,0 +1,99 @@
+"""§3.3.1: pinglist sizes and controller generation throughput.
+
+"Combining the three complete graphs, a server in Pingmesh needs to ping
+2000-5000 peer servers depending on the size of the data center."
+
+We generate pinglists for data centers of three sizes, including a
+production-scale one (100k servers, 2500 ToRs — the kind of fabric the
+paper describes), and verify the per-server peer count lands in the
+2000–5000 band at production scale.
+"""
+
+import pytest
+
+from _helpers import banner, print_rows
+from repro.core.controller.generator import GeneratorConfig, PingmeshGenerator
+from repro.netsim.topology import MultiDCTopology, TopologySpec
+
+SIZES = {
+    "small (64 srv)": TopologySpec(name="s"),
+    "medium (800 srv)": TopologySpec(
+        name="m", n_podsets=4, pods_per_podset=10, servers_per_pod=20
+    ),
+    "large (16k srv)": TopologySpec(
+        name="l", n_podsets=10, pods_per_podset=40, servers_per_pod=40, n_spines=32
+    ),
+    "production (100k srv)": TopologySpec(
+        name="p", n_podsets=50, pods_per_podset=50, servers_per_pod=40, n_spines=64
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def topologies():
+    return {
+        label: MultiDCTopology.single(spec) for label, spec in SIZES.items()
+    }
+
+
+def bench_pinglist_sizes_report(benchmark, topologies):
+    def report():
+        banner("§3.3.1 — pinglist size vs data center size")
+        rows = []
+        for label, topology in topologies.items():
+            generator = PingmeshGenerator(topology)
+            pinglist = generator.generate_for(
+                topology.dc(0).servers[0].device_id
+            )
+            rows.append(
+                [
+                    label,
+                    topology.dc(0).spec.n_pods,
+                    len(pinglist.peers_by_purpose("intra-pod")),
+                    len(pinglist.peers_by_purpose("tor-level")),
+                    len(pinglist),
+                ]
+            )
+        print_rows(
+            ["topology", "pods", "intra-pod peers", "tor-level peers", "total"],
+            rows,
+        )
+        print("paper: 2000-5000 peers per server at production scale")
+        return rows
+
+    rows = benchmark.pedantic(report, rounds=1, iterations=1)
+    production_total = rows[-1][-1]
+    assert 2000 <= production_total <= 5000
+
+
+def bench_pinglist_threshold_caps_total(benchmark, topologies):
+    """The controller's threshold bounds any server's probe load."""
+    topology = topologies["production (100k srv)"]
+    generator = PingmeshGenerator(
+        topology, GeneratorConfig(max_peers_per_server=2000)
+    )
+
+    def generate():
+        return generator.generate_for(topology.dc(0).servers[0].device_id)
+
+    pinglist = benchmark(generate)
+    assert len(pinglist) == 2000
+    # Intra-pod entries survive trimming (highest priority).
+    assert len(pinglist.peers_by_purpose("intra-pod")) == 39
+
+
+def bench_generate_all_medium_dc(benchmark, topologies):
+    """Controller throughput: full-fleet regeneration for an 800-server DC."""
+    topology = topologies["medium (800 srv)"]
+    generator = PingmeshGenerator(topology)
+    pinglists = benchmark(generator.generate_all)
+    assert len(pinglists) == 800
+
+
+def bench_single_pinglist_production(benchmark, topologies):
+    """Per-server generation latency on the 100k-server fabric."""
+    topology = topologies["production (100k srv)"]
+    generator = PingmeshGenerator(topology)
+    server_id = topology.dc(0).servers[12_345].device_id
+    pinglist = benchmark(lambda: generator.generate_for(server_id))
+    assert 2000 <= len(pinglist) <= 5000

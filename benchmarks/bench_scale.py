@@ -1,0 +1,47 @@
+"""Engineering benchmark: whole-system simulation cost vs fleet size.
+
+Capacity planning for the simulator itself: how much wall-clock one
+simulated 10-minute window costs as the deployment grows.  Useful when
+sizing day-length drills (`tests/integration/test_day_in_the_life.py`)
+and CLI runs.
+"""
+
+import pytest
+
+from repro.core.agent.agent import AgentConfig
+from repro.core.dsa.pipeline import DsaConfig
+from repro.core.system import PingmeshSystem, PingmeshSystemConfig
+from repro.netsim.topology import TopologySpec
+
+SIZES = {
+    "16-servers": TopologySpec(n_podsets=2, pods_per_podset=2, servers_per_pod=4),
+    "64-servers": TopologySpec(),
+    "256-servers": TopologySpec(
+        n_podsets=4, pods_per_podset=4, servers_per_pod=16, n_spines=8
+    ),
+}
+
+
+def _build(spec):
+    system = PingmeshSystem(
+        PingmeshSystemConfig(
+            specs=(spec,),
+            seed=1,
+            dsa=DsaConfig(ingestion_delay_s=0.0, near_real_time_period_s=300.0),
+            agent=AgentConfig(upload_period_s=300.0),
+        )
+    )
+    system.start()
+    return system
+
+
+@pytest.mark.parametrize("label", list(SIZES))
+def bench_ten_sim_minutes(benchmark, label):
+    system = _build(SIZES[label])
+
+    def window():
+        system.run_for(600.0)
+        return system.total_probes_sent()
+
+    probes = benchmark.pedantic(window, rounds=1, iterations=1)
+    assert probes > 0

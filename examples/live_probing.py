@@ -1,0 +1,57 @@
+"""Real-socket probing with the liveprobe library (§3.4.1).
+
+Starts three probe responders on loopback ports (stand-ins for peer
+servers), then runs a LiveProber round against them: SYN-style TCP pings, a
+payload echo, and an HTTP ping — each probe on a fresh connection with a
+fresh OS-assigned source port, exactly the production agent's discipline.
+The same LatencyCounters the simulated agent uses produce the P50/P99/drop
+counters from the real measurements.
+
+Run:  python examples/live_probing.py
+"""
+
+import asyncio
+
+from repro.liveprobe import LiveProber, PeerSpec, ProbeServer
+
+
+async def main() -> None:
+    servers = [ProbeServer() for _ in range(3)]
+    for server in servers:
+        await server.start()
+    ports = [server.port for server in servers]
+    print(f"probe responders listening on loopback ports {ports}")
+
+    peers = [
+        PeerSpec("127.0.0.1", ports[0]),  # SYN-style TCP ping
+        PeerSpec("127.0.0.1", ports[1], payload_bytes=1000),  # payload echo
+        PeerSpec("127.0.0.1", ports[2], protocol="http"),  # HTTP ping
+        PeerSpec("127.0.0.1", ports[0], payload_bytes=8000),
+    ]
+    prober = LiveProber(peers, timeout_s=3.0)
+
+    print("\nrunning 5 probe rounds...")
+    for round_index in range(5):
+        results = await prober.run_round()
+        line = ", ".join(
+            f"{r.port}:{r.rtt_us:.0f}us" + (" (failed)" if not r.success else "")
+            for r in results
+        )
+        print(f"  round {round_index + 1}: {line}")
+
+    print("\nPA counters from real measurements:")
+    for name, value in sorted(prober.snapshot().items()):
+        print(f"  {name}: {value:.4g}")
+
+    print("\nresponder-side accounting:")
+    for server in servers:
+        print(
+            f"  port {server.port}: {server.connections_served} connections, "
+            f"{server.payloads_echoed} payload echoes, "
+            f"{server.http_requests} http requests"
+        )
+        await server.stop()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

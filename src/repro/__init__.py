@@ -1,0 +1,33 @@
+"""Pingmesh: a reproduction of "Pingmesh: A Large-Scale System for Data
+Center Network Latency Measurement and Analysis" (Guo et al., SIGCOMM 2015).
+
+Quick start::
+
+    from repro import PingmeshSystem, TopologySpec
+
+    system = PingmeshSystem.build(TopologySpec(name="dc0"), seed=1)
+    system.run_for(2 * 3600.0)  # two simulated hours
+    for row in system.database.query("sla_hourly", limit=5):
+        print(row)
+
+Packages:
+
+* :mod:`repro.core` — Pingmesh itself (controller, agent, DSA pipeline).
+* :mod:`repro.netsim` — the simulated Clos data center network substrate.
+* :mod:`repro.cosmos` — the Cosmos/SCOPE storage+analysis substrate.
+* :mod:`repro.autopilot` — the Autopilot management-stack substrate.
+* :mod:`repro.liveprobe` — a real-socket TCP/HTTP ping library (asyncio).
+"""
+
+from repro.core.system import PingmeshSystem, PingmeshSystemConfig
+from repro.netsim.topology import MultiDCTopology, TopologySpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MultiDCTopology",
+    "PingmeshSystem",
+    "PingmeshSystemConfig",
+    "TopologySpec",
+    "__version__",
+]

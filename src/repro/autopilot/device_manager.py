@@ -1,0 +1,94 @@
+"""The Device Manager (DM): machine state of record (§2.3).
+
+"Device Manager (DM), which manages the machine state" — repairs are
+"performed by the Repair Service (RS) ... by taking commands from DM".
+
+We keep a per-device machine state (Healthy / Probation / Failed) plus the
+request queue the Repair Service drains.  Pingmesh's black-hole detector
+files repair requests here rather than poking switches directly, matching
+the paper's "we then invoke a network repairing service to safely restart
+the ToRs".
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["MachineState", "RepairRequest", "DeviceManager"]
+
+
+class MachineState(enum.Enum):
+    HEALTHY = "healthy"
+    PROBATION = "probation"
+    FAILED = "failed"
+
+
+@dataclass
+class RepairRequest:
+    """A queued command for the Repair Service."""
+
+    request_id: int
+    device_id: str
+    action: str  # "reload_switch" | "rma_switch" | "reboot_server"
+    reason: str
+    requested_t: float
+    completed: bool = False
+
+
+class DeviceManager:
+    """Tracks device machine-state and queues repair commands."""
+
+    def __init__(self) -> None:
+        self._states: dict[str, MachineState] = {}
+        self._request_ids = itertools.count(1)
+        self.pending: list[RepairRequest] = []
+        self.history: list[RepairRequest] = []
+
+    # -- machine state -------------------------------------------------------
+
+    def state_of(self, device_id: str) -> MachineState:
+        return self._states.get(device_id, MachineState.HEALTHY)
+
+    def set_state(self, device_id: str, state: MachineState) -> None:
+        self._states[device_id] = state
+
+    def devices_in_state(self, state: MachineState) -> list[str]:
+        return sorted(
+            device_id for device_id, s in self._states.items() if s == state
+        )
+
+    # -- repair request queue ---------------------------------------------------
+
+    def request_repair(
+        self, device_id: str, action: str, reason: str, t: float
+    ) -> RepairRequest:
+        """File a repair request; duplicate pending requests are coalesced."""
+        for request in self.pending:
+            if request.device_id == device_id and request.action == action:
+                return request
+        request = RepairRequest(
+            request_id=next(self._request_ids),
+            device_id=device_id,
+            action=action,
+            reason=reason,
+            requested_t=t,
+        )
+        self.pending.append(request)
+        self._states[device_id] = MachineState.PROBATION
+        return request
+
+    def take_pending(self) -> list[RepairRequest]:
+        """Hand the pending queue to the Repair Service (drains it)."""
+        taken, self.pending = self.pending, []
+        return taken
+
+    def mark_completed(self, request: RepairRequest) -> None:
+        request.completed = True
+        self.history.append(request)
+        self._states[request.device_id] = MachineState.HEALTHY
+
+    def mark_failed_device(self, device_id: str) -> None:
+        """A repair did not fix the device; leave it failed for RMA."""
+        self._states[device_id] = MachineState.FAILED

@@ -1,0 +1,133 @@
+"""The Perfcounter Aggregator (PA) pipeline (§2.3, §3.5).
+
+"a Perfcounter Collector is a shared service that collects the local perf
+counters and then uploads the counters to Autopilot" — and for Pingmesh,
+"The PA counter collection latency is 5 minutes, which is faster than our
+Cosmos/SCOPE pipeline.  ...  By using both of them, we provide higher
+availability for Pingmesh than either of them."
+
+Services register a counter-producing callable per server; every
+``collection_period_s`` the PA sweeps all servers and appends the counter
+values to per-(server, counter) time series.  Cross-server aggregation
+(mean / max / percentile at an instant) supports dashboards and alerts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.netsim.simclock import EventQueue
+
+__all__ = ["CounterSample", "PerfcounterAggregator", "PA_COLLECTION_PERIOD_S"]
+
+PA_COLLECTION_PERIOD_S = 300.0  # "The PA counter collection latency is 5 minutes"
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    """One collected counter value."""
+
+    t: float
+    server_id: str
+    counter: str
+    value: float
+
+
+class PerfcounterAggregator:
+    """Collects perf counters from every registered producer, periodically."""
+
+    def __init__(
+        self,
+        queue: EventQueue,
+        collection_period_s: float = PA_COLLECTION_PERIOD_S,
+    ) -> None:
+        if collection_period_s <= 0:
+            raise ValueError(f"period must be positive: {collection_period_s}")
+        self.queue = queue
+        self.collection_period_s = collection_period_s
+        self._producers: dict[str, Callable[[float], dict[str, float]]] = {}
+        self._series: dict[tuple[str, str], list[CounterSample]] = {}
+        self.collections_run = 0
+        self._started = False
+
+    def register_producer(
+        self, server_id: str, producer: Callable[[float], dict[str, float]]
+    ) -> None:
+        """Register the counter callable of one server's service instance."""
+        self._producers[server_id] = producer
+
+    def unregister_producer(self, server_id: str) -> None:
+        self._producers.pop(server_id, None)
+
+    @property
+    def producer_count(self) -> int:
+        return len(self._producers)
+
+    def start(self) -> None:
+        """Begin the periodic collection sweeps."""
+        if self._started:
+            raise RuntimeError("PA already started")
+        self._started = True
+        self.queue.schedule_after(
+            self.collection_period_s, self._collect, name="pa-collect"
+        )
+
+    def _collect(self) -> None:
+        t = self.queue.clock.now
+        for server_id, producer in list(self._producers.items()):
+            try:
+                counters = producer(t)
+            except Exception:  # noqa: BLE001 - one bad producer must not stop PA
+                continue
+            for counter, value in counters.items():
+                sample = CounterSample(t, server_id, counter, float(value))
+                self._series.setdefault((server_id, counter), []).append(sample)
+        self.collections_run += 1
+        self.queue.schedule_after(
+            self.collection_period_s, self._collect, name="pa-collect"
+        )
+
+    # -- queries ----------------------------------------------------------
+
+    def series(self, server_id: str, counter: str) -> list[CounterSample]:
+        """The time series of one counter on one server (may be empty)."""
+        return list(self._series.get((server_id, counter), []))
+
+    def latest(self, server_id: str, counter: str) -> CounterSample | None:
+        samples = self._series.get((server_id, counter))
+        return samples[-1] if samples else None
+
+    def counters_of(self, server_id: str) -> list[str]:
+        return sorted(
+            counter for (sid, counter) in self._series if sid == server_id
+        )
+
+    def aggregate_latest(
+        self, counter: str, how: str = "mean", q: float | None = None
+    ) -> float | None:
+        """Aggregate the newest value of ``counter`` across all servers.
+
+        ``how`` is one of ``mean``, ``max``, ``min``, ``percentile`` (with
+        ``q``).  Returns ``None`` when no server has reported the counter.
+        """
+        values = [
+            samples[-1].value
+            for (sid, name), samples in self._series.items()
+            if name == counter and samples
+        ]
+        if not values:
+            return None
+        if how == "mean":
+            return float(np.mean(values))
+        if how == "max":
+            return float(np.max(values))
+        if how == "min":
+            return float(np.min(values))
+        if how == "percentile":
+            if q is None:
+                raise ValueError("percentile aggregation needs q")
+            return float(np.percentile(values, q))
+        raise ValueError(f"unknown aggregation: {how!r}")

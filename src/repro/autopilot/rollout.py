@@ -1,0 +1,125 @@
+"""Staged rollout: how a shared service reaches the whole fleet safely.
+
+Pingmesh itself "could be built step by step in three phases" (§6.2), and
+as a shared service on every server it "has the potential to bring down all
+the servers if it malfunctions" (§3.4.2).  Autopilot's Deployment Service
+therefore rolls new versions out in stages — a canary scope first, health
+gates between stages, automatic halt on regression.
+
+:class:`StagedRollout` drives that process over an
+:class:`~repro.autopilot.environment.AutopilotEnvironment`: each stage
+deploys to a slice of servers, runs a health gate, and either advances or
+halts (leaving already-updated servers for the operator to roll back).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.autopilot.environment import AutopilotEnvironment
+from repro.autopilot.shared_service import SharedService
+
+__all__ = ["RolloutState", "StageResult", "StagedRollout"]
+
+
+class RolloutState(enum.Enum):
+    PENDING = "pending"
+    IN_PROGRESS = "in-progress"
+    COMPLETED = "completed"
+    HALTED = "halted"
+
+
+@dataclass
+class StageResult:
+    """Outcome of one rollout stage."""
+
+    stage_index: int
+    servers: list[str]
+    healthy: bool
+    detail: str = ""
+
+
+class StagedRollout:
+    """Deploys a service factory across the fleet in health-gated stages.
+
+    Parameters
+    ----------
+    env:
+        The Autopilot environment (provides deployment + the clock).
+    factory:
+        ``factory(server_id) -> SharedService`` for the new version.
+    stages:
+        Fractions of the fleet per stage, cumulative order, e.g.
+        ``(0.02, 0.25, 1.0)`` — canary, quarter, everyone.
+    health_gate:
+        ``health_gate(instances) -> (ok, detail)`` judged after each stage;
+        defaults to "every instance still running, none terminated".
+    soak_s:
+        Simulated seconds to run between deploying a stage and judging it.
+    """
+
+    def __init__(
+        self,
+        env: AutopilotEnvironment,
+        factory: Callable[[str], SharedService],
+        stages: tuple[float, ...] = (0.02, 0.25, 1.0),
+        health_gate: Callable[[list[SharedService]], tuple[bool, str]] | None = None,
+        soak_s: float = 300.0,
+    ) -> None:
+        if not stages:
+            raise ValueError("need at least one stage")
+        if list(stages) != sorted(stages) or stages[-1] != 1.0:
+            raise ValueError(
+                f"stages must be increasing and end at 1.0: {stages}"
+            )
+        if any(not 0 < s <= 1.0 for s in stages):
+            raise ValueError(f"stage fractions must be in (0,1]: {stages}")
+        self.env = env
+        self.factory = factory
+        self.stages = stages
+        self.health_gate = health_gate or self._default_gate
+        self.soak_s = soak_s
+        self.state = RolloutState.PENDING
+        self.results: list[StageResult] = []
+        self.deployed: list[SharedService] = []
+
+    @staticmethod
+    def _default_gate(instances: list[SharedService]) -> tuple[bool, str]:
+        dead = [i.server_id for i in instances if not i.running]
+        if dead:
+            return False, f"{len(dead)} instance(s) died: {dead[:3]}"
+        return True, ""
+
+    def run(self) -> RolloutState:
+        """Execute all stages; halts at the first failed health gate."""
+        if self.state != RolloutState.PENDING:
+            raise RuntimeError(f"rollout already {self.state.value}")
+        self.state = RolloutState.IN_PROGRESS
+        fleet = [server.device_id for server in self.env.fabric.topology.all_servers()]
+        already = 0
+        for index, fraction in enumerate(self.stages):
+            target = max(1, int(round(fraction * len(fleet))))
+            batch = fleet[already:target]
+            already = max(already, target)
+            if batch:
+                self.deployed.extend(
+                    self.env.deploy_shared_service(self.factory, servers=batch)
+                )
+            self.env.run_for(self.soak_s)
+            ok, detail = self.health_gate(self.deployed)
+            self.results.append(
+                StageResult(
+                    stage_index=index, servers=batch, healthy=ok, detail=detail
+                )
+            )
+            if not ok:
+                self.state = RolloutState.HALTED
+                return self.state
+        self.state = RolloutState.COMPLETED
+        return self.state
+
+    @property
+    def servers_updated(self) -> int:
+        return len(self.deployed)

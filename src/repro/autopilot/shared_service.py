@@ -1,0 +1,150 @@
+"""Autopilot shared services and their resource discipline (§2.3, §3.4.2).
+
+"Shared services must be light-weight with low CPU, memory, and bandwidth
+resource usage, and they need to be reliable without resource leakage and
+crashes."  And for the Pingmesh Agent specifically: "The CPU and maximum
+memory usages of the Pingmesh Agent are confined by the OS.  Once the
+maximum memory usage exceeds the cap, the Pingmesh Agent will be
+terminated."
+
+:class:`SharedService` is the base class; subclasses charge their CPU time
+and track their memory footprint through :class:`ResourceUsage`, and the
+framework *enforces* the caps: exceeding the memory cap terminates the
+service (fail-closed), CPU usage is throttled-visible via utilization
+accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ResourceUsage", "ResourceBudgetExceeded", "SharedService"]
+
+
+class ResourceBudgetExceeded(Exception):
+    """A shared service blew through a hard resource cap."""
+
+
+@dataclass
+class ResourceUsage:
+    """Running resource accounting for one service instance.
+
+    ``cpu_seconds`` accumulates charged CPU work; utilization is computed
+    against elapsed simulated wall time.  ``memory_mb`` is the current
+    footprint; ``peak_memory_mb`` the high-water mark.
+    """
+
+    cpu_seconds: float = 0.0
+    memory_mb: float = 0.0
+    peak_memory_mb: float = 0.0
+    bytes_sent: int = 0
+    started_at: float = 0.0
+
+    def charge_cpu(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"negative CPU charge: {seconds}")
+        self.cpu_seconds += seconds
+
+    def set_memory(self, megabytes: float) -> None:
+        if megabytes < 0:
+            raise ValueError(f"negative memory: {megabytes}")
+        self.memory_mb = megabytes
+        self.peak_memory_mb = max(self.peak_memory_mb, megabytes)
+
+    def charge_bytes(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"negative bytes: {n}")
+        self.bytes_sent += n
+
+    def cpu_utilization(self, now: float) -> float:
+        """Average CPU utilization (fraction of one core) since start."""
+        elapsed = now - self.started_at
+        if elapsed <= 0:
+            return 0.0
+        return self.cpu_seconds / elapsed
+
+
+class SharedService:
+    """Base class for code that runs on every Autopilot-managed server.
+
+    Subclasses override :meth:`on_start` / :meth:`on_stop` and call
+    :meth:`charge` as they work.  Exceeding ``memory_cap_mb`` terminates
+    the service — the OS enforcement the paper describes.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        server_id: str,
+        memory_cap_mb: float = 100.0,
+        cpu_cap_fraction: float = 0.05,
+    ) -> None:
+        if memory_cap_mb <= 0:
+            raise ValueError(f"memory cap must be positive: {memory_cap_mb}")
+        if not 0 < cpu_cap_fraction <= 1:
+            raise ValueError(f"cpu cap must be in (0,1]: {cpu_cap_fraction}")
+        self.name = name
+        self.server_id = server_id
+        self.memory_cap_mb = memory_cap_mb
+        self.cpu_cap_fraction = cpu_cap_fraction
+        self.usage = ResourceUsage()
+        self.running = False
+        self.terminated_reason: str | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self, now: float = 0.0) -> None:
+        if self.running:
+            raise RuntimeError(f"{self.name} already running on {self.server_id}")
+        self.usage.started_at = now
+        self.running = True
+        self.terminated_reason = None
+        self.on_start(now)
+
+    def stop(self, now: float = 0.0) -> None:
+        if not self.running:
+            return
+        self.running = False
+        self.on_stop(now)
+
+    def terminate(self, reason: str) -> None:
+        """Kill the service (the OS enforcing a cap, or a watchdog)."""
+        self.running = False
+        self.terminated_reason = reason
+
+    def on_start(self, now: float) -> None:
+        """Subclass hook."""
+
+    def on_stop(self, now: float) -> None:
+        """Subclass hook."""
+
+    # -- resource charging ---------------------------------------------------
+
+    def charge(
+        self,
+        cpu_seconds: float = 0.0,
+        memory_mb: float | None = None,
+        sent_bytes: int = 0,
+    ) -> None:
+        """Account resource usage; enforce the memory cap fail-closed."""
+        if not self.running:
+            return
+        self.usage.charge_cpu(cpu_seconds)
+        if sent_bytes:
+            self.usage.charge_bytes(sent_bytes)
+        if memory_mb is not None:
+            self.usage.set_memory(memory_mb)
+            if memory_mb > self.memory_cap_mb:
+                self.terminate(
+                    f"memory cap exceeded: {memory_mb:.1f} MB > "
+                    f"{self.memory_cap_mb:.1f} MB"
+                )
+                raise ResourceBudgetExceeded(self.terminated_reason)
+
+    def perf_counters(self, now: float) -> dict[str, float]:
+        """Counters the Perfcounter Aggregator collects.  Subclasses extend."""
+        return {
+            "cpu_utilization": self.usage.cpu_utilization(now),
+            "memory_mb": self.usage.memory_mb,
+            "peak_memory_mb": self.usage.peak_memory_mb,
+        }

@@ -1,0 +1,193 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``simulate`` — run a full Pingmesh deployment on the simulator, optionally
+  injecting a named incident scenario mid-run; prints the SLA summary, the
+  heatmap, and the daily report.
+* ``scenarios`` — list the canned incident scenarios.
+* ``probe`` — real-socket TCP/HTTP ping against a host:port (liveprobe).
+* ``serve`` — run a probe responder so a remote ``probe`` has a target.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Pingmesh (SIGCOMM 2015) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser(
+        "simulate", help="run a Pingmesh deployment on the simulator"
+    )
+    simulate.add_argument("--hours", type=float, default=1.0, help="simulated hours")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--podsets", type=int, default=2)
+    simulate.add_argument("--pods", type=int, default=4, help="pods per podset")
+    simulate.add_argument("--servers", type=int, default=8, help="servers per pod")
+    simulate.add_argument(
+        "--scenario", default=None, help="incident scenario to inject (see `scenarios`)"
+    )
+    simulate.add_argument(
+        "--scenario-at",
+        type=float,
+        default=600.0,
+        help="simulated seconds before the scenario is injected",
+    )
+    simulate.add_argument(
+        "--profile", default="throughput", help="workload profile name"
+    )
+
+    sub.add_parser("scenarios", help="list canned incident scenarios")
+
+    probe = sub.add_parser("probe", help="real-socket ping a host:port")
+    probe.add_argument("host")
+    probe.add_argument("port", type=int)
+    probe.add_argument("-n", "--count", type=int, default=5)
+    probe.add_argument("--payload", type=int, default=0, help="payload bytes")
+    probe.add_argument("--http", action="store_true", help="HTTP ping instead of TCP")
+    probe.add_argument("--timeout", type=float, default=3.0)
+
+    serve = sub.add_parser("serve", help="run a probe responder")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0)
+
+    return parser
+
+
+def _cmd_simulate(args) -> int:
+    from repro.core.agent.agent import AgentConfig
+    from repro.core.dsa.pipeline import DsaConfig
+    from repro.core.dsa.reports import ReportBuilder
+    from repro.core.system import PingmeshSystem, PingmeshSystemConfig
+    from repro.netsim.scenarios import SCENARIOS, apply_scenario
+    from repro.netsim.topology import TopologySpec
+    from repro.netsim.workload import PROFILES
+
+    if args.profile not in PROFILES:
+        print(f"unknown profile {args.profile!r}; known: {sorted(PROFILES)}")
+        return 2
+    if args.scenario is not None and args.scenario not in SCENARIOS:
+        print(f"unknown scenario {args.scenario!r}; known: {sorted(SCENARIOS)}")
+        return 2
+
+    spec = TopologySpec(
+        name="dc0",
+        n_podsets=args.podsets,
+        pods_per_podset=args.pods,
+        servers_per_pod=args.servers,
+        profile_name=args.profile,
+    )
+    system = PingmeshSystem(
+        PingmeshSystemConfig(
+            specs=(spec,),
+            seed=args.seed,
+            dsa=DsaConfig(ingestion_delay_s=0.0, near_real_time_period_s=300.0),
+            agent=AgentConfig(upload_period_s=120.0),
+        )
+    )
+    print(f"simulating {spec.n_servers} servers for {args.hours:.2f} hour(s)...")
+    total = args.hours * 3600.0
+    if args.scenario is not None and args.scenario_at < total:
+        system.run_for(args.scenario_at)
+        scenario = apply_scenario(args.scenario, system.fabric)
+        print(f"injected scenario: {scenario.name} — {scenario.description}")
+        system.run_for(total - args.scenario_at)
+    else:
+        system.run_for(total)
+
+    print(f"\nprobes sent: {system.total_probes_sent():,}")
+    print("\n-- pod-pair P99 heatmap --")
+    heatmap = system.dsa.latest_heatmap(0, t=system.clock.now)
+    print(heatmap.render_ascii())
+    classification = heatmap.classify()
+    print(f"pattern: {classification.pattern.value}")
+    print(f"\nis it a network issue? {system.is_network_issue()}")
+
+    builder = ReportBuilder(system.database)
+    print()
+    print(builder.incident_digest(system.clock.now, lookback_s=total))
+    return 0
+
+
+def _cmd_scenarios(_args) -> int:
+    from repro.netsim.fabric import Fabric
+    from repro.netsim.scenarios import SCENARIOS, apply_scenario
+    from repro.netsim.topology import TopologySpec
+
+    for name in sorted(SCENARIOS):
+        # Build a throwaway fabric per scenario to read its description.
+        scenario = apply_scenario(name, Fabric.single_dc(TopologySpec()))
+        print(f"{name:18s} {scenario.description}")
+    return 0
+
+
+def _cmd_probe(args) -> int:
+    from repro.liveprobe.client import http_ping_sync, tcp_ping_sync
+
+    failures = 0
+    for i in range(args.count):
+        if args.http:
+            result = http_ping_sync(args.host, args.port, timeout_s=args.timeout)
+        else:
+            result = tcp_ping_sync(
+                args.host,
+                args.port,
+                payload=b"\x00" * args.payload,
+                timeout_s=args.timeout,
+            )
+        if result.success:
+            extra = (
+                f" payload={result.payload_rtt_s * 1e6:.0f}us"
+                if result.payload_rtt_s is not None
+                else ""
+            )
+            print(f"probe {i + 1}: rtt={result.rtt_us:.0f}us{extra}")
+        else:
+            failures += 1
+            print(f"probe {i + 1}: FAILED ({result.error})")
+    print(f"{args.count - failures}/{args.count} succeeded")
+    return 0 if failures < args.count else 1
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.liveprobe.server import ProbeServer
+
+    async def run():
+        async with ProbeServer(host=args.host, port=args.port) as server:
+            print(f"probe responder listening on {args.host}:{server.port}")
+            try:
+                await asyncio.Event().wait()  # serve until interrupted
+            except asyncio.CancelledError:
+                pass
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("stopped")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "simulate": _cmd_simulate,
+        "scenarios": _cmd_scenarios,
+        "probe": _cmd_probe,
+        "serve": _cmd_serve,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""Pingmesh core: the paper's contribution.
+
+* :mod:`repro.core.controller` — the Pingmesh Controller: pinglist
+  generation (§3.3.1) behind a RESTful web service and an SLB VIP (§3.3.2).
+* :mod:`repro.core.agent` — the Pingmesh Agent: download pinglist, ping the
+  peers, upload results, expose counters; fail-closed safety (§3.4).
+* :mod:`repro.core.dsa` — Data Storage and Analysis: SCOPE jobs, SLA
+  tracking, alerting, drop inference, black-hole and silent-drop detection,
+  visualization (§3.5, §4, §5).
+* :mod:`repro.core.system` — :class:`~repro.core.system.PingmeshSystem`,
+  which wires all of it over the network simulator.
+"""
+
+from repro.core.system import PingmeshSystem, PingmeshSystemConfig
+
+__all__ = ["PingmeshSystem", "PingmeshSystemConfig"]

@@ -1,0 +1,20 @@
+"""The Pingmesh Agent: probe, record, upload, stay harmless (§3.4)."""
+
+from repro.core.agent.agent import AgentConfig, PingmeshAgent
+from repro.core.agent.counters import LatencyCounters
+from repro.core.agent.safety import (
+    MAX_PAYLOAD_BYTES,
+    MIN_PROBE_INTERVAL_S,
+    SafetyGuard,
+)
+from repro.core.agent.uploader import ResultUploader
+
+__all__ = [
+    "AgentConfig",
+    "LatencyCounters",
+    "MAX_PAYLOAD_BYTES",
+    "MIN_PROBE_INTERVAL_S",
+    "PingmeshAgent",
+    "ResultUploader",
+    "SafetyGuard",
+]

@@ -1,0 +1,260 @@
+"""The Pingmesh Agent (§3.4).
+
+"Its task is simple: downloads pinglist from the Pingmesh Controller; pings
+the servers in the pinglist; then uploads the ping result to DSA."  The
+implementation discipline is the hard part, and it is reproduced here:
+
+* runs as an Autopilot :class:`~repro.autopilot.shared_service.SharedService`
+  with OS-enforced CPU/memory caps (Figure 3's envelope),
+* every probe uses a new connection and a new source port,
+* probes respect the hard-coded 10 s / 64 KB safety limits regardless of
+  what the controller asked for,
+* three consecutive controller connect failures — or a 404 — make the agent
+  remove all peers and stop probing (it still *answers* probes: in the
+  simulator the destination side replies as long as the server is up),
+* results upload on a timer or a size threshold, with bounded-memory retry.
+
+The agent is clock-driven but queue-agnostic: the
+:class:`~repro.core.system.PingmeshSystem` schedules calls to
+:meth:`refresh_pinglist`, :meth:`run_probe_round` and :meth:`maybe_upload`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.autopilot.shared_service import SharedService
+from repro.core.agent.counters import LatencyCounters
+from repro.core.agent.safety import SafetyGuard
+from repro.core.agent.uploader import ResultUploader
+from repro.core.controller.pinglist import Pinglist
+from repro.core.controller.service import (
+    ControllerUnavailableError,
+    PinglistNotFoundError,
+    PingmeshControllerService,
+)
+from repro.core.dsa.records import make_record
+from repro.netsim.fabric import Fabric
+
+__all__ = ["AgentConfig", "PingmeshAgent"]
+
+
+@dataclass(frozen=True)
+class AgentConfig:
+    """Agent tunables.
+
+    The resource-model constants approximate the production measurements of
+    Figure 3: ~2500 peers probed with <45 MB memory and ~0.26 % CPU.
+    """
+
+    pinglist_refresh_s: float = 1800.0  # periodic pull from the controller
+    upload_period_s: float = 600.0  # the upload timer
+    upload_threshold_records: int = 2000  # ... or the size threshold
+    reservoir_size: int = 4096
+    memory_cap_mb: float = 80.0
+    cpu_cap_fraction: float = 0.05
+    cpu_per_probe_s: float = 10e-6  # CPU charged per probe
+    base_memory_mb: float = 24.0  # code + runtime footprint
+    memory_per_record_kb: float = 0.25  # buffered upload record
+    memory_per_sample_bytes: float = 16.0  # reservoir sample
+
+    def __post_init__(self) -> None:
+        if self.pinglist_refresh_s <= 0:
+            raise ValueError(f"refresh period must be positive: {self.pinglist_refresh_s}")
+        if self.upload_period_s <= 0:
+            raise ValueError(f"upload period must be positive: {self.upload_period_s}")
+
+
+class PingmeshAgent(SharedService):
+    """One server's Pingmesh Agent."""
+
+    def __init__(
+        self,
+        server_id: str,
+        fabric: Fabric,
+        controller: PingmeshControllerService,
+        uploader: ResultUploader,
+        config: AgentConfig | None = None,
+        vip_resolver: Callable[[str], str | None] | None = None,
+    ) -> None:
+        self.config = config or AgentConfig()
+        super().__init__(
+            name="pingmesh-agent",
+            server_id=server_id,
+            memory_cap_mb=self.config.memory_cap_mb,
+            cpu_cap_fraction=self.config.cpu_cap_fraction,
+        )
+        self.fabric = fabric
+        self.controller = controller
+        self.uploader = uploader
+        self.vip_resolver = vip_resolver
+        self.safety = SafetyGuard()
+        # Seed per server so fleets are reproducible but not identical.
+        seed = sum(server_id.encode()) % 100_000
+        self.counters = LatencyCounters(
+            reservoir_size=self.config.reservoir_size, seed=seed
+        )
+        self.pinglist: Pinglist | None = None
+        self.last_upload_t = 0.0
+        self.probes_sent = 0
+        self.rounds_run = 0
+
+    # -- controller interaction ------------------------------------------------
+
+    def refresh_pinglist(self, t: float) -> bool:
+        """Pull the pinglist; apply the fail-closed rules.  True on success."""
+        if not self.running:
+            return False
+        current = self.pinglist.generation if self.pinglist else None
+        try:
+            pinglist = self.controller.get_pinglist(
+                self.server_id, if_generation=current
+            )
+        except ControllerUnavailableError:
+            if self.safety.record_controller_failure():
+                self._stop_probing()
+            return False
+        except PinglistNotFoundError:
+            # "controller is up but there is no pinglist file available".
+            self.safety.record_pinglist_missing()
+            self._stop_probing()
+            return False
+        self.safety.record_controller_success()
+        if pinglist is not None:  # None = 304: ours is still current
+            self.pinglist = pinglist
+        return True
+
+    def _stop_probing(self) -> None:
+        """Remove all ping peers; keep running (and keep answering pings)."""
+        self.pinglist = None
+
+    @property
+    def probing(self) -> bool:
+        return self.running and self.pinglist is not None and len(self.pinglist) > 0
+
+    @property
+    def probe_interval_s(self) -> float:
+        """The effective (safety-clamped) per-pair probe interval."""
+        requested = (
+            self.pinglist.parameters.probe_interval_s if self.pinglist else 60.0
+        )
+        return self.safety.clamp_probe_interval(requested)
+
+    # -- probing ---------------------------------------------------------------
+
+    def run_probe_round(self, t: float) -> int:
+        """Probe every peer in the pinglist once.  Returns probes launched.
+
+        The system schedules rounds at :attr:`probe_interval_s`, so each
+        source-destination pair is probed at most once per interval —
+        honouring the hard 10 s floor.
+        """
+        if not self.probing:
+            return 0
+        if not self.fabric.topology.server(self.server_id).is_up:
+            # The host lost power (podset down): no process, no probes, no
+            # data — which is exactly what paints Figure 8(b)'s white cross.
+            return 0
+        launched = 0
+        for entry in self.pinglist.entries:
+            peer_id = entry.peer_id
+            if entry.purpose == "vip":
+                if self.vip_resolver is None:
+                    continue  # deployment without a VIP data plane
+                peer_id = self.vip_resolver(entry.peer_id)
+                if peer_id is None:
+                    # The VIP is dark (no live DIP): that IS the measurement
+                    # VIP monitoring exists to make (§6.2).
+                    self.counters.add(False, 0.0)
+                    self.uploader.add(self._vip_down_record(entry, t))
+                    launched += 1
+                    continue
+            payload = self.safety.clamp_payload(entry.payload_bytes)
+            dst_port = self.pinglist.parameters.port_for(entry.qos)
+            result = self.fabric.probe(
+                self.server_id, peer_id, t=t, payload_bytes=payload, dst_port=dst_port
+            )
+            self.counters.add(result.success, result.rtt_s)
+            self.uploader.add(
+                make_record(
+                    self.fabric.topology, result, purpose=entry.purpose, qos=entry.qos
+                )
+            )
+            launched += 1
+        self.probes_sent += launched
+        self.rounds_run += 1
+        self._account_resources(launched)
+        return launched
+
+    def _vip_down_record(self, entry, t: float) -> dict:
+        """A failed availability probe of a dark VIP.
+
+        No DIP means no pod-pair coordinates; destination indices are -1,
+        which the heatmap and pod-pair jobs ignore.
+        """
+        me = self.fabric.topology.server(self.server_id)
+        return {
+            "t": t,
+            "src": self.server_id,
+            "dst": entry.peer_id,
+            "src_dc": me.dc_index,
+            "dst_dc": me.dc_index,
+            "src_podset": me.podset_index,
+            "dst_podset": -1,
+            "src_pod": me.pod_index,
+            "dst_pod": -1,
+            "purpose": "vip",
+            "qos": entry.qos,
+            "success": False,
+            "rtt_us": 0.0,
+            "syn_drops": 0,
+            "payload_rtt_us": None,
+            "error": "vip_down",
+        }
+
+    def _account_resources(self, probes: int) -> None:
+        """Charge CPU per probe and recompute the memory footprint.
+
+        Raises :class:`~repro.autopilot.shared_service.ResourceBudgetExceeded`
+        (terminating the agent) if the footprint crosses the OS cap — the
+        fail-closed behaviour of §3.4.2.
+        """
+        config = self.config
+        memory_mb = (
+            config.base_memory_mb
+            + self.uploader.buffered_records * config.memory_per_record_kb / 1024.0
+            + self.counters.memory_samples * config.memory_per_sample_bytes / 1e6
+            + self.uploader.local_log_bytes / 1e6
+        )
+        self.charge(
+            cpu_seconds=probes * config.cpu_per_probe_s,
+            memory_mb=memory_mb,
+            sent_bytes=probes * 120,  # SYN+SYN-ACK+upload overhead estimate
+        )
+
+    # -- upload ---------------------------------------------------------------
+
+    def maybe_upload(self, t: float) -> bool:
+        """Flush results when the timer fires or the threshold is crossed."""
+        if not self.running:
+            return False
+        if not self.fabric.topology.server(self.server_id).is_up:
+            return False
+        timer_due = (t - self.last_upload_t) >= self.config.upload_period_s
+        if not timer_due and not self.uploader.should_flush:
+            return False
+        self.uploader.flush(t)
+        self.last_upload_t = t
+        self.counters.reset_window()
+        return True
+
+    # -- PA counters ------------------------------------------------------------
+
+    def perf_counters(self, now: float) -> dict[str, float]:
+        counters = super().perf_counters(now)
+        counters.update(self.counters.snapshot())
+        counters["probes_sent_total"] = float(self.probes_sent)
+        counters["peer_count"] = float(len(self.pinglist) if self.pinglist else 0)
+        counters["fail_closed"] = 1.0 if self.safety.fail_closed else 0.0
+        return counters

@@ -1,0 +1,110 @@
+"""Streaming latency counters with bounded memory (§3.5).
+
+"the Pingmesh Agent performs local calculation on the latency data and
+produces a set of performance counters including the packet drop rate, the
+network latency at 50th the 99th percentile, etc."
+
+Percentiles come from a fixed-size reservoir sample over the current
+reporting window — constant memory regardless of probe volume, which is the
+shared-service discipline.  Drop rate is the §4.2 heuristic:
+
+    (probes with ~3 s RTT + probes with ~9 s RTT) / successful probes
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netsim import tcp
+
+__all__ = ["LatencyCounters"]
+
+# Classification windows around the retransmission signatures.  A 3 s-drop
+# probe's RTT is 3 s + a normal network RTT, so the window extends well past
+# the signature but below the next one.
+_ONE_DROP_LOW = tcp.syn_rtt_signature(1)
+_ONE_DROP_HIGH = tcp.syn_rtt_signature(2)
+_TWO_DROP_LOW = tcp.syn_rtt_signature(2)
+_TWO_DROP_HIGH = tcp.syn_rtt_signature(3)
+
+
+class LatencyCounters:
+    """Per-window probe statistics for one agent."""
+
+    def __init__(self, reservoir_size: int = 4096, seed: int = 0) -> None:
+        if reservoir_size < 1:
+            raise ValueError(f"reservoir_size must be >= 1: {reservoir_size}")
+        self.reservoir_size = reservoir_size
+        self._rng = np.random.default_rng(seed)
+        self.reset_window()
+
+    def reset_window(self) -> None:
+        """Start a new reporting window."""
+        self._reservoir: list[float] = []
+        self._seen = 0
+        self.probes_total = 0
+        self.probes_success = 0
+        self.probes_failed = 0
+        self.probes_one_drop = 0
+        self.probes_two_drops = 0
+
+    # -- ingestion --------------------------------------------------------
+
+    def add(self, success: bool, rtt_s: float) -> None:
+        """Record one probe outcome."""
+        self.probes_total += 1
+        if not success:
+            self.probes_failed += 1
+            return
+        self.probes_success += 1
+        if _ONE_DROP_LOW <= rtt_s < _ONE_DROP_HIGH:
+            self.probes_one_drop += 1
+        elif _TWO_DROP_LOW <= rtt_s < _TWO_DROP_HIGH:
+            self.probes_two_drops += 1
+        self._sample(rtt_s)
+
+    def _sample(self, rtt_s: float) -> None:
+        """Reservoir sampling: every successful RTT has equal probability."""
+        self._seen += 1
+        if len(self._reservoir) < self.reservoir_size:
+            self._reservoir.append(rtt_s)
+            return
+        slot = int(self._rng.integers(0, self._seen))
+        if slot < self.reservoir_size:
+            self._reservoir[slot] = rtt_s
+
+    # -- reporting ----------------------------------------------------------
+
+    def drop_rate(self) -> float:
+        """The §4.2 heuristic.  One drop counted per 9 s probe, not two —
+        "successive packet drops within a connection are not independent"."""
+        if self.probes_success == 0:
+            return 0.0
+        return (self.probes_one_drop + self.probes_two_drops) / self.probes_success
+
+    def percentile_us(self, q: float) -> float | None:
+        """Latency percentile over the window, in microseconds."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile out of range: {q}")
+        if not self._reservoir:
+            return None
+        return float(np.percentile(self._reservoir, q)) * 1e6
+
+    def snapshot(self) -> dict[str, float]:
+        """The PA counter set (§6.2: "The Pingmesh Agent exposes two PA
+        counters for every server: the 99th latency and the packet drop
+        rate" — plus supporting detail)."""
+        p50 = self.percentile_us(50)
+        p99 = self.percentile_us(99)
+        return {
+            "probes_total": float(self.probes_total),
+            "probes_failed": float(self.probes_failed),
+            "packet_drop_rate": self.drop_rate(),
+            "latency_p50_us": p50 if p50 is not None else 0.0,
+            "latency_p99_us": p99 if p99 is not None else 0.0,
+        }
+
+    @property
+    def memory_samples(self) -> int:
+        """Current reservoir occupancy (for the agent's memory model)."""
+        return len(self._reservoir)

@@ -1,0 +1,84 @@
+"""Fail-closed safety: the agent "must not create live-site incidents" (§3.4.2).
+
+The hard limits below are deliberately module-level constants, mirroring the
+paper's "these limits are hard coded in the source code":
+
+* minimum 10 s between probes of one source-destination pair,
+* maximum 64 KB probe payload,
+
+which together "put a hard limit on the worst-case traffic volume that
+Pingmesh can bring into the network".  The guard also implements the
+controller-failure rule: "If a Pingmesh Agent cannot connect to its
+controller for 3 times, or if the controller is up but there is no pinglist
+file available, the Pingmesh Agent will remove all its existing ping peers
+and stop all its ping activities."
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MIN_PROBE_INTERVAL_S",
+    "MAX_PAYLOAD_BYTES",
+    "MAX_CONTROLLER_FAILURES",
+    "MAX_UPLOAD_RETRIES",
+    "SafetyGuard",
+]
+
+MIN_PROBE_INTERVAL_S = 10.0  # hard floor on per-pair probe spacing
+MAX_PAYLOAD_BYTES = 64 * 1024  # hard cap on probe payload length
+MAX_CONTROLLER_FAILURES = 3  # consecutive connect failures before fail-closed
+MAX_UPLOAD_RETRIES = 3  # upload attempts before discarding in-memory data
+
+
+class SafetyGuard:
+    """Tracks controller reachability and clamps controller-sent knobs.
+
+    The clamps exist because the controller is *configuration*, and
+    configuration can be wrong; the agent enforces its own worst-case
+    bounds regardless of what the pinglist says.
+    """
+
+    def __init__(self) -> None:
+        self._consecutive_failures = 0
+        self.fail_closed = False
+        self.fail_closed_reason: str | None = None
+
+    # -- clamps ------------------------------------------------------------
+
+    @staticmethod
+    def clamp_probe_interval(requested_s: float) -> float:
+        """Never probe a pair more often than once per 10 seconds."""
+        return max(MIN_PROBE_INTERVAL_S, requested_s)
+
+    @staticmethod
+    def clamp_payload(requested_bytes: int) -> int:
+        """Never send a payload above 64 KB (and never negative)."""
+        return max(0, min(MAX_PAYLOAD_BYTES, requested_bytes))
+
+    # -- controller reachability ------------------------------------------------
+
+    def record_controller_success(self) -> None:
+        """A successful pinglist download resets the failure streak."""
+        self._consecutive_failures = 0
+        self.fail_closed = False
+        self.fail_closed_reason = None
+
+    def record_controller_failure(self) -> bool:
+        """A failed connect; returns True once the agent must fall closed."""
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= MAX_CONTROLLER_FAILURES:
+            self.fail_closed = True
+            self.fail_closed_reason = (
+                f"controller unreachable {self._consecutive_failures} times"
+            )
+        return self.fail_closed
+
+    def record_pinglist_missing(self) -> None:
+        """Controller answered 404: immediate stop — this is the kill
+        switch ("removing all the pinglist files from the controller")."""
+        self.fail_closed = True
+        self.fail_closed_reason = "controller has no pinglist for this server"
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._consecutive_failures

@@ -1,0 +1,138 @@
+"""Bounded-memory result upload with local log fallback (§3.4.2).
+
+"Once a timer times out or the size of the measurement results exceeds a
+threshold, the Pingmesh Agent uploads the results to Cosmos. ... If a server
+cannot upload its latency data, it will retry several times.  After that it
+will stop trying and discard the in-memory data.  This is to ensure the
+Pingmesh Agent uses bounded memory resource.  The Pingmesh Agent also writes
+the latency data to local disk as log files.  The size of log files is
+limited to a configurable size."
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable
+
+from repro.core.agent.safety import MAX_UPLOAD_RETRIES
+from repro.core.dsa.records import LATENCY_STREAM
+
+__all__ = ["ResultUploader", "UploadStats"]
+
+Record = dict[str, Any]
+
+
+class UploadStats:
+    """Counters describing the uploader's history."""
+
+    def __init__(self) -> None:
+        self.records_uploaded = 0
+        self.records_discarded = 0
+        self.upload_attempts = 0
+        self.upload_failures = 0
+        self.flushes = 0
+
+
+class ResultUploader:
+    """Buffers records and ships them to Cosmos, with hard memory bounds.
+
+    ``upload_fn(records, t)`` defaults to appending to the given store; it
+    is injectable so tests and failure drills can make uploads fail.
+    """
+
+    def __init__(
+        self,
+        store,
+        server_id: str,
+        stream: str = LATENCY_STREAM,
+        flush_threshold_records: int = 2000,
+        max_buffer_records: int = 10_000,
+        max_retries: int = MAX_UPLOAD_RETRIES,
+        log_cap_bytes: int = 256 * 1024,
+        upload_fn: Callable[[list[Record], float], None] | None = None,
+    ) -> None:
+        if flush_threshold_records < 1:
+            raise ValueError(
+                f"flush threshold must be >= 1: {flush_threshold_records}"
+            )
+        if max_buffer_records < flush_threshold_records:
+            raise ValueError("buffer cap must be >= flush threshold")
+        if log_cap_bytes < 1024:
+            raise ValueError(f"log cap too small: {log_cap_bytes}")
+        self.store = store
+        self.server_id = server_id
+        self.stream = stream
+        self.flush_threshold_records = flush_threshold_records
+        self.max_buffer_records = max_buffer_records
+        self.max_retries = max_retries
+        self.log_cap_bytes = log_cap_bytes
+        self._upload_fn = upload_fn or self._default_upload
+        self._buffer: list[Record] = []
+        self._log: list[str] = []
+        self._log_bytes = 0
+        self.stats = UploadStats()
+
+    def _default_upload(self, records: list[Record], t: float) -> None:
+        self.store.append(self.stream, records, t=t)
+
+    # -- buffering --------------------------------------------------------
+
+    def add(self, record: Record) -> None:
+        """Buffer one record (and append it to the size-capped local log)."""
+        self._buffer.append(record)
+        self._append_log(record)
+        if len(self._buffer) > self.max_buffer_records:
+            # Absolute backstop: drop oldest rather than grow unbounded.
+            overflow = len(self._buffer) - self.max_buffer_records
+            del self._buffer[:overflow]
+            self.stats.records_discarded += overflow
+
+    def _append_log(self, record: Record) -> None:
+        line = json.dumps(record, default=str, separators=(",", ":"))
+        self._log.append(line)
+        self._log_bytes += len(line) + 1
+        while self._log_bytes > self.log_cap_bytes and self._log:
+            dropped = self._log.pop(0)
+            self._log_bytes -= len(dropped) + 1
+
+    @property
+    def buffered_records(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def should_flush(self) -> bool:
+        return len(self._buffer) >= self.flush_threshold_records
+
+    # -- upload -------------------------------------------------------------
+
+    def flush(self, t: float) -> bool:
+        """Upload the buffer; on repeated failure, discard it (fail-closed).
+
+        Returns True when the data reached the store, False when it was
+        discarded after ``max_retries`` attempts.  An empty buffer is a
+        trivially successful flush.
+        """
+        self.stats.flushes += 1
+        if not self._buffer:
+            return True
+        batch, self._buffer = self._buffer, []
+        for _ in range(self.max_retries):
+            self.stats.upload_attempts += 1
+            try:
+                self._upload_fn(batch, t)
+            except Exception:  # noqa: BLE001 - any failure counts as a miss
+                self.stats.upload_failures += 1
+                continue
+            self.stats.records_uploaded += len(batch)
+            return True
+        self.stats.records_discarded += len(batch)
+        return False
+
+    # -- local log ------------------------------------------------------------
+
+    def local_log_lines(self) -> list[str]:
+        return list(self._log)
+
+    @property
+    def local_log_bytes(self) -> int:
+        return self._log_bytes

@@ -1,0 +1,17 @@
+"""The Pingmesh Controller: "the brain of the whole system" (§3.3)."""
+
+from repro.core.controller.generator import GeneratorConfig, PingmeshGenerator
+from repro.core.controller.pinglist import PingParameters, Pinglist, PinglistEntry
+from repro.core.controller.service import ControllerUnavailableError, PingmeshControllerService
+from repro.core.controller.slb import SoftwareLoadBalancer
+
+__all__ = [
+    "ControllerUnavailableError",
+    "GeneratorConfig",
+    "PingParameters",
+    "Pinglist",
+    "PinglistEntry",
+    "PingmeshControllerService",
+    "PingmeshGenerator",
+    "SoftwareLoadBalancer",
+]

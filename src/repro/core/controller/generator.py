@@ -1,0 +1,231 @@
+"""The pinglist generation algorithm (§3.3.1).
+
+Three levels of complete graphs:
+
+1. **Intra-pod, server level** — "Within a Pod, we let all the servers under
+   the same ToR switch form a complete graph": every server probes every
+   other server in its pod.
+2. **Intra-DC, ToR level** — "for any ToR-pair (ToRx, ToRy), let server i in
+   ToRx ping server i in ToRy".  Every server therefore probes exactly one
+   peer (its own host index) in every other pod — *all* servers participate
+   and the probing load balances itself.
+3. **Inter-DC, DC level** — "all the DCs form yet another complete graph.
+   In each DC, we select a number of servers (with several servers selected
+   from each Podset)"; only the selected servers probe across DCs.
+
+On top, per §6.2 extensions: a low-priority QoS class duplicates the
+ToR-level graph onto a second TCP port, payload pings duplicate a slice of
+it with an 800–1200 B echo, and VIPs can be added as extra targets.
+
+"The Pingmesh Controller uses threshold values to limit the total number of
+probes of a server" — ``max_peers_per_server`` trims lowest-priority entries
+first.  Even when two servers appear in each other's pinglists, each
+measures independently (both directions are generated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.controller.pinglist import PingParameters, Pinglist, PinglistEntry
+from repro.netsim.topology import ClosTopology, MultiDCTopology
+
+__all__ = ["GeneratorConfig", "PingmeshGenerator"]
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Tunables of the generation algorithm."""
+
+    probe_interval_s: float = 60.0
+    max_peers_per_server: int = 5000  # the paper's upper threshold
+    inter_dc_servers_per_podset: int = 2  # "several servers ... each Podset"
+    enable_qos_low: bool = False  # §6.2 QoS monitoring extension
+    payload_bytes: int = 1000  # payload ping size (800-1200 B, §4.1)
+    payload_every_nth_peer: int = 0  # 0 disables payload entries
+    vip_targets: tuple[str, ...] = ()  # §6.2 VIP monitoring extension
+
+    def __post_init__(self) -> None:
+        if self.max_peers_per_server < 1:
+            raise ValueError(
+                f"max_peers_per_server must be >= 1: {self.max_peers_per_server}"
+            )
+        if self.inter_dc_servers_per_podset < 1:
+            raise ValueError(
+                "inter_dc_servers_per_podset must be >= 1: "
+                f"{self.inter_dc_servers_per_podset}"
+            )
+        if self.payload_every_nth_peer < 0:
+            raise ValueError(
+                f"payload_every_nth_peer must be >= 0: {self.payload_every_nth_peer}"
+            )
+        if not 800 <= self.payload_bytes <= 65_536:
+            raise ValueError(
+                f"payload_bytes outside sane range [800, 65536]: {self.payload_bytes}"
+            )
+
+
+class PingmeshGenerator:
+    """Computes every server's pinglist from the topology."""
+
+    def __init__(
+        self, topology: MultiDCTopology, config: GeneratorConfig | None = None
+    ) -> None:
+        self.topology = topology
+        self.config = config or GeneratorConfig()
+
+    # -- selection helpers ------------------------------------------------------
+
+    def inter_dc_selection(self, dc: ClosTopology) -> list:
+        """The servers of one DC that participate in inter-DC probing.
+
+        Deterministic: the first ``inter_dc_servers_per_podset`` servers of
+        each podset.  Determinism matters — every controller replica must
+        generate identical pinglists to stay stateless behind the VIP.
+        """
+        selected = []
+        for podset in range(dc.spec.n_podsets):
+            servers = dc.servers_in_podset(podset)
+            selected.extend(servers[: self.config.inter_dc_servers_per_podset])
+        return selected
+
+    # -- the algorithm -------------------------------------------------------------
+
+    def generate_for(
+        self, server_id: str, generation: int = 1, t: float = 0.0
+    ) -> Pinglist:
+        """Generate the pinglist of one server."""
+        server = self.topology.server(server_id)
+        dc = self.topology.dc(server.dc_index)
+        config = self.config
+        entries: list[PinglistEntry] = []
+
+        # Level 1: intra-pod complete graph.
+        for peer in dc.servers_in_pod(server.pod_index):
+            if peer.device_id != server.device_id:
+                entries.append(
+                    PinglistEntry(
+                        peer_id=peer.device_id,
+                        peer_ip=str(peer.ip),
+                        purpose="intra-pod",
+                    )
+                )
+
+        # Level 2: ToR-level complete graph — "server i in ToRx pings
+        # server i in ToRy".
+        tor_level: list[PinglistEntry] = []
+        for pod in range(dc.spec.n_pods):
+            if pod == server.pod_index:
+                continue
+            peers = dc.servers_in_pod(pod)
+            if server.host_index < len(peers):
+                peer = peers[server.host_index]
+                tor_level.append(
+                    PinglistEntry(
+                        peer_id=peer.device_id,
+                        peer_ip=str(peer.ip),
+                        purpose="tor-level",
+                    )
+                )
+        entries.extend(tor_level)
+
+        # §6.2 QoS extension: the ToR-level graph again, low priority class.
+        if config.enable_qos_low:
+            entries.extend(
+                PinglistEntry(
+                    peer_id=entry.peer_id,
+                    peer_ip=entry.peer_ip,
+                    purpose=entry.purpose,
+                    qos="low",
+                )
+                for entry in tor_level
+            )
+
+        # §4.1 payload pings: every Nth ToR-level peer also gets a payload
+        # probe, to catch length-dependent drops (FCS/SerDes errors).
+        if config.payload_every_nth_peer > 0:
+            entries.extend(
+                PinglistEntry(
+                    peer_id=entry.peer_id,
+                    peer_ip=entry.peer_ip,
+                    purpose=entry.purpose,
+                    qos=entry.qos,
+                    payload_bytes=config.payload_bytes,
+                )
+                for entry in tor_level[:: config.payload_every_nth_peer]
+            )
+
+        # Level 3: inter-DC complete graph over selected servers.
+        if len(self.topology.dcs) > 1:
+            my_selection = {s.device_id for s in self.inter_dc_selection(dc)}
+            if server.device_id in my_selection:
+                for other_dc in self.topology.dcs:
+                    if other_dc.dc_index == server.dc_index:
+                        continue
+                    for peer in self.inter_dc_selection(other_dc):
+                        entries.append(
+                            PinglistEntry(
+                                peer_id=peer.device_id,
+                                peer_ip=str(peer.ip),
+                                purpose="inter-dc",
+                            )
+                        )
+
+        # §6.2 VIP monitoring: extra logical targets.
+        entries.extend(
+            PinglistEntry(peer_id=vip, peer_ip=vip, purpose="vip")
+            for vip in config.vip_targets
+        )
+
+        entries = self._apply_threshold(entries)
+        return Pinglist(
+            server_id=server.device_id,
+            generation=generation,
+            generated_at=t,
+            parameters=PingParameters(probe_interval_s=config.probe_interval_s),
+            entries=entries,
+        )
+
+    def _apply_threshold(self, entries: list[PinglistEntry]) -> list[PinglistEntry]:
+        """Trim to ``max_peers_per_server``, dropping lowest priority first.
+
+        Priority: intra-pod > tor-level (high qos) > inter-dc > vip >
+        low-qos / payload duplicates.  Within a class, a deterministic
+        stride-sample keeps coverage spread rather than truncating a prefix.
+        """
+        limit = self.config.max_peers_per_server
+        if len(entries) <= limit:
+            return entries
+
+        def priority(entry: PinglistEntry) -> int:
+            if entry.qos == "low" or entry.payload_bytes > 0:
+                return 4
+            return {
+                "intra-pod": 0,
+                "tor-level": 1,
+                "inter-dc": 2,
+                "vip": 3,
+            }[entry.purpose]
+
+        buckets: dict[int, list[PinglistEntry]] = {}
+        for entry in entries:
+            buckets.setdefault(priority(entry), []).append(entry)
+        kept: list[PinglistEntry] = []
+        for level in sorted(buckets):
+            room = limit - len(kept)
+            if room <= 0:
+                break
+            bucket = buckets[level]
+            if len(bucket) <= room:
+                kept.extend(bucket)
+            else:
+                stride = len(bucket) / room
+                kept.extend(bucket[int(i * stride)] for i in range(room))
+        return kept
+
+    def generate_all(self, generation: int = 1, t: float = 0.0) -> dict[str, Pinglist]:
+        """Pinglists for every server in every DC."""
+        return {
+            server.device_id: self.generate_for(server.device_id, generation, t)
+            for server in self.topology.all_servers()
+        }

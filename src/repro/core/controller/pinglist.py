@@ -1,0 +1,173 @@
+"""Pinglist files: the controller↔agent contract (§3.3, §6.2).
+
+"Pingmesh Controller and Pingmesh Agent interact only through the pinglist
+files, which are standard XML files, via standard Web API."  That loose
+coupling is credited for Pingmesh's easy evolution, so we keep it literal:
+pinglists serialize to and parse from XML, and the agent never sees
+controller internals.
+
+A pinglist carries the peers one server must probe, each tagged with the
+level of the complete-graph design it came from (intra-pod, ToR-level,
+inter-DC, or VIP monitoring) and a QoS class, plus the ping parameters
+(probe interval, payload size, destination ports per class).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+
+__all__ = ["PingParameters", "PinglistEntry", "Pinglist", "PinglistParseError"]
+
+# Purposes, one per complete-graph level (§3.3.1) plus VIP monitoring (§6.2).
+VALID_PURPOSES = ("intra-pod", "tor-level", "inter-dc", "vip")
+# QoS classes introduced for DSCP-differentiated probing (§6.2).
+VALID_QOS = ("high", "low")
+
+
+class PinglistParseError(Exception):
+    """The XML was not a well-formed pinglist."""
+
+
+@dataclass(frozen=True)
+class PingParameters:
+    """How the agent should probe (controller-chosen, §3.3.1).
+
+    ``probe_interval_s`` must respect the agent's hard-coded 10 s minimum;
+    the agent clamps regardless (defense in depth, §3.4.2).
+    """
+
+    probe_interval_s: float = 60.0
+    payload_bytes: int = 0
+    timeout_s: float = 9.0
+    tcp_port_high: int = 81
+    tcp_port_low: int = 82
+
+    def __post_init__(self) -> None:
+        if self.probe_interval_s <= 0:
+            raise ValueError(f"probe interval must be positive: {self.probe_interval_s}")
+        if self.payload_bytes < 0:
+            raise ValueError(f"payload must be >= 0: {self.payload_bytes}")
+        for port in (self.tcp_port_high, self.tcp_port_low):
+            if not 0 < port <= 65_535:
+                raise ValueError(f"port out of range: {port}")
+
+    def port_for(self, qos: str) -> int:
+        if qos == "high":
+            return self.tcp_port_high
+        if qos == "low":
+            return self.tcp_port_low
+        raise ValueError(f"unknown qos class: {qos!r}")
+
+
+@dataclass(frozen=True)
+class PinglistEntry:
+    """One peer to probe."""
+
+    peer_id: str
+    peer_ip: str
+    purpose: str = "tor-level"
+    qos: str = "high"
+    payload_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.purpose not in VALID_PURPOSES:
+            raise ValueError(f"unknown purpose: {self.purpose!r}")
+        if self.qos not in VALID_QOS:
+            raise ValueError(f"unknown qos: {self.qos!r}")
+        if self.payload_bytes < 0:
+            raise ValueError(f"payload must be >= 0: {self.payload_bytes}")
+
+
+@dataclass
+class Pinglist:
+    """A full pinglist for one server."""
+
+    server_id: str
+    generation: int
+    generated_at: float
+    parameters: PingParameters = field(default_factory=PingParameters)
+    entries: list[PinglistEntry] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def peers_by_purpose(self, purpose: str) -> list[PinglistEntry]:
+        if purpose not in VALID_PURPOSES:
+            raise ValueError(f"unknown purpose: {purpose!r}")
+        return [entry for entry in self.entries if entry.purpose == purpose]
+
+    # -- XML serialization ---------------------------------------------------
+
+    def to_xml(self) -> str:
+        root = ET.Element(
+            "Pinglist",
+            {
+                "server": self.server_id,
+                "generation": str(self.generation),
+                "generatedAt": repr(self.generated_at),
+            },
+        )
+        params = ET.SubElement(root, "Parameters")
+        ET.SubElement(params, "ProbeIntervalSeconds").text = repr(
+            self.parameters.probe_interval_s
+        )
+        ET.SubElement(params, "PayloadBytes").text = str(self.parameters.payload_bytes)
+        ET.SubElement(params, "TimeoutSeconds").text = repr(self.parameters.timeout_s)
+        ET.SubElement(params, "TcpPortHigh").text = str(self.parameters.tcp_port_high)
+        ET.SubElement(params, "TcpPortLow").text = str(self.parameters.tcp_port_low)
+        peers = ET.SubElement(root, "Peers")
+        for entry in self.entries:
+            ET.SubElement(
+                peers,
+                "Peer",
+                {
+                    "id": entry.peer_id,
+                    "ip": entry.peer_ip,
+                    "purpose": entry.purpose,
+                    "qos": entry.qos,
+                    "payloadBytes": str(entry.payload_bytes),
+                },
+            )
+        return ET.tostring(root, encoding="unicode")
+
+    @classmethod
+    def from_xml(cls, text: str) -> "Pinglist":
+        try:
+            root = ET.fromstring(text)
+        except ET.ParseError as exc:
+            raise PinglistParseError(f"malformed XML: {exc}") from exc
+        if root.tag != "Pinglist":
+            raise PinglistParseError(f"unexpected root element: {root.tag!r}")
+        try:
+            params_el = root.find("Parameters")
+            if params_el is None:
+                raise PinglistParseError("missing Parameters element")
+            parameters = PingParameters(
+                probe_interval_s=float(params_el.findtext("ProbeIntervalSeconds")),
+                payload_bytes=int(params_el.findtext("PayloadBytes")),
+                timeout_s=float(params_el.findtext("TimeoutSeconds")),
+                tcp_port_high=int(params_el.findtext("TcpPortHigh")),
+                tcp_port_low=int(params_el.findtext("TcpPortLow")),
+            )
+            entries = [
+                PinglistEntry(
+                    peer_id=peer.attrib["id"],
+                    peer_ip=peer.attrib["ip"],
+                    purpose=peer.attrib["purpose"],
+                    qos=peer.attrib["qos"],
+                    payload_bytes=int(peer.attrib.get("payloadBytes", "0")),
+                )
+                for peer in root.find("Peers") or []
+            ]
+            return cls(
+                server_id=root.attrib["server"],
+                generation=int(root.attrib["generation"]),
+                generated_at=float(root.attrib["generatedAt"]),
+                parameters=parameters,
+                entries=entries,
+            )
+        except PinglistParseError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PinglistParseError(f"invalid pinglist content: {exc}") from exc

@@ -1,0 +1,171 @@
+"""The Pingmesh Controller web service (§3.3.2).
+
+Stateless by construction: "Every Pingmesh Controller server runs the same
+piece of code and generates the same set of Pinglist files for all the
+servers and is able to serve requests from any Pingmesh Agent."  Agents
+*pull* ("the Pingmesh Controller does not push any data") via a RESTful API:
+
+    GET /pinglist/<server_id>  ->  the server's pinglist XML
+
+Each controller replica regenerates all pinglist files on topology or
+configuration change (bumping a generation number) and serves them from its
+local file cache ("the files are then stored in SSD").  The set of replicas
+sits behind an SLB VIP; removing every pinglist file is the documented kill
+switch — agents that get 404s fall closed and stop probing (§3.4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.controller.generator import GeneratorConfig, PingmeshGenerator
+from repro.core.controller.pinglist import Pinglist
+from repro.core.controller.slb import NoHealthyBackendError, SoftwareLoadBalancer
+from repro.netsim.topology import MultiDCTopology
+
+__all__ = [
+    "ControllerReplica",
+    "ControllerUnavailableError",
+    "PinglistNotFoundError",
+    "PingmeshControllerService",
+]
+
+
+class ControllerUnavailableError(Exception):
+    """The controller VIP did not answer (connect failure)."""
+
+
+class PinglistNotFoundError(Exception):
+    """The controller answered but has no pinglist for the server (404)."""
+
+
+@dataclass
+class ControllerReplica:
+    """One controller server: an SSD-backed cache of pinglist XML files."""
+
+    dip: str
+    files: dict[str, str] = field(default_factory=dict)  # server_id -> XML
+    generation: int = 0
+    up: bool = True
+    requests_served: int = 0
+
+    def serve(self, server_id: str) -> str:
+        if not self.up:
+            raise ControllerUnavailableError(f"controller {self.dip} is down")
+        self.requests_served += 1
+        try:
+            return self.files[server_id]
+        except KeyError:
+            raise PinglistNotFoundError(
+                f"no pinglist for {server_id} on {self.dip}"
+            ) from None
+
+
+class PingmeshControllerService:
+    """A replicated, stateless controller behind one VIP."""
+
+    def __init__(
+        self,
+        topology: MultiDCTopology,
+        config: GeneratorConfig | None = None,
+        n_replicas: int = 2,
+        vip: str = "pingmesh-controller.vip",
+    ) -> None:
+        if n_replicas < 1:
+            raise ValueError(f"need at least one replica: {n_replicas}")
+        self.topology = topology
+        self.generator = PingmeshGenerator(topology, config)
+        self.replicas: dict[str, ControllerReplica] = {
+            f"controller{i}": ControllerReplica(dip=f"controller{i}")
+            for i in range(n_replicas)
+        }
+        self.slb = SoftwareLoadBalancer(
+            vip,
+            list(self.replicas),
+            health_check=lambda dip: self.replicas[dip].up,
+        )
+        self.generation = 0
+
+    # -- generation ------------------------------------------------------------
+
+    def regenerate(self, t: float = 0.0) -> int:
+        """Run the generation algorithm on every replica.
+
+        Every replica independently produces the identical file set
+        (determinism is what keeps the service stateless).  Returns the new
+        generation number.
+        """
+        self.generation += 1
+        pinglists = self.generator.generate_all(generation=self.generation, t=t)
+        files = {
+            server_id: pinglist.to_xml() for server_id, pinglist in pinglists.items()
+        }
+        for replica in self.replicas.values():
+            if replica.up:
+                replica.files = dict(files)
+                replica.generation = self.generation
+        return self.generation
+
+    def remove_all_pinglists(self) -> None:
+        """The kill switch: "we can stop the Pingmesh Agent from working by
+        simply removing all the pinglist files from the controller"."""
+        for replica in self.replicas.values():
+            replica.files = {}
+
+    def reconfigure(self, config: GeneratorConfig, t: float = 0.0) -> int:
+        """Swap the generator config and regenerate (§6.2 extensions)."""
+        self.generator.config = config
+        return self.regenerate(t=t)
+
+    # -- the RESTful API, as seen by agents ------------------------------------------
+
+    def get_pinglist(
+        self, server_id: str, if_generation: int | None = None
+    ) -> Pinglist | None:
+        """GET /pinglist/<server_id> through the VIP.
+
+        ``if_generation`` is the conditional-GET header: when the serving
+        replica's file set is still at that generation, the response is a
+        304 (returned as ``None``) and no body crosses the wire — with
+        hundreds of thousands of agents polling, most polls find nothing
+        new, and this is what keeps the controller cheap to run.
+
+        Raises :class:`ControllerUnavailableError` if no replica is in
+        rotation (or the picked one died mid-request), and
+        :class:`PinglistNotFoundError` on a 404 — the two failures the
+        agent's fail-closed logic distinguishes (§3.4.2).
+        """
+        self.slb.run_health_checks()
+        try:
+            dip = self.slb.pick()
+        except NoHealthyBackendError as exc:
+            raise ControllerUnavailableError(str(exc)) from exc
+        replica = self.replicas[dip]
+        if (
+            if_generation is not None
+            and replica.generation == if_generation
+            and server_id in replica.files
+        ):
+            replica.requests_served += 1
+            return None  # 304 Not Modified
+        xml = replica.serve(server_id)
+        return Pinglist.from_xml(xml)
+
+    # -- failure injection for tests/benches ------------------------------------------
+
+    def fail_replica(self, dip: str) -> None:
+        self.replicas[dip].up = False
+
+    def recover_replica(self, dip: str) -> None:
+        replica = self.replicas[dip]
+        replica.up = True
+        # A recovering stateless replica regenerates its file cache from
+        # the same deterministic algorithm.
+        pinglists = self.generator.generate_all(generation=self.generation)
+        replica.files = {
+            server_id: pinglist.to_xml() for server_id, pinglist in pinglists.items()
+        }
+        replica.generation = self.generation
+
+    def healthy_replica_count(self) -> int:
+        return sum(1 for replica in self.replicas.values() if replica.up)

@@ -1,0 +1,105 @@
+"""Software load balancer: one VIP, many DIPs (§3.3.2).
+
+"A Pingmesh Controller has a set of servers behind a single VIP ... SLB
+distributes the requests from the Pingmesh Agents to the Pingmesh Controller
+servers. ... once a Pingmesh Controller server stops functioning, it is
+automatically removed from rotation by the SLB."
+
+We model the Ananta-style behaviour Pingmesh relies on: round-robin
+dispatch over healthy DIPs, health checks that eject dead backends, and
+re-admission when they recover.  The same class fronts the Cosmos ingest
+endpoint and the VIPs that §6.2's VIP monitoring probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Backend", "NoHealthyBackendError", "SoftwareLoadBalancer"]
+
+
+class NoHealthyBackendError(Exception):
+    """Every DIP behind the VIP is out of rotation."""
+
+
+@dataclass
+class Backend:
+    """One DIP behind the VIP."""
+
+    dip: str
+    healthy: bool = True
+    requests_served: int = 0
+
+
+class SoftwareLoadBalancer:
+    """Round-robin VIP → DIP dispatch with health-based rotation."""
+
+    def __init__(
+        self,
+        vip: str,
+        dips: list[str],
+        health_check: Callable[[str], bool] | None = None,
+    ) -> None:
+        if not dips:
+            raise ValueError("an SLB VIP needs at least one DIP")
+        if len(set(dips)) != len(dips):
+            raise ValueError(f"duplicate DIPs behind {vip}: {dips}")
+        self.vip = vip
+        self.backends: dict[str, Backend] = {dip: Backend(dip) for dip in dips}
+        self._order: list[str] = list(dips)
+        self._next = 0
+        self._health_check = health_check
+        self.requests_total = 0
+
+    # -- rotation management --------------------------------------------------
+
+    def mark_unhealthy(self, dip: str) -> None:
+        self._backend(dip).healthy = False
+
+    def mark_healthy(self, dip: str) -> None:
+        self._backend(dip).healthy = True
+
+    def _backend(self, dip: str) -> Backend:
+        try:
+            return self.backends[dip]
+        except KeyError:
+            raise KeyError(f"no such DIP behind {self.vip}: {dip}") from None
+
+    def run_health_checks(self) -> list[str]:
+        """Probe every DIP; returns the DIPs currently out of rotation."""
+        if self._health_check is not None:
+            for backend in self.backends.values():
+                backend.healthy = bool(self._health_check(backend.dip))
+        return self.out_of_rotation()
+
+    def healthy_dips(self) -> list[str]:
+        return [dip for dip in self._order if self.backends[dip].healthy]
+
+    def out_of_rotation(self) -> list[str]:
+        return [dip for dip in self._order if not self.backends[dip].healthy]
+
+    # -- dispatch ------------------------------------------------------------------
+
+    def pick(self) -> str:
+        """Choose the next healthy DIP, round-robin.
+
+        Raises :class:`NoHealthyBackendError` when the VIP is dark — the
+        condition that trips the agents' fail-closed logic.
+        """
+        for _ in range(len(self._order)):
+            dip = self._order[self._next % len(self._order)]
+            self._next += 1
+            backend = self.backends[dip]
+            if backend.healthy:
+                backend.requests_served += 1
+                self.requests_total += 1
+                return dip
+        raise NoHealthyBackendError(f"no healthy backend behind {self.vip}")
+
+    def add_backend(self, dip: str) -> None:
+        """Scale out: add a DIP behind the same VIP (§3.3.2)."""
+        if dip in self.backends:
+            raise ValueError(f"DIP already present: {dip}")
+        self.backends[dip] = Backend(dip)
+        self._order.append(dip)

@@ -1,0 +1,103 @@
+"""Threshold alerting on network SLA (§4.3).
+
+"We currently use a simple threshold based approach for network SLA
+violation detection.  If the packet drop rate is greater than 10⁻³ or the
+99th percentile latency is larger than 5 ms, we will categorize this as a
+network problem and fire alerts.  10⁻³ and 5 ms are much larger than the
+normal values."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dsa.sla import NetworkSla
+
+__all__ = ["SlaThresholds", "Alert", "AlertEngine"]
+
+
+@dataclass(frozen=True)
+class SlaThresholds:
+    """The paper's defaults: drop rate 1e-3, P99 latency 5 ms."""
+
+    max_drop_rate: float = 1e-3
+    max_p99_us: float = 5000.0
+    min_probe_count: int = 20  # don't alert on statistically-empty windows
+
+    def __post_init__(self) -> None:
+        if self.max_drop_rate <= 0 or self.max_p99_us <= 0:
+            raise ValueError("thresholds must be positive")
+        if self.min_probe_count < 1:
+            raise ValueError(f"min_probe_count must be >= 1: {self.min_probe_count}")
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One fired SLA violation."""
+
+    t: float
+    scope: str
+    key: str
+    metric: str  # "drop_rate" | "p99_us"
+    value: float
+    threshold: float
+
+    def as_row(self) -> dict:
+        return {
+            "t": self.t,
+            "scope": self.scope,
+            "key": self.key,
+            "metric": self.metric,
+            "value": self.value,
+            "threshold": self.threshold,
+        }
+
+
+class AlertEngine:
+    """Evaluates SLAs against thresholds and keeps the alert history."""
+
+    def __init__(self, thresholds: SlaThresholds | None = None) -> None:
+        self.thresholds = thresholds or SlaThresholds()
+        self.history: list[Alert] = []
+
+    def evaluate(self, slas: list[NetworkSla]) -> list[Alert]:
+        """Fire alerts for violating SLAs; returns the new alerts."""
+        fired: list[Alert] = []
+        for sla in slas:
+            if sla.probe_count < self.thresholds.min_probe_count:
+                continue
+            if sla.drop_rate > self.thresholds.max_drop_rate:
+                fired.append(
+                    Alert(
+                        t=sla.window_end,
+                        scope=sla.scope.value,
+                        key=sla.key,
+                        metric="drop_rate",
+                        value=sla.drop_rate,
+                        threshold=self.thresholds.max_drop_rate,
+                    )
+                )
+            if sla.p99_us is not None and sla.p99_us > self.thresholds.max_p99_us:
+                fired.append(
+                    Alert(
+                        t=sla.window_end,
+                        scope=sla.scope.value,
+                        key=sla.key,
+                        metric="p99_us",
+                        value=sla.p99_us,
+                        threshold=self.thresholds.max_p99_us,
+                    )
+                )
+        self.history.extend(fired)
+        return fired
+
+    def alerts_for(self, key: str) -> list[Alert]:
+        return [alert for alert in self.history if alert.key == key]
+
+    def is_network_issue(self, slas: list[NetworkSla]) -> bool:
+        """The §4.3 question: "Is it a network issue?"
+
+        "If Pingmesh data does not indicate a network problem, then the
+        live-site incident is not caused by the network."
+        """
+        return bool(self.evaluate(slas))

@@ -1,0 +1,136 @@
+"""Canned queries over the results database.
+
+Dashboards, the CLI and ad-hoc investigation all ask the same handful of
+questions; this module is their shared vocabulary, so every consumer
+interprets the DSA tables identically.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.dsa.database import ResultsDatabase
+
+__all__ = ["DsaQueries"]
+
+Row = dict[str, Any]
+
+
+class DsaQueries:
+    """Read-side helpers over the DSA result tables."""
+
+    def __init__(self, database: ResultsDatabase) -> None:
+        self.database = database
+
+    # -- SLA ---------------------------------------------------------------
+
+    def latest_sla(self, scope: str, key: str) -> Row | None:
+        """The newest hourly SLA of one scope key."""
+        rows = self.database.query(
+            "sla_hourly",
+            where=lambda r: r["scope"] == scope and r["key"] == key,
+            order_by="t",
+            desc=True,
+            limit=1,
+        )
+        return rows[0] if rows else None
+
+    def sla_series(
+        self, scope: str, key: str, metric: str, since_t: float = 0.0
+    ) -> list[tuple[float, float]]:
+        """(t, value) points of one SLA metric, oldest first."""
+        rows = self.database.query(
+            "sla_hourly",
+            where=lambda r: (
+                r["scope"] == scope and r["key"] == key and r["t"] >= since_t
+            ),
+            order_by="t",
+        )
+        return [
+            (row["t"], row[metric]) for row in rows if row.get(metric) is not None
+        ]
+
+    def worst_by(
+        self,
+        scope: str,
+        metric: str = "drop_rate",
+        k: int = 5,
+        min_probes: int = 100,
+    ) -> list[Row]:
+        """The k worst keys of a scope by a metric, newest window only."""
+        rows = self.database.query(
+            "sla_hourly", where=lambda r: r["scope"] == scope
+        )
+        if not rows:
+            return []
+        newest_t = max(row["t"] for row in rows)
+        candidates = [
+            row
+            for row in rows
+            if row["t"] == newest_t
+            and row["probe_count"] >= min_probes
+            and row.get(metric) is not None
+        ]
+        return sorted(candidates, key=lambda row: row[metric], reverse=True)[:k]
+
+    # -- trends --------------------------------------------------------------
+
+    def drop_rate_trend(
+        self, scope: str, key: str, windows: int = 24
+    ) -> dict[str, float] | None:
+        """Newest-vs-trailing comparison of a key's drop rate.
+
+        Returns ``{"current", "trailing_mean", "ratio"}`` or ``None`` when
+        there is not enough history.  A ratio ≫ 1 is Figure 7's jump.
+        """
+        series = self.sla_series(scope, key, "drop_rate")
+        if len(series) < 2:
+            return None
+        history = [value for _t, value in series[-(windows + 1) : -1]]
+        current = series[-1][1]
+        trailing = sum(history) / len(history)
+        return {
+            "current": current,
+            "trailing_mean": trailing,
+            "ratio": current / trailing if trailing > 0 else float("inf"),
+        }
+
+    # -- incidents --------------------------------------------------------------
+
+    def open_questions(self, t: float, lookback_s: float = 3600.0) -> list[str]:
+        """Human-readable list of what deserves attention right now."""
+        since = t - lookback_s
+        questions: list[str] = []
+        for row in self.database.query(
+            "patterns_10min",
+            where=lambda r: since <= r["t"] <= t and r["pattern"] != "normal",
+            order_by="t",
+        ):
+            questions.append(
+                f"dc{row['dc']} shows {row['pattern']}"
+                + (f" (podsets {row['affected_podsets']})" if row["affected_podsets"] else "")
+            )
+        for row in self.database.query(
+            "silentdrop_incidents", where=lambda r: since <= r["t"] <= t
+        ):
+            target = row["localized_switch"] or "UNLOCALIZED"
+            questions.append(
+                f"silent drops in dc{row['dc']} at {row['suspected_tier']} tier -> {target}"
+            )
+        for row in self.database.query(
+            "anomalies", where=lambda r: since <= r["t"] <= t
+        ):
+            questions.append(
+                f"anomaly: {row['scope']}:{row['key']} {row['metric']} "
+                f"z={row['z_score']:.1f}"
+            )
+        return questions
+
+    def pattern_history(self, dc: int, limit: int = 20) -> list[Row]:
+        return self.database.query(
+            "patterns_10min",
+            where=lambda r: r["dc"] == dc,
+            order_by="t",
+            desc=True,
+            limit=limit,
+        )

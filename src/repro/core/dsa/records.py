@@ -1,0 +1,75 @@
+"""The latency record schema: what every agent uploads, what every job reads.
+
+One row per probe.  The agent enriches each
+:class:`~repro.netsim.fabric.ProbeResult` with the topological coordinates
+of both endpoints so the DSA jobs can aggregate at server, pod, podset, DC
+and service scopes (§4.2: "we can calculate and track network SLAs at
+server, pod, podset, and data center levels") without re-joining against a
+topology snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.netsim.fabric import ProbeResult
+from repro.netsim.topology import MultiDCTopology
+
+__all__ = ["LATENCY_STREAM", "RECORD_COLUMNS", "make_record"]
+
+# The Cosmos stream agents upload to.
+LATENCY_STREAM = "pingmesh/latency"
+
+RECORD_COLUMNS = (
+    "t",
+    "src",
+    "dst",
+    "src_dc",
+    "dst_dc",
+    "src_podset",
+    "dst_podset",
+    "src_pod",
+    "dst_pod",
+    "purpose",
+    "qos",
+    "success",
+    "rtt_us",
+    "syn_drops",
+    "payload_rtt_us",
+    "error",
+)
+
+
+def make_record(
+    topology: MultiDCTopology,
+    result: ProbeResult,
+    purpose: str = "tor-level",
+    qos: str = "high",
+) -> dict[str, Any]:
+    """Build one upload row from a probe result.
+
+    RTTs are stored in microseconds (floats); a failed probe keeps its
+    cumulative wait in ``rtt_us`` but analysis must key on ``success``.
+    """
+    src = topology.server(result.src)
+    dst = topology.server(result.dst)
+    return {
+        "t": result.t,
+        "src": result.src,
+        "dst": result.dst,
+        "src_dc": src.dc_index,
+        "dst_dc": dst.dc_index,
+        "src_podset": src.podset_index,
+        "dst_podset": dst.podset_index,
+        "src_pod": src.pod_index,
+        "dst_pod": dst.pod_index,
+        "purpose": purpose,
+        "qos": qos,
+        "success": result.success,
+        "rtt_us": result.rtt_s * 1e6,
+        "syn_drops": result.syn_drops,
+        "payload_rtt_us": (
+            result.payload_rtt_s * 1e6 if result.payload_rtt_s is not None else None
+        ),
+        "error": result.error,
+    }

@@ -1,0 +1,219 @@
+"""Operator-facing reports (§3.2: "Visualization, reports and alerts are
+generated based on the data in this database").
+
+Two report shapes the network team reads:
+
+* the **daily network SLA report** — per-DC drop rates and latency, the
+  worst pods, recent alerts, detector activity;
+* the **incident digest** — everything Pingmesh knows about an ongoing
+  issue, the §4.3 on-call workflow in one page.
+
+Reports are plain text (returned as strings) so they can go to consoles,
+tickets or email unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dsa.database import ResultsDatabase
+
+__all__ = ["ReportBuilder", "DailyReport"]
+
+
+def _fmt_us(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value < 1000:
+        return f"{value:.0f}us"
+    if value < 1e6:
+        return f"{value / 1000:.2f}ms"
+    return f"{value / 1e6:.2f}s"
+
+
+def _fmt_rate(value: float) -> str:
+    return f"{value:.2e}"
+
+
+@dataclass
+class DailyReport:
+    """A rendered report plus the structured data behind it."""
+
+    t: float
+    text: str
+    dc_rows: list[dict]
+    worst_pods: list[dict]
+    alerts: list[dict]
+
+
+class ReportBuilder:
+    """Builds reports from the results database."""
+
+    def __init__(self, database: ResultsDatabase) -> None:
+        self.database = database
+
+    # -- daily SLA report ----------------------------------------------------
+
+    def daily_sla_report(self, t: float, worst_k: int = 5) -> DailyReport:
+        """The network team's morning read for the day ending at ``t``."""
+        day_start = t - 86_400.0
+        dc_rows = self.database.query(
+            "sla_hourly",
+            where=lambda r: r["scope"] == "datacenter" and day_start <= r["t"] <= t,
+        )
+        dc_summary = self._summarize_by_key(dc_rows)
+
+        pod_rows = self.database.query(
+            "sla_hourly",
+            where=lambda r: r["scope"] == "pod" and day_start <= r["t"] <= t,
+        )
+        pod_summary = self._summarize_by_key(pod_rows)
+        worst_pods = sorted(
+            pod_summary,
+            key=lambda row: (row["drop_rate"], row["p99_us"] or 0.0),
+            reverse=True,
+        )[:worst_k]
+
+        alerts = self.database.query(
+            "alerts", where=lambda r: day_start <= r["t"] <= t, order_by="t"
+        )
+        blackholes = self.database.query(
+            "blackhole_daily", where=lambda r: day_start <= r["t"] <= t
+        )
+        incidents = self.database.query(
+            "silentdrop_incidents", where=lambda r: day_start <= r["t"] <= t
+        )
+
+        lines = [
+            f"=== Pingmesh daily network SLA report (day ending t={t:.0f}s) ===",
+            "",
+            "-- data centers --",
+        ]
+        if dc_summary:
+            for row in dc_summary:
+                lines.append(
+                    f"  {row['key']:12s} windows={row['windows']:3d} "
+                    f"drop={_fmt_rate(row['drop_rate'])} "
+                    f"p50={_fmt_us(row['p50_us'])} p99={_fmt_us(row['p99_us'])}"
+                )
+        else:
+            lines.append("  (no hourly SLA data in window)")
+
+        lines += ["", f"-- worst pods (top {worst_k} by drop rate) --"]
+        if worst_pods:
+            for row in worst_pods:
+                lines.append(
+                    f"  {row['key']:16s} drop={_fmt_rate(row['drop_rate'])} "
+                    f"p99={_fmt_us(row['p99_us'])}"
+                )
+        else:
+            lines.append("  (no pod data)")
+
+        lines += ["", f"-- alerts: {len(alerts)} --"]
+        for alert in alerts[-10:]:
+            lines.append(
+                f"  t={alert['t']:8.0f} {alert['scope']}:{alert['key']} "
+                f"{alert['metric']}={alert['value']:.3g}"
+            )
+
+        detected = sum(row.get("detected", 0) for row in blackholes)
+        lines += [
+            "",
+            f"-- detectors: {detected} black-holed ToR(s), "
+            f"{len(incidents)} silent-drop incident(s) --",
+        ]
+        for incident in incidents:
+            lines.append(
+                f"  silent drops dc{incident['dc']} "
+                f"rate={_fmt_rate(incident['measured_drop_rate'])} "
+                f"tier={incident['suspected_tier']} "
+                f"culprit={incident['localized_switch'] or 'unlocalized'}"
+            )
+
+        return DailyReport(
+            t=t,
+            text="\n".join(lines),
+            dc_rows=dc_summary,
+            worst_pods=worst_pods,
+            alerts=alerts,
+        )
+
+    def _summarize_by_key(self, rows: list[dict]) -> list[dict]:
+        """Collapse hourly SLA rows to one summary row per key."""
+        grouped: dict[str, list[dict]] = {}
+        for row in rows:
+            grouped.setdefault(row["key"], []).append(row)
+        out = []
+        for key, group in sorted(grouped.items()):
+            p99s = [r["p99_us"] for r in group if r["p99_us"] is not None]
+            p50s = [r["p50_us"] for r in group if r["p50_us"] is not None]
+            total_probes = sum(r["probe_count"] for r in group)
+            # Probe-weighted drop rate over the day.
+            drop = (
+                sum(r["drop_rate"] * r["probe_count"] for r in group) / total_probes
+                if total_probes
+                else 0.0
+            )
+            out.append(
+                {
+                    "key": key,
+                    "windows": len(group),
+                    "probe_count": total_probes,
+                    "drop_rate": drop,
+                    "p50_us": max(p50s) if p50s else None,
+                    "p99_us": max(p99s) if p99s else None,
+                }
+            )
+        return out
+
+    # -- incident digest --------------------------------------------------------
+
+    def incident_digest(self, t: float, lookback_s: float = 3600.0) -> str:
+        """Everything Pingmesh currently knows, for the on-call engineer."""
+        since = t - lookback_s
+        lines = [f"=== Pingmesh incident digest (t={t:.0f}s, last {lookback_s:.0f}s) ==="]
+
+        patterns = self.database.query(
+            "patterns_10min",
+            where=lambda r: since <= r["t"] <= t,
+            order_by="t",
+        )
+        lines.append("")
+        lines.append("-- latency patterns --")
+        if patterns:
+            for row in patterns[-6:]:
+                suffix = (
+                    f" podsets={row['affected_podsets']}"
+                    if row["affected_podsets"]
+                    else ""
+                )
+                lines.append(f"  t={row['t']:8.0f} dc{row['dc']}: {row['pattern']}{suffix}")
+        else:
+            lines.append("  (no pattern data)")
+
+        alerts = self.database.query(
+            "alerts", where=lambda r: since <= r["t"] <= t, order_by="t"
+        )
+        lines.append("")
+        lines.append(f"-- alerts in window: {len(alerts)} --")
+        for alert in alerts[-10:]:
+            lines.append(
+                f"  t={alert['t']:8.0f} {alert['scope']}:{alert['key']} "
+                f"{alert['metric']}={alert['value']:.3g} (> {alert['threshold']:g})"
+            )
+
+        incidents = self.database.query(
+            "silentdrop_incidents", where=lambda r: since <= r["t"] <= t
+        )
+        lines.append("")
+        lines.append(f"-- silent-drop incidents: {len(incidents)} --")
+        for incident in incidents:
+            lines.append(
+                f"  dc{incident['dc']} rate={_fmt_rate(incident['measured_drop_rate'])} "
+                f"tier={incident['suspected_tier']} "
+                f"culprit={incident['localized_switch'] or 'unlocalized'}"
+            )
+
+        verdict = "NETWORK ISSUE LIKELY" if alerts or incidents else "network looks innocent"
+        lines += ["", f"verdict: {verdict}"]
+        return "\n".join(lines)

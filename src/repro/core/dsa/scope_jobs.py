@@ -1,0 +1,164 @@
+"""The SCOPE jobs of the DSA pipeline (§3.5), written against
+:mod:`repro.cosmos.scope` so they read like their SCOPE originals.
+
+Each job is a pure function of (store, window) returning result rows; the
+:class:`~repro.core.dsa.pipeline.DsaPipeline` schedules them at the paper's
+cadences (10 minutes, 1 hour, 1 day) and lands the rows in the results
+database.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.dsa.drop_inference import estimate_drop_rate
+from repro.core.dsa.records import LATENCY_STREAM
+from repro.cosmos.scope import RowSet, agg, extract
+
+__all__ = [
+    "window_rows",
+    "job_podpair_latency",
+    "job_scope_drop_rates",
+    "job_dc_drop_table",
+]
+
+Row = dict[str, Any]
+
+
+def window_rows(store, window_start: float, window_end: float) -> RowSet:
+    """EXTRACT the latency records of one time window."""
+    if window_end <= window_start:
+        raise ValueError(
+            f"bad window: [{window_start}, {window_end})"
+        )
+    if not store.has_stream(LATENCY_STREAM):
+        return RowSet([])
+    return extract(
+        store,
+        LATENCY_STREAM,
+        lambda row: window_start <= row["t"] < window_end,
+        appended_since=window_start,
+    )
+
+
+def job_podpair_latency(
+    store, window_start: float, window_end: float, dc: int | None = None
+) -> list[Row]:
+    """Per pod-pair: probe count, P50/P99 latency, inferred drop rate.
+
+    Feeds the visualization heatmap (§6.3) and the near-real-time
+    dashboard.  One row per (src_dc, src_pod, dst_pod).
+    """
+    rows = window_rows(store, window_start, window_end)
+    if dc is not None:
+        rows = rows.where(lambda r: r["src_dc"] == dc and r["dst_dc"] == dc)
+    else:
+        rows = rows.where(lambda r: r["src_dc"] == r["dst_dc"])
+    # VIP availability probes carry no destination pod coordinates.
+    rows = rows.where(lambda r: r["src_pod"] >= 0 and r["dst_pod"] >= 0)
+    if not rows:
+        return []
+    return (
+        rows.group_by("src_dc", "src_pod", "dst_pod")
+        .aggregate(
+            probe_count=agg.count(),
+            success_count=agg.count_if(lambda r: r["success"]),
+            p50_us=agg.percentile("rtt_us", 50),
+            p99_us=agg.percentile("rtt_us", 99),
+            drop_rate=agg.ratio(
+                numerator=lambda r: r["success"] and r["rtt_us"] >= 2.5e6,
+                denominator=lambda r: r["success"],
+            ),
+        )
+        .select(
+            "src_dc",
+            "src_pod",
+            "dst_pod",
+            "probe_count",
+            "success_count",
+            "p50_us",
+            "p99_us",
+            "drop_rate",
+            t=lambda r: window_end,
+        )
+        .order_by("src_pod")
+        .output()
+    )
+
+
+def job_interdc_latency(
+    store, window_start: float, window_end: float
+) -> list[Row]:
+    """Per DC-pair latency/drop aggregates — the inter-DC pipeline (§6.2).
+
+    "We did add a new inter-DC data processing pipeline" — one row per
+    ordered (src_dc, dst_dc) pair with cross-WAN traffic in the window.
+    """
+    rows = window_rows(store, window_start, window_end).where(
+        lambda r: r["src_dc"] != r["dst_dc"]
+    )
+    if not rows:
+        return []
+    return (
+        rows.group_by("src_dc", "dst_dc")
+        .aggregate(
+            probe_count=agg.count(),
+            success_count=agg.count_if(lambda r: r["success"]),
+            p50_us=agg.percentile("rtt_us", 50),
+            p99_us=agg.percentile("rtt_us", 99),
+            drop_rate=agg.ratio(
+                numerator=lambda r: r["success"] and r["rtt_us"] >= 2.5e6,
+                denominator=lambda r: r["success"],
+            ),
+        )
+        .select(
+            "src_dc",
+            "dst_dc",
+            "probe_count",
+            "success_count",
+            "p50_us",
+            "p99_us",
+            "drop_rate",
+            t=lambda r: window_end,
+        )
+        .order_by("src_dc")
+        .output()
+    )
+
+
+def job_scope_drop_rates(
+    store, window_start: float, window_end: float
+) -> list[Row]:
+    """Intra-pod vs inter-pod drop rate per data center — the Table 1 job."""
+    rows = window_rows(store, window_start, window_end).where(
+        lambda r: r["src_dc"] == r["dst_dc"]
+    )
+    if not rows:
+        return []
+    out: list[Row] = []
+    for dc in sorted({row["src_dc"] for row in rows}):
+        dc_rows = rows.where(lambda r, dc=dc: r["src_dc"] == dc)
+        intra = [row for row in dc_rows if row["src_pod"] == row["dst_pod"]]
+        inter = [row for row in dc_rows if row["src_pod"] != row["dst_pod"]]
+        out.append(
+            {
+                "t": window_end,
+                "dc": dc,
+                "intra_pod_drop_rate": estimate_drop_rate(intra).rate,
+                "inter_pod_drop_rate": estimate_drop_rate(inter).rate,
+                "intra_pod_probes": len(intra),
+                "inter_pod_probes": len(inter),
+            }
+        )
+    return out
+
+
+def job_dc_drop_table(
+    store, window_start: float, window_end: float, dc_names: list[str]
+) -> list[Row]:
+    """Human-readable Table 1: one row per named data center."""
+    rows = job_scope_drop_rates(store, window_start, window_end)
+    for row in rows:
+        dc = row["dc"]
+        row["dc_name"] = dc_names[dc] if dc < len(dc_names) else f"dc{dc}"
+    return rows

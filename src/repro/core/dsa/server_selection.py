@@ -1,0 +1,87 @@
+"""Network-aware server selection (§6.2).
+
+"Two Pingmesh metrics have been used by service developers to design and
+implement better services.  The Pingmesh Agent exposes two PA counters for
+every server: the 99th latency and the packet drop rate. ... The per-server
+packet drop rate has been used by several services as one of the metrics
+for server selection."
+
+:class:`ServerSelector` ranks candidate servers from their newest PA
+counters: primarily by drop rate, then by P99 latency, with hard
+disqualification thresholds.  Services call :meth:`pick` when placing work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.autopilot.perfcounter import PerfcounterAggregator
+
+__all__ = ["ServerScore", "ServerSelector"]
+
+
+@dataclass(frozen=True)
+class ServerScore:
+    """One candidate's network health, newest-counter view."""
+
+    server_id: str
+    drop_rate: float
+    p99_us: float
+    eligible: bool
+    reason: str = ""
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.drop_rate, self.p99_us)
+
+
+class ServerSelector:
+    """Ranks servers by their Pingmesh PA counters."""
+
+    def __init__(
+        self,
+        perfcounter: PerfcounterAggregator,
+        max_drop_rate: float = 1e-3,
+        max_p99_us: float = 5000.0,
+        require_counters: bool = True,
+    ) -> None:
+        if max_drop_rate <= 0 or max_p99_us <= 0:
+            raise ValueError("disqualification thresholds must be positive")
+        self.perfcounter = perfcounter
+        self.max_drop_rate = max_drop_rate
+        self.max_p99_us = max_p99_us
+        self.require_counters = require_counters
+
+    def score(self, server_id: str) -> ServerScore:
+        """Score one candidate from its newest counters."""
+        drop = self.perfcounter.latest(server_id, "packet_drop_rate")
+        p99 = self.perfcounter.latest(server_id, "latency_p99_us")
+        if drop is None or p99 is None:
+            return ServerScore(
+                server_id=server_id,
+                drop_rate=float("inf"),
+                p99_us=float("inf"),
+                eligible=not self.require_counters,
+                reason="no Pingmesh counters reported",
+            )
+        if drop.value > self.max_drop_rate:
+            return ServerScore(
+                server_id, drop.value, p99.value, False, "drop rate over threshold"
+            )
+        if p99.value > self.max_p99_us:
+            return ServerScore(
+                server_id, drop.value, p99.value, False, "P99 latency over threshold"
+            )
+        return ServerScore(server_id, drop.value, p99.value, True)
+
+    def rank(self, candidates: list[str]) -> list[ServerScore]:
+        """All candidates, best network health first; ineligible ones last."""
+        scores = [self.score(server_id) for server_id in candidates]
+        return sorted(scores, key=lambda s: (not s.eligible, s.sort_key))
+
+    def pick(self, candidates: list[str], n: int = 1) -> list[str]:
+        """The ``n`` best eligible candidates (may return fewer)."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1: {n}")
+        ranked = [score for score in self.rank(candidates) if score.eligible]
+        return [score.server_id for score in ranked[:n]]

@@ -1,0 +1,177 @@
+"""Silent random packet-drop detection and localization (§5.2).
+
+The paper's incident playbook, automated:
+
+1. The measured (inferred) drop rate of a data center jumps well above its
+   normal 1e-5…1e-4 floor — "it suddenly jumped up to around 2×10⁻³".
+2. Scope the blast radius: if cross-podset traffic is elevated while
+   intra-podset traffic is normal, the problem sits at the Spine layer
+   (Figure 8(d)'s pattern); if a single podset is affected, it is a
+   Leaf/ToR issue.
+3. "figure out several source and destination pairs that experienced around
+   1%-2% random packet drops.  We then launched TCP traceroute against those
+   pairs, and finally pinpointed one Spine switch."  Traceroute each
+   affected pair, vote on the first lossy hop.
+4. Silent drops are not reload-fixable — file an RMA (isolate) request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.dsa.drop_inference import estimate_drop_rate
+from repro.netsim.traceroute import localize_drop, tcp_traceroute
+
+__all__ = ["SilentDropIncident", "SilentDropDetector"]
+
+Row = dict[str, Any]
+
+
+@dataclass
+class SilentDropIncident:
+    """One detected incident, possibly localized to a switch."""
+
+    t: float
+    dc: int
+    measured_drop_rate: float
+    baseline_drop_rate: float
+    suspected_tier: str  # "spine" | "leaf-or-tor" | "unknown"
+    affected_pairs: list[tuple[str, str]] = field(default_factory=list)
+    localized_switch: str | None = None
+    traceroute_votes: dict[str, int] = field(default_factory=dict)
+
+
+class SilentDropDetector:
+    """Detects DC-level drop-rate excursions and localizes the dropper."""
+
+    def __init__(
+        self,
+        incident_drop_rate: float = 5e-4,
+        max_traceroute_pairs: int = 8,
+        traceroute_probes_per_hop: int = 200,
+        traceroute_ports_per_pair: int = 4,
+    ) -> None:
+        if incident_drop_rate <= 0:
+            raise ValueError(f"incident threshold must be positive: {incident_drop_rate}")
+        if max_traceroute_pairs < 1:
+            raise ValueError(f"need at least one pair: {max_traceroute_pairs}")
+        if traceroute_ports_per_pair < 1:
+            raise ValueError(
+                f"need at least one port per pair: {traceroute_ports_per_pair}"
+            )
+        self.incident_drop_rate = incident_drop_rate
+        self.max_traceroute_pairs = max_traceroute_pairs
+        self.traceroute_probes_per_hop = traceroute_probes_per_hop
+        self.traceroute_ports_per_pair = traceroute_ports_per_pair
+
+    # -- step 1+2: detect and scope -----------------------------------------------
+
+    def detect(
+        self, rows: list[Row], baseline_drop_rate: float = 1e-4, t: float = 0.0
+    ) -> list[SilentDropIncident]:
+        """One incident per data center whose drop rate is excessive."""
+        by_dc: dict[int, list[Row]] = {}
+        for row in rows:
+            if row["src_dc"] == row["dst_dc"]:  # intra-DC view per DC
+                by_dc.setdefault(row["src_dc"], []).append(row)
+        incidents = []
+        for dc, dc_rows in sorted(by_dc.items()):
+            estimate = estimate_drop_rate(dc_rows)
+            if estimate.successful == 0 or estimate.rate < self.incident_drop_rate:
+                continue
+            incidents.append(
+                SilentDropIncident(
+                    t=t,
+                    dc=dc,
+                    measured_drop_rate=estimate.rate,
+                    baseline_drop_rate=baseline_drop_rate,
+                    suspected_tier=self._suspect_tier(dc_rows),
+                    affected_pairs=self._affected_pairs(dc_rows),
+                )
+            )
+        return incidents
+
+    def _suspect_tier(self, rows: list[Row]) -> str:
+        """Compare intra-podset vs cross-podset drop rates.
+
+        "Packet drops at ToR and Leaf layers cannot cause the latency
+        increase for all our customers ... the latency increase pattern
+        pointed the problem to the Spine switch layer."
+        """
+        intra = [row for row in rows if row["src_podset"] == row["dst_podset"]]
+        cross = [row for row in rows if row["src_podset"] != row["dst_podset"]]
+        intra_rate = estimate_drop_rate(intra).rate
+        cross_rate = estimate_drop_rate(cross).rate
+        if cross_rate >= self.incident_drop_rate and intra_rate < cross_rate / 3:
+            return "spine"
+        if intra_rate >= self.incident_drop_rate:
+            return "leaf-or-tor"
+        return "unknown"
+
+    def _affected_pairs(self, rows: list[Row]) -> list[tuple[str, str]]:
+        """Pairs with the most retransmission/drop evidence, worst first."""
+        evidence: dict[tuple[str, str], int] = {}
+        for row in rows:
+            if row.get("purpose") == "vip":
+                continue  # VIP targets are logical; traceroute needs hosts
+            weight = 0
+            if not row["success"]:
+                weight = 1
+            elif row["syn_drops"] > 0 or row["rtt_us"] >= 2.5e6:
+                weight = 2  # a measured retransmit signature is strong signal
+            if weight:
+                pair = (row["src"], row["dst"])
+                evidence[pair] = evidence.get(pair, 0) + weight
+        ranked = sorted(evidence.items(), key=lambda item: (-item[1], item[0]))
+        return [pair for pair, _count in ranked[: self.max_traceroute_pairs]]
+
+    # -- step 3: localize via traceroute ----------------------------------------------
+
+    def localize(self, incident: SilentDropIncident, fabric) -> str | None:
+        """TCP-traceroute the affected pairs; majority vote on the culprit.
+
+        Each pair is traced with several pinned source ports: ECMP spreads
+        ports over different spines, so only the ports whose path crosses
+        the faulty switch show loss — sweeping ports is what turns "this
+        pair drops packets" into "this *switch* drops packets".
+        """
+        votes: dict[str, int] = {}
+        for src, dst in incident.affected_pairs:
+            for port_offset in range(self.traceroute_ports_per_pair):
+                try:
+                    result = tcp_traceroute(
+                        fabric,
+                        src,
+                        dst,
+                        probes_per_hop=self.traceroute_probes_per_hop,
+                        src_port=55_555 + port_offset,
+                    )
+                except (KeyError, TypeError):
+                    break  # endpoint no longer resolvable (decommissioned?)
+                suspect = localize_drop(result)
+                if suspect is not None:
+                    votes[suspect] = votes.get(suspect, 0) + 1
+        incident.traceroute_votes = votes
+        if not votes:
+            return None
+        incident.localized_switch = max(votes.items(), key=lambda item: item[1])[0]
+        return incident.localized_switch
+
+    # -- step 4: mitigation ----------------------------------------------------------
+
+    def file_rma(self, incident: SilentDropIncident, device_manager) -> bool:
+        """Queue isolation+RMA for the localized switch.  True if filed."""
+        if incident.localized_switch is None:
+            return False
+        device_manager.request_repair(
+            incident.localized_switch,
+            "rma_switch",
+            reason=(
+                f"silent random drops: measured {incident.measured_drop_rate:.2e} "
+                f"vs baseline {incident.baseline_drop_rate:.2e}, "
+                f"{sum(incident.traceroute_votes.values())} traceroute votes"
+            ),
+            t=incident.t,
+        )
+        return True

@@ -1,0 +1,185 @@
+"""Network SLA definition and tracking (§4.3).
+
+"We define network SLA as a set of metrics including packet drop rate,
+network latency at the 50th percentile and the 99th percentile.  Network SLA
+can then be tracked at different scopes including per server, per
+pod/podset, per service, per data center."
+
+An SLA is computed from a window of latency records.  Services are mapped to
+the servers they run on (§1: "The network SLAs for all the services and
+applications are calculated by mapping the services and applications to the
+servers they use").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.core.dsa.drop_inference import estimate_drop_rate
+
+__all__ = ["SlaScope", "NetworkSla", "ServiceDefinition", "SlaTracker"]
+
+Row = dict[str, Any]
+
+
+class SlaScope(enum.Enum):
+    SERVER = "server"
+    POD = "pod"
+    PODSET = "podset"
+    DATACENTER = "datacenter"
+    SERVICE = "service"
+
+
+@dataclass(frozen=True)
+class NetworkSla:
+    """One scope's SLA over one window."""
+
+    scope: SlaScope
+    key: str
+    window_start: float
+    window_end: float
+    probe_count: int
+    drop_rate: float
+    p50_us: float | None
+    p99_us: float | None
+
+    def as_row(self) -> Row:
+        return {
+            "scope": self.scope.value,
+            "key": self.key,
+            "window_start": self.window_start,
+            "window_end": self.window_end,
+            "t": self.window_end,
+            "probe_count": self.probe_count,
+            "drop_rate": self.drop_rate,
+            "p50_us": self.p50_us,
+            "p99_us": self.p99_us,
+        }
+
+
+@dataclass(frozen=True)
+class ServiceDefinition:
+    """A service is the set of servers it runs on."""
+
+    name: str
+    server_ids: frozenset[str]
+
+    def __post_init__(self) -> None:
+        if not self.server_ids:
+            raise ValueError(f"service {self.name!r} has no servers")
+
+    @classmethod
+    def of(cls, name: str, server_ids: Iterable[str]) -> "ServiceDefinition":
+        return cls(name=name, server_ids=frozenset(server_ids))
+
+
+def _scope_key(row: Row, scope: SlaScope) -> str:
+    """The aggregation key of a record at a scope (source-side attribution:
+    each server measures its own view of the network, §3.3.1)."""
+    if scope == SlaScope.SERVER:
+        return row["src"]
+    if scope == SlaScope.POD:
+        return f"dc{row['src_dc']}/pod{row['src_pod']}"
+    if scope == SlaScope.PODSET:
+        return f"dc{row['src_dc']}/ps{row['src_podset']}"
+    if scope == SlaScope.DATACENTER:
+        return f"dc{row['src_dc']}"
+    raise ValueError(f"scope {scope} needs explicit service mapping")
+
+
+def compute_sla(
+    rows: list[Row],
+    scope: SlaScope,
+    key: str,
+    window_start: float,
+    window_end: float,
+) -> NetworkSla:
+    """Aggregate one group of records into an SLA."""
+    estimate = estimate_drop_rate(rows)
+    ok_rtts = [row["rtt_us"] for row in rows if row["success"]]
+    return NetworkSla(
+        scope=scope,
+        key=key,
+        window_start=window_start,
+        window_end=window_end,
+        probe_count=len(rows),
+        drop_rate=estimate.rate,
+        p50_us=float(np.percentile(ok_rtts, 50)) if ok_rtts else None,
+        p99_us=float(np.percentile(ok_rtts, 99)) if ok_rtts else None,
+    )
+
+
+class SlaTracker:
+    """Computes SLAs over latency-record windows at every scope."""
+
+    def __init__(self, services: Iterable[ServiceDefinition] = ()) -> None:
+        self._services: dict[str, ServiceDefinition] = {}
+        for service in services:
+            self.register_service(service)
+
+    def register_service(self, service: ServiceDefinition) -> None:
+        if service.name in self._services:
+            raise ValueError(f"service already registered: {service.name}")
+        self._services[service.name] = service
+
+    def services(self) -> list[str]:
+        return sorted(self._services)
+
+    # -- computation --------------------------------------------------------
+
+    def track_scope(
+        self,
+        rows: list[Row],
+        scope: SlaScope,
+        window_start: float,
+        window_end: float,
+    ) -> list[NetworkSla]:
+        """One SLA per distinct key at ``scope`` (not SERVICE)."""
+        if scope == SlaScope.SERVICE:
+            return self.track_services(rows, window_start, window_end)
+        groups: dict[str, list[Row]] = {}
+        for row in rows:
+            groups.setdefault(_scope_key(row, scope), []).append(row)
+        return [
+            compute_sla(group, scope, key, window_start, window_end)
+            for key, group in sorted(groups.items())
+        ]
+
+    def track_services(
+        self, rows: list[Row], window_start: float, window_end: float
+    ) -> list[NetworkSla]:
+        """Per-service SLAs: a record belongs to a service when its *source*
+        server runs that service."""
+        slas = []
+        for name, service in sorted(self._services.items()):
+            service_rows = [row for row in rows if row["src"] in service.server_ids]
+            if service_rows:
+                slas.append(
+                    compute_sla(
+                        service_rows,
+                        SlaScope.SERVICE,
+                        name,
+                        window_start,
+                        window_end,
+                    )
+                )
+        return slas
+
+    def track_all(
+        self, rows: list[Row], window_start: float, window_end: float
+    ) -> list[NetworkSla]:
+        """Every scope, one pass — the macro and micro levels of §1."""
+        slas: list[NetworkSla] = []
+        for scope in (
+            SlaScope.DATACENTER,
+            SlaScope.PODSET,
+            SlaScope.POD,
+            SlaScope.SERVER,
+        ):
+            slas.extend(self.track_scope(rows, scope, window_start, window_end))
+        slas.extend(self.track_services(rows, window_start, window_end))
+        return slas

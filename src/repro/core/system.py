@@ -1,0 +1,390 @@
+"""PingmeshSystem: the whole paper, wired together.
+
+Controller + agents on every server + Cosmos/SCOPE DSA + Autopilot
+(PA counters, watchdogs, device manager, repair service) over the simulated
+fabric, all driven by one event queue.  This is the main entry point of the
+library:
+
+    from repro import PingmeshSystem
+    system = PingmeshSystem.build()
+    system.run_for(3600.0)
+    print(system.dsa.database.query("sla_hourly"))
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.autopilot.environment import AutopilotEnvironment
+from repro.autopilot.service_manager import ServiceManager
+from repro.autopilot.shared_service import ResourceBudgetExceeded
+from repro.autopilot.watchdog import HealthStatus
+from repro.core.agent.agent import AgentConfig, PingmeshAgent
+from repro.core.agent.uploader import ResultUploader
+from repro.core.controller.generator import GeneratorConfig
+from repro.core.controller.service import PingmeshControllerService
+from repro.core.controller.slb import NoHealthyBackendError, SoftwareLoadBalancer
+from repro.core.dsa.alerts import AlertEngine, SlaThresholds
+from repro.core.dsa.database import ResultsDatabase
+from repro.core.dsa.pipeline import DsaConfig, DsaPipeline
+from repro.core.dsa.records import LATENCY_STREAM
+from repro.core.dsa.sla import ServiceDefinition, SlaTracker
+from repro.cosmos.jobs import JobManager
+from repro.cosmos.store import CosmosStore
+from repro.netsim.fabric import Fabric
+from repro.netsim.topology import MultiDCTopology, TopologySpec
+
+__all__ = ["PingmeshSystemConfig", "PingmeshSystem"]
+
+
+@dataclass(frozen=True)
+class PingmeshSystemConfig:
+    """Everything configurable about a full deployment."""
+
+    specs: tuple[TopologySpec, ...] = (TopologySpec(),)
+    seed: int = 0
+    generator: GeneratorConfig = field(default_factory=GeneratorConfig)
+    agent: AgentConfig = field(default_factory=AgentConfig)
+    dsa: DsaConfig = field(default_factory=DsaConfig)
+    thresholds: SlaThresholds = field(default_factory=SlaThresholds)
+    n_controller_replicas: int = 2
+    services: tuple[ServiceDefinition, ...] = ()
+    stagger_rounds: bool = True  # spread agent rounds over the interval
+    repair_poll_period_s: float = 300.0  # RS drains the DM queue this often
+    # §6.2 VIP monitoring: logical VIP name -> the DIP server ids behind it.
+    # Each VIP becomes a pinglist target; the agents' probes are load-
+    # balanced over its live DIPs, and an all-DIPs-down VIP shows up as
+    # failed vip-purpose probes.
+    vips: dict = field(default_factory=dict)
+
+
+class PingmeshSystem:
+    """A running Pingmesh deployment over the simulator."""
+
+    def __init__(self, config: PingmeshSystemConfig | None = None) -> None:
+        self.config = config or PingmeshSystemConfig()
+        self.topology = MultiDCTopology(list(self.config.specs))
+        self.fabric = Fabric(self.topology, seed=self.config.seed)
+        self.env = AutopilotEnvironment("pingmesh-env", self.fabric)
+        self.clock = self.env.clock
+        self.queue = self.env.queue
+        self.store = CosmosStore()
+        self.database = ResultsDatabase()
+        generator_config = self.config.generator
+        if self.config.vips:
+            generator_config = dataclasses.replace(
+                generator_config,
+                vip_targets=tuple(sorted(self.config.vips)),
+            )
+        self.controller = PingmeshControllerService(
+            self.topology,
+            generator_config,
+            n_replicas=self.config.n_controller_replicas,
+        )
+        self.controller.regenerate(t=self.clock.now)
+        self.vip_slbs = {
+            vip: SoftwareLoadBalancer(
+                vip,
+                list(dips),
+                health_check=lambda dip: self.topology.server(dip).is_up,
+            )
+            for vip, dips in self.config.vips.items()
+        }
+
+        self.sla_tracker = SlaTracker(self.config.services)
+        self.alert_engine = AlertEngine(self.config.thresholds)
+        self.job_manager = JobManager(self.queue)
+        self.dsa = DsaPipeline(
+            store=self.store,
+            database=self.database,
+            job_manager=self.job_manager,
+            topology=self.topology,
+            fabric=self.fabric,
+            device_manager=self.env.device_manager,
+            sla_tracker=self.sla_tracker,
+            alert_engine=self.alert_engine,
+            config=self.config.dsa,
+        )
+        self.agents: dict[str, PingmeshAgent] = {}
+        self._started = False
+
+    @classmethod
+    def build(
+        cls,
+        spec: TopologySpec | None = None,
+        seed: int = 0,
+        **config_kwargs,
+    ) -> "PingmeshSystem":
+        """Convenience constructor for a single-DC deployment."""
+        config = PingmeshSystemConfig(
+            specs=(spec or TopologySpec(),), seed=seed, **config_kwargs
+        )
+        return cls(config)
+
+    # -- startup -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Deploy agents fleet-wide, start DSA jobs, PA and watchdogs."""
+        if self._started:
+            raise RuntimeError("system already started")
+        self._started = True
+
+        def resolve_vip(vip: str) -> str | None:
+            """VIP -> a live DIP server id, or None when the VIP is dark."""
+            slb = self.vip_slbs.get(vip)
+            if slb is None:
+                return None
+            slb.run_health_checks()
+            try:
+                return slb.pick()
+            except NoHealthyBackendError:
+                return None
+
+        vip_resolver = resolve_vip if self.vip_slbs else None
+
+        def factory(server_id: str) -> PingmeshAgent:
+            uploader = ResultUploader(
+                self.store,
+                server_id,
+                flush_threshold_records=self.config.agent.upload_threshold_records,
+            )
+            return PingmeshAgent(
+                server_id,
+                self.fabric,
+                self.controller,
+                uploader,
+                config=self.config.agent,
+                vip_resolver=vip_resolver,
+            )
+
+        for agent in self.env.deploy_shared_service(factory):
+            self.agents[agent.server_id] = agent
+
+        # The Service Manager supervises the fleet: a memory-cap kill is
+        # fail-closed, the restart (within budget) is what makes Pingmesh
+        # "always-on" in practice.
+        self.service_manager = ServiceManager(self.queue)
+        self.service_manager.supervise_all(list(self.agents.values()))
+        self.service_manager.start()
+
+        self.dsa.register_jobs()
+        self._register_watchdogs()
+        self.env.start_services()
+        self.queue.schedule_after(
+            self.config.repair_poll_period_s, self._repair_tick, name="repair-tick"
+        )
+
+        # Initial pinglist fetch + per-agent schedules.
+        interval = self._round_interval()
+        n = max(1, len(self.agents))
+        for index, agent in enumerate(self.agents.values()):
+            agent.refresh_pinglist(self.clock.now)
+            offset = (index / n) * interval if self.config.stagger_rounds else 0.0
+            self.queue.schedule_after(
+                offset, lambda a=agent: self._agent_round(a), name="agent-round"
+            )
+            self.queue.schedule_after(
+                self.config.agent.pinglist_refresh_s,
+                lambda a=agent: self._agent_refresh(a),
+                name="agent-refresh",
+            )
+
+    def _round_interval(self) -> float:
+        from repro.core.agent.safety import SafetyGuard
+
+        return SafetyGuard.clamp_probe_interval(
+            self.config.generator.probe_interval_s
+        )
+
+    def _agent_round(self, agent: PingmeshAgent) -> None:
+        t = self.clock.now
+        if agent.running:
+            try:
+                agent.run_probe_round(t)
+                agent.maybe_upload(t)
+            except ResourceBudgetExceeded:
+                # The OS killed the agent (fail-closed, §3.4.2).  The rest
+                # of the system keeps running; the Service Manager will
+                # restart the agent within its budget.
+                pass
+        # Fail-closed agents keep their schedule: they resume probing when
+        # the controller serves a pinglist again.
+        self.queue.schedule_after(
+            agent.probe_interval_s,
+            lambda: self._agent_round(agent),
+            name="agent-round",
+        )
+
+    def _agent_refresh(self, agent: PingmeshAgent) -> None:
+        if agent.running:
+            agent.refresh_pinglist(self.clock.now)
+        self.queue.schedule_after(
+            self.config.agent.pinglist_refresh_s,
+            lambda: self._agent_refresh(agent),
+            name="agent-refresh",
+        )
+
+    def _repair_tick(self) -> None:
+        """The Repair Service polls the DM queue periodically (§2.3)."""
+        self.env.repair_service.process_queue(self.clock.now)
+        self.queue.schedule_after(
+            self.config.repair_poll_period_s, self._repair_tick, name="repair-tick"
+        )
+
+    def _register_watchdogs(self) -> None:
+        """The §3.5 watchdogs: pinglists, budgets, data flow, SLA freshness."""
+
+        def pinglists_generated():
+            healthy = self.controller.healthy_replica_count()
+            if healthy == 0:
+                return HealthStatus.ERROR, "no healthy controller replica"
+            if self.controller.generation == 0:
+                return HealthStatus.ERROR, "pinglists never generated"
+            return HealthStatus.OK, f"generation {self.controller.generation}"
+
+        def agents_within_budget():
+            terminated = [
+                agent.server_id
+                for agent in self.agents.values()
+                if agent.terminated_reason is not None
+            ]
+            if terminated:
+                return (
+                    HealthStatus.ERROR,
+                    f"{len(terminated)} agent(s) killed: {terminated[:3]}",
+                )
+            return HealthStatus.OK, ""
+
+        def data_reported():
+            if not self.store.has_stream(LATENCY_STREAM):
+                return HealthStatus.WARNING, "no latency data yet"
+            return (
+                HealthStatus.OK,
+                f"{self.store.stream(LATENCY_STREAM).record_count} records",
+            )
+
+        def sla_timely():
+            latest = self.database.latest("sla_hourly")
+            if latest is None:
+                return HealthStatus.WARNING, "no hourly SLA yet"
+            age = self.clock.now - latest["t"]
+            if age > 2 * self.config.dsa.hourly_period_s:
+                return HealthStatus.ERROR, f"hourly SLA stale by {age:.0f}s"
+            return HealthStatus.OK, ""
+
+        watchdogs = self.env.watchdogs
+        watchdogs.register("pinglists-generated", pinglists_generated)
+        watchdogs.register("agents-within-budget", agents_within_budget)
+        watchdogs.register("data-reported", data_reported)
+        watchdogs.register("sla-timely", sla_timely)
+
+    # -- operation -------------------------------------------------------------
+
+    def run_for(self, duration_s: float, max_events: int | None = None) -> int:
+        """Advance the deployment; also drains the repair queue as it goes."""
+        if not self._started:
+            self.start()
+        executed = self.env.run_for(duration_s, max_events=max_events)
+        self.env.repair_service.process_queue(self.clock.now)
+        return executed
+
+    def process_repairs(self) -> list:
+        """Drain pending DM repair requests through the Repair Service now."""
+        return self.env.repair_service.process_queue(self.clock.now)
+
+    # -- topology growth ----------------------------------------------------------
+
+    def add_podset(self, dc: int | str = 0) -> list[str]:
+        """Land a new podset: grow the fabric, regenerate pinglists, deploy
+        agents on the new servers and fold them into every schedule.
+
+        Existing agents pick the new peers up at their next pinglist
+        refresh — no restart, the §6.2 loose-coupling story.  Returns the
+        new server ids.
+        """
+        if not self._started:
+            raise RuntimeError("start the system before growing it")
+        new_servers = self.topology.dc(dc).add_podset()
+        self.controller.regenerate(t=self.clock.now)
+
+        def factory(server_id: str) -> PingmeshAgent:
+            uploader = ResultUploader(
+                self.store,
+                server_id,
+                flush_threshold_records=self.config.agent.upload_threshold_records,
+            )
+            return PingmeshAgent(
+                server_id,
+                self.fabric,
+                self.controller,
+                uploader,
+                config=self.config.agent,
+            )
+
+        new_ids = [server.device_id for server in new_servers]
+        agents = self.env.deploy_shared_service(factory, servers=new_ids)
+        self.service_manager.supervise_all(agents)
+        interval = self._round_interval()
+        for index, agent in enumerate(agents):
+            self.agents[agent.server_id] = agent
+            agent.refresh_pinglist(self.clock.now)
+            offset = (index / max(1, len(agents))) * interval
+            self.queue.schedule_after(
+                offset, lambda a=agent: self._agent_round(a), name="agent-round"
+            )
+            self.queue.schedule_after(
+                self.config.agent.pinglist_refresh_s,
+                lambda a=agent: self._agent_refresh(a),
+                name="agent-refresh",
+            )
+        return new_ids
+
+    # -- convenience accessors ----------------------------------------------------
+
+    def agent_on(self, server_id: str) -> PingmeshAgent:
+        try:
+            return self.agents[server_id]
+        except KeyError:
+            raise KeyError(f"no agent on {server_id}") from None
+
+    def total_probes_sent(self) -> int:
+        return sum(agent.probes_sent for agent in self.agents.values())
+
+    def alerts(self) -> list:
+        return list(self.alert_engine.history)
+
+    def is_network_issue(self, service: str | None = None) -> bool:
+        """§4.3: answer "is it a network issue?" from the latest hourly SLAs.
+
+        With a service name, only that service's SLA rows are consulted —
+        per-service SLA is the whole point of the server mapping.
+        """
+        rows = self.database.query("sla_hourly")
+        if not rows:
+            return False
+        newest_t = max(row["t"] for row in rows)
+        rows = [row for row in rows if row["t"] == newest_t]
+        if service is not None:
+            rows = [
+                row
+                for row in rows
+                if row["scope"] == "service" and row["key"] == service
+            ]
+        else:
+            # Macro scopes only: per-server windows are too small-sample for
+            # the 5 ms P99 threshold (see DsaPipeline.run_hourly_job).
+            rows = [
+                row
+                for row in rows
+                if row["scope"] in ("datacenter", "podset", "service")
+            ]
+        thresholds = self.alert_engine.thresholds
+        for row in rows:
+            if row["probe_count"] < thresholds.min_probe_count:
+                continue
+            if row["drop_rate"] > thresholds.max_drop_rate:
+                return True
+            if row["p99_us"] is not None and row["p99_us"] > thresholds.max_p99_us:
+                return True
+        return False

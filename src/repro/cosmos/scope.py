@@ -1,0 +1,277 @@
+"""A SCOPE-flavoured rowset query engine (§2.3).
+
+SCOPE "is a declarative and extensible scripting language ... similar to SQL"
+whose users "focus on their data instead of the underlying storage".  The DSA
+jobs in :mod:`repro.core.dsa.scope_jobs` are written against this engine and
+read like their SCOPE originals:
+
+    rows = (
+        extract(store, "pingmesh/latency")
+        .where(lambda r: r["success"])
+        .group_by("src_pod", "dst_pod")
+        .aggregate(
+            count=agg.count(),
+            p50_us=agg.percentile("rtt_us", 50),
+            p99_us=agg.percentile("rtt_us", 99),
+        )
+        .order_by("p99_us", desc=True)
+        .output()
+    )
+
+Rowsets are immutable: every verb returns a new :class:`RowSet`.
+Aggregators are small factory functions under :class:`agg`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+__all__ = ["RowSet", "GroupedRowSet", "agg", "extract"]
+
+Row = dict[str, Any]
+
+
+class agg:
+    """Aggregate factories for :meth:`GroupedRowSet.aggregate`.
+
+    Each factory returns a callable ``rows -> value``.
+    """
+
+    @staticmethod
+    def count() -> Callable[[list[Row]], int]:
+        return len
+
+    @staticmethod
+    def count_if(predicate: Callable[[Row], bool]) -> Callable[[list[Row]], int]:
+        def _count(rows: list[Row]) -> int:
+            return sum(1 for row in rows if predicate(row))
+
+        return _count
+
+    @staticmethod
+    def sum(column: str) -> Callable[[list[Row]], float]:
+        def _sum(rows: list[Row]) -> float:
+            return sum(row[column] for row in rows)
+
+        return _sum
+
+    @staticmethod
+    def avg(column: str) -> Callable[[list[Row]], float]:
+        def _avg(rows: list[Row]) -> float:
+            if not rows:
+                raise ValueError("avg over empty group")
+            return sum(row[column] for row in rows) / len(rows)
+
+        return _avg
+
+    @staticmethod
+    def min(column: str) -> Callable[[list[Row]], Any]:
+        def _min(rows: list[Row]) -> Any:
+            return min(row[column] for row in rows)
+
+        return _min
+
+    @staticmethod
+    def max(column: str) -> Callable[[list[Row]], Any]:
+        def _max(rows: list[Row]) -> Any:
+            return max(row[column] for row in rows)
+
+        return _max
+
+    @staticmethod
+    def percentile(column: str, q: float) -> Callable[[list[Row]], float]:
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile out of range: {q}")
+
+        def _pct(rows: list[Row]) -> float:
+            if not rows:
+                raise ValueError("percentile over empty group")
+            return float(np.percentile([row[column] for row in rows], q))
+
+        return _pct
+
+    @staticmethod
+    def ratio(
+        numerator: Callable[[Row], bool], denominator: Callable[[Row], bool]
+    ) -> Callable[[list[Row]], float]:
+        """count(numerator) / count(denominator); 0.0 for an empty bottom.
+
+        The §4.2 drop-rate heuristic is exactly this shape:
+        (3 s probes + 9 s probes) / successful probes.
+        """
+
+        def _ratio(rows: list[Row]) -> float:
+            bottom = sum(1 for row in rows if denominator(row))
+            if bottom == 0:
+                return 0.0
+            top = sum(1 for row in rows if numerator(row))
+            return top / bottom
+
+        return _ratio
+
+
+class RowSet:
+    """An immutable sequence of rows with SCOPE-style verbs."""
+
+    def __init__(self, rows: Iterable[Row]) -> None:
+        self._rows: tuple[Row, ...] = tuple(rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self):
+        return iter(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    # -- verbs -------------------------------------------------------------
+
+    def where(self, predicate: Callable[[Row], bool]) -> "RowSet":
+        return RowSet(row for row in self._rows if predicate(row))
+
+    def select(self, *columns: str, **computed: Callable[[Row], Any]) -> "RowSet":
+        """Project columns and/or compute new ones.
+
+        ``select("a", "b", c=lambda r: r["a"] + 1)`` keeps a and b and adds c.
+        With no arguments, it is the identity projection.
+        """
+        if not columns and not computed:
+            return RowSet(self._rows)
+
+        def project(row: Row) -> Row:
+            out = {name: row[name] for name in columns}
+            for name, fn in computed.items():
+                out[name] = fn(row)
+            return out
+
+        return RowSet(project(row) for row in self._rows)
+
+    def group_by(self, *keys: str) -> "GroupedRowSet":
+        if not keys:
+            raise ValueError("group_by needs at least one key column")
+        groups: dict[tuple, list[Row]] = {}
+        for row in self._rows:
+            groups.setdefault(tuple(row[key] for key in keys), []).append(row)
+        return GroupedRowSet(keys, groups)
+
+    def order_by(self, key: str, desc: bool = False) -> "RowSet":
+        return RowSet(sorted(self._rows, key=lambda row: row[key], reverse=desc))
+
+    def take(self, n: int) -> "RowSet":
+        if n < 0:
+            raise ValueError(f"take needs n >= 0: {n}")
+        return RowSet(self._rows[:n])
+
+    def union(self, other: "RowSet") -> "RowSet":
+        return RowSet(list(self._rows) + list(other._rows))
+
+    def distinct(self, *columns: str) -> "RowSet":
+        """Rows with unique values of ``columns`` (first occurrence wins)."""
+        if not columns:
+            raise ValueError("distinct needs at least one column")
+        seen: set[tuple] = set()
+        rows = []
+        for row in self._rows:
+            key = tuple(row[column] for column in columns)
+            if key not in seen:
+                seen.add(key)
+                rows.append(row)
+        return RowSet(rows)
+
+    def join(
+        self,
+        other: "RowSet",
+        on: tuple[str, ...] | list[str],
+        how: str = "inner",
+        suffix: str = "_right",
+    ) -> "RowSet":
+        """Hash join on equal values of the ``on`` columns.
+
+        ``how`` is ``inner`` or ``left`` (left rows with no match keep their
+        columns, missing right columns become ``None``).  Right-side columns
+        that collide with left-side names get ``suffix`` appended, SCOPE's
+        duplicate-column behaviour.
+        """
+        if not on:
+            raise ValueError("join needs at least one key column")
+        if how not in ("inner", "left"):
+            raise ValueError(f"unsupported join type: {how!r}")
+        keys = tuple(on)
+        index: dict[tuple, list[Row]] = {}
+        for row in other._rows:
+            index.setdefault(tuple(row[key] for key in keys), []).append(row)
+        right_columns: set[str] = set()
+        for row in other._rows:
+            right_columns.update(row)
+        right_extra = sorted(right_columns - set(keys))
+
+        joined: list[Row] = []
+        for left in self._rows:
+            matches = index.get(tuple(left[key] for key in keys), [])
+            if not matches:
+                if how == "left":
+                    out = dict(left)
+                    for name in right_extra:
+                        out[name if name not in left else name + suffix] = None
+                    joined.append(out)
+                continue
+            for right in matches:
+                out = dict(left)
+                for name in right_extra:
+                    target = name if name not in left else name + suffix
+                    out[target] = right.get(name)
+                joined.append(out)
+        return RowSet(joined)
+
+    def column(self, name: str) -> list[Any]:
+        return [row[name] for row in self._rows]
+
+    def output(self) -> list[Row]:
+        """Materialize as plain dicts (SCOPE's OUTPUT statement)."""
+        return [dict(row) for row in self._rows]
+
+
+class GroupedRowSet:
+    """The result of :meth:`RowSet.group_by`, awaiting aggregation."""
+
+    def __init__(self, keys: tuple[str, ...], groups: dict[tuple, list[Row]]) -> None:
+        self._keys = keys
+        self._groups = groups
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def aggregate(self, **aggregates: Callable[[list[Row]], Any]) -> RowSet:
+        """Compute one row per group: key columns plus each aggregate."""
+        if not aggregates:
+            raise ValueError("aggregate needs at least one aggregate column")
+        rows = []
+        for key_values, group_rows in self._groups.items():
+            row: Row = dict(zip(self._keys, key_values))
+            for name, fn in aggregates.items():
+                row[name] = fn(group_rows)
+            rows.append(row)
+        return RowSet(rows)
+
+
+def extract(
+    store,
+    stream: str,
+    predicate: Callable[[Row], bool] | None = None,
+    appended_since: float | None = None,
+) -> RowSet:
+    """SCOPE's EXTRACT: read a Cosmos stream into a rowset.
+
+    ``predicate`` is pushed down to the store read when given;
+    ``appended_since`` additionally prunes extents older than a time window
+    (see :meth:`repro.cosmos.store.CosmosStore.read_where`).
+    """
+    if predicate is None and appended_since is None:
+        return RowSet(store.read(stream))
+    return RowSet(
+        store.read_where(stream, predicate or (lambda row: True), appended_since)
+    )

@@ -1,0 +1,44 @@
+"""Real-socket latency measurement (asyncio).
+
+The production Pingmesh Agent measures with *real* TCP and HTTP — "Pingmesh
+uses TCP and HTTP instead of ICMP or UDP for probing" (§3.4.1) — through a
+purpose-built network library: "we have developed our own light-weight
+network library specifically designed for network latency measurement",
+acting "as both client and server", with "every probing ... a new connection
+and ... a new TCP source port".
+
+This package is that library's Python equivalent, on asyncio instead of
+Winsock/IOCP.  It measures genuine RTTs wherever real sockets exist
+(loopback in tests; any LAN/DC in deployment).  Note the fidelity caveat
+recorded in DESIGN.md: a Python asyncio stopwatch has tens-of-microseconds
+jitter, fine for millisecond-scale DC SLAs, coarse for single-digit-µs work.
+
+* :class:`~repro.liveprobe.server.ProbeServer` — the responder: accepts TCP
+  connects, echoes length-prefixed payloads, answers HTTP GET /ping.
+* :mod:`repro.liveprobe.client` — ``tcp_ping`` / ``http_ping`` coroutines
+  plus sync wrappers; one fresh connection (and source port) per probe.
+* :class:`~repro.liveprobe.prober.LiveProber` — pings a peer list and feeds
+  the same :class:`~repro.core.agent.counters.LatencyCounters` the
+  simulated agent uses.
+"""
+
+from repro.liveprobe.client import (
+    LivePingResult,
+    http_ping,
+    http_ping_sync,
+    tcp_ping,
+    tcp_ping_sync,
+)
+from repro.liveprobe.prober import LiveProber, PeerSpec
+from repro.liveprobe.server import ProbeServer
+
+__all__ = [
+    "LivePingResult",
+    "LiveProber",
+    "PeerSpec",
+    "ProbeServer",
+    "http_ping",
+    "http_ping_sync",
+    "tcp_ping",
+    "tcp_ping_sync",
+]

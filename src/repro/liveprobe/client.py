@@ -1,0 +1,148 @@
+"""The probe client: real TCP/HTTP pings, one connection per probe.
+
+"Every probing needs to be a new connection and uses a new TCP source port.
+This is to explore the multi-path nature of the network as much as possible,
+and more importantly, reduce the number of concurrent TCP connections
+created by Pingmesh" (§3.4.1).  Opening a fresh connection per probe is the
+default here: the OS assigns a new ephemeral source port every time.
+
+The connect RTT approximates SYN/SYN-ACK (plus the accept overhead of a
+user-space server — documented precision caveat).  The payload RTT measures
+a PING-framed echo after the connection is up, as in §4.1.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+import time
+from dataclasses import dataclass
+
+from repro.liveprobe.server import MAX_PAYLOAD, PING_MAGIC
+
+__all__ = [
+    "LivePingResult",
+    "tcp_ping",
+    "tcp_ping_sync",
+    "http_ping",
+    "http_ping_sync",
+]
+
+
+@dataclass(frozen=True)
+class LivePingResult:
+    """One real probe's outcome."""
+
+    host: str
+    port: int
+    success: bool
+    rtt_s: float  # connect RTT (or elapsed time at failure)
+    payload_rtt_s: float | None = None
+    error: str | None = None
+
+    @property
+    def rtt_us(self) -> float:
+        return self.rtt_s * 1e6
+
+
+async def tcp_ping(
+    host: str,
+    port: int,
+    payload: bytes = b"",
+    timeout_s: float = 9.0,
+) -> LivePingResult:
+    """One TCP ping: fresh connection, optional payload echo.
+
+    Never raises for network conditions; failures come back as
+    ``success=False`` with an ``error`` label, the shape the agent records.
+    """
+    if len(payload) > MAX_PAYLOAD:
+        raise ValueError(f"payload exceeds the 64 KB hard cap: {len(payload)}")
+    start = time.perf_counter()
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout=timeout_s
+        )
+    except asyncio.TimeoutError:
+        return LivePingResult(
+            host, port, False, time.perf_counter() - start, error="timeout"
+        )
+    except OSError as exc:
+        return LivePingResult(
+            host,
+            port,
+            False,
+            time.perf_counter() - start,
+            error=f"connect: {exc.errno or exc}",
+        )
+    connect_rtt = time.perf_counter() - start
+
+    payload_rtt: float | None = None
+    error: str | None = None
+    try:
+        if payload:
+            payload_start = time.perf_counter()
+            writer.write(PING_MAGIC + struct.pack("!I", len(payload)) + payload)
+            await writer.drain()
+            echoed = await asyncio.wait_for(
+                reader.readexactly(len(PING_MAGIC) + 4 + len(payload)),
+                timeout=timeout_s,
+            )
+            payload_rtt = time.perf_counter() - payload_start
+            if echoed[8:] != payload:
+                error = "payload_mismatch"
+    except (asyncio.TimeoutError, asyncio.IncompleteReadError, ConnectionError):
+        error = "payload_timeout"
+    finally:
+        writer.close()
+
+    return LivePingResult(
+        host,
+        port,
+        error is None,
+        connect_rtt,
+        payload_rtt_s=payload_rtt,
+        error=error,
+    )
+
+
+async def http_ping(host: str, port: int, timeout_s: float = 9.0) -> LivePingResult:
+    """One HTTP ping: GET /ping over a fresh connection, measure to 200."""
+    start = time.perf_counter()
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout=timeout_s
+        )
+    except (asyncio.TimeoutError, OSError) as exc:
+        return LivePingResult(
+            host, port, False, time.perf_counter() - start, error=f"connect: {exc}"
+        )
+    try:
+        writer.write(
+            b"GET /ping HTTP/1.1\r\nHost: " + host.encode() + b"\r\n\r\n"
+        )
+        await writer.drain()
+        status_line = await asyncio.wait_for(reader.readline(), timeout=timeout_s)
+        rtt = time.perf_counter() - start
+        ok = status_line.startswith(b"HTTP/1.1 200")
+        return LivePingResult(
+            host, port, ok, rtt, error=None if ok else "bad_status"
+        )
+    except (asyncio.TimeoutError, ConnectionError):
+        return LivePingResult(
+            host, port, False, time.perf_counter() - start, error="http_timeout"
+        )
+    finally:
+        writer.close()
+
+
+def tcp_ping_sync(
+    host: str, port: int, payload: bytes = b"", timeout_s: float = 9.0
+) -> LivePingResult:
+    """Blocking wrapper for scripts and tests."""
+    return asyncio.run(tcp_ping(host, port, payload=payload, timeout_s=timeout_s))
+
+
+def http_ping_sync(host: str, port: int, timeout_s: float = 9.0) -> LivePingResult:
+    """Blocking wrapper for scripts and tests."""
+    return asyncio.run(http_ping(host, port, timeout_s=timeout_s))

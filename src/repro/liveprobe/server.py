@@ -1,0 +1,106 @@
+"""The probe responder: the agent's "server part" (§3.4.1).
+
+"The library acts as both client and server, and it distributes the probing
+processing load to all the CPU cores evenly."  One asyncio server handles
+both protocols on one port:
+
+* a connection that closes without sending data was a SYN-style TCP ping —
+  the connect itself was the measurement; nothing to do,
+* a connection sending ``PING`` + 4-byte length + payload gets the payload
+  echoed back (the §4.1 payload ping),
+* a connection sending an HTTP GET gets a minimal 200 response.
+
+The responder answers probes even when the agent side has fallen closed,
+matching "(It will still react to pings though.)".
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+__all__ = ["ProbeServer", "MAX_PAYLOAD", "PING_MAGIC"]
+
+PING_MAGIC = b"PING"
+MAX_PAYLOAD = 64 * 1024  # the agent-side hard cap, enforced here too
+_HTTP_RESPONSE = (
+    b"HTTP/1.1 200 OK\r\n"
+    b"Content-Length: 4\r\n"
+    b"Connection: close\r\n"
+    b"\r\n"
+    b"pong"
+)
+
+
+class ProbeServer:
+    """Accepts and answers TCP/HTTP pings on one port."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        self._requested_port = port
+        self._server: asyncio.base_events.Server | None = None
+        self.connections_served = 0
+        self.payloads_echoed = 0
+        self.http_requests = 0
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves 0 → the OS-assigned ephemeral port)."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self._requested_port
+        )
+
+    async def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    async def __aenter__(self) -> "ProbeServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections_served += 1
+        try:
+            header = await reader.read(4)
+            if not header:
+                return  # SYN-style ping: connect + close, nothing to answer
+            if header == PING_MAGIC:
+                await self._echo_payload(reader, writer)
+            elif header in (b"GET ", b"HEAD"):
+                await reader.read(4096)  # drain the request
+                writer.write(_HTTP_RESPONSE)
+                await writer.drain()
+                self.http_requests += 1
+            # Unknown protocols are dropped silently — the measurement
+            # library answers probes, it is not a general server.
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # a vanished client is the client's measurement problem
+        finally:
+            writer.close()
+
+    async def _echo_payload(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        length_bytes = await reader.readexactly(4)
+        (length,) = struct.unpack("!I", length_bytes)
+        if length > MAX_PAYLOAD:
+            return  # refuse over-cap payloads (fail-closed on both ends)
+        payload = await reader.readexactly(length) if length else b""
+        writer.write(PING_MAGIC + length_bytes + payload)
+        await writer.drain()
+        self.payloads_echoed += 1

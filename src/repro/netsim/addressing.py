@@ -1,0 +1,149 @@
+"""IPv4 addressing and TCP/UDP five-tuples.
+
+The simulator assigns every server a deterministic IPv4 address derived from
+its position in the topology (data center, podset, pod, host index).  ECMP
+next-hop selection hashes the five-tuple, mirroring production switch
+behaviour (§2.1 of the paper): "ECMP uses the hash value of the TCP/UDP
+five-tuple for next hop selection."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "IPv4Address",
+    "FiveTuple",
+    "EphemeralPortAllocator",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "EPHEMERAL_PORT_MIN",
+    "EPHEMERAL_PORT_MAX",
+]
+
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+# Windows-style dynamic port range, matching the production agent's behaviour
+# of drawing a fresh source port for every probe.
+EPHEMERAL_PORT_MIN = 49_152
+EPHEMERAL_PORT_MAX = 65_535
+
+
+@dataclass(frozen=True, order=True)
+class IPv4Address:
+    """An IPv4 address stored as a 32-bit integer.
+
+    Using a frozen dataclass keeps addresses hashable (they key routing and
+    fault tables) while staying cheap to construct in bulk.
+    """
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= 0xFFFFFFFF:
+            raise ValueError(f"IPv4 address out of range: {self.value:#x}")
+
+    @classmethod
+    def from_octets(cls, a: int, b: int, c: int, d: int) -> "IPv4Address":
+        for octet in (a, b, c, d):
+            if not 0 <= octet <= 255:
+                raise ValueError(f"octet out of range: {octet}")
+        return cls((a << 24) | (b << 16) | (c << 8) | d)
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Address":
+        parts = text.strip().split(".")
+        if len(parts) != 4:
+            raise ValueError(f"malformed IPv4 address: {text!r}")
+        try:
+            octets = [int(part) for part in parts]
+        except ValueError as exc:
+            raise ValueError(f"malformed IPv4 address: {text!r}") from exc
+        return cls.from_octets(*octets)
+
+    @property
+    def octets(self) -> tuple[int, int, int, int]:
+        v = self.value
+        return ((v >> 24) & 0xFF, (v >> 16) & 0xFF, (v >> 8) & 0xFF, v & 0xFF)
+
+    def __str__(self) -> str:
+        return ".".join(str(octet) for octet in self.octets)
+
+    def __int__(self) -> int:
+        return self.value
+
+
+@dataclass(frozen=True)
+class FiveTuple:
+    """A TCP/UDP five-tuple: (src ip, src port, dst ip, dst port, protocol)."""
+
+    src_ip: IPv4Address
+    src_port: int
+    dst_ip: IPv4Address
+    dst_port: int
+    protocol: int = PROTO_TCP
+
+    def __post_init__(self) -> None:
+        for port in (self.src_port, self.dst_port):
+            if not 0 < port <= 65_535:
+                raise ValueError(f"port out of range: {port}")
+        if self.protocol not in (PROTO_TCP, PROTO_UDP):
+            raise ValueError(f"unsupported protocol: {self.protocol}")
+
+    def reversed(self) -> "FiveTuple":
+        """The five-tuple of reply packets on this flow."""
+        return FiveTuple(
+            src_ip=self.dst_ip,
+            src_port=self.dst_port,
+            dst_ip=self.src_ip,
+            dst_port=self.src_port,
+            protocol=self.protocol,
+        )
+
+    def ecmp_hash(self, salt: int = 0) -> int:
+        """A stable 64-bit hash of the five-tuple for ECMP next-hop choice.
+
+        A Fibonacci-style multiplicative mix: cheap, well distributed, and —
+        critically for reproducibility — independent of ``PYTHONHASHSEED``.
+        ``salt`` lets each switch tier hash differently, as real fabrics
+        salt per-switch to avoid ECMP polarization.
+        """
+        h = 0xCBF29CE484222325 ^ (salt & 0xFFFFFFFFFFFFFFFF)
+        for word in (
+            self.src_ip.value,
+            self.dst_ip.value,
+            (self.src_port << 16) | self.dst_port,
+            self.protocol,
+        ):
+            h ^= word
+            h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+            h ^= h >> 29
+        return h
+
+    def __str__(self) -> str:
+        proto = "tcp" if self.protocol == PROTO_TCP else "udp"
+        return (
+            f"{self.src_ip}:{self.src_port}->{self.dst_ip}:{self.dst_port}/{proto}"
+        )
+
+
+class EphemeralPortAllocator:
+    """Rotates through the ephemeral port range, one port per probe.
+
+    The production agent opens a *new* connection with a *new* source port
+    for every probe so that the probes sweep ECMP paths (§3.4.1).  A simple
+    rotating counter reproduces that sweep deterministically.
+    """
+
+    def __init__(self, start: int = EPHEMERAL_PORT_MIN) -> None:
+        if not EPHEMERAL_PORT_MIN <= start <= EPHEMERAL_PORT_MAX:
+            raise ValueError(f"start port outside ephemeral range: {start}")
+        self._next = start
+
+    def allocate(self) -> int:
+        port = self._next
+        self._next += 1
+        if self._next > EPHEMERAL_PORT_MAX:
+            self._next = EPHEMERAL_PORT_MIN
+        return port

@@ -1,0 +1,478 @@
+"""The network engine: probes in, RTTs (or drop signatures) out.
+
+:class:`Fabric` combines the topology, routing, per-DC latency/drop models
+and the fault injector.  It offers two probe paths:
+
+* :meth:`Fabric.probe` — full-fidelity scalar path used by the simulated
+  Pingmesh Agents: fresh source port, per-attempt per-hop drop decisions,
+  fault evaluation, SNMP counter bookkeeping, TCP retransmission
+  signatures, optional payload echo.
+* :meth:`Fabric.batch_probe` — vectorized numpy path for statistics-heavy
+  benches (Table 1 needs ≥10⁶ probes).  When no fault touches the path it
+  collapses the per-hop model into one analytic attempt-drop probability
+  and samples everything array-at-a-time; when faults are present it falls
+  back to the scalar path so correctness never depends on which API you
+  called.
+
+The same models and the same seed discipline back both paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.netsim import tcp
+from repro.netsim.addressing import (
+    PROTO_TCP,
+    EphemeralPortAllocator,
+    FiveTuple,
+)
+from repro.netsim.devices import Server, Switch
+from repro.netsim.drops import DropModel
+from repro.netsim.faults import FaultInjector
+from repro.netsim.latency import LatencyModel
+from repro.netsim.routing import NoRouteError, Path, PathScope, Router
+from repro.netsim.topology import MultiDCTopology, TopologySpec
+from repro.netsim.workload import PROFILES, WorkloadProfile, profile_for
+
+__all__ = ["Fabric", "ProbeResult", "BatchProbeResult", "DEFAULT_PROBE_PORT"]
+
+DEFAULT_PROBE_PORT = 81  # the agent's well-known probe listening port
+
+
+@dataclass
+class ProbeResult:
+    """Outcome of one TCP probe as the *measuring agent* sees it.
+
+    ``error`` is ``None`` on success, else one of ``"timeout"`` (all SYN
+    attempts lost — dead peer and triple drop look identical, which is why
+    §4.2's heuristic excludes failed probes), ``"no_route"``, or
+    ``"refused"``.  ``syn_drops`` and ``forward_hops`` are included for
+    analysis convenience; the production agent records src/dst/ports/rtt.
+    """
+
+    src: str
+    dst: str
+    t: float
+    success: bool
+    rtt_s: float
+    error: str | None = None
+    syn_drops: int = 0
+    payload_rtt_s: float | None = None
+    flow: FiveTuple | None = None
+    scope: PathScope | None = None
+    forward_hops: tuple[str, ...] = ()
+
+    @property
+    def rtt_us(self) -> float:
+        return self.rtt_s * 1e6
+
+
+@dataclass
+class BatchProbeResult:
+    """Vectorized outcome of ``n`` probes between one server pair."""
+
+    src: str
+    dst: str
+    t: float
+    rtt_s: np.ndarray  # RTT of successful probes (waits included)
+    success: np.ndarray  # bool mask, aligned with rtt_s
+    syn_drops: np.ndarray  # int per probe
+    scope: PathScope
+    attempt_drop_prob: float  # analytic per-attempt drop probability
+
+    @property
+    def n(self) -> int:
+        return int(self.success.size)
+
+    def successful_rtts(self) -> np.ndarray:
+        return self.rtt_s[self.success]
+
+
+class Fabric:
+    """A multi-DC network ready to carry probes.
+
+    Parameters
+    ----------
+    topology:
+        The network.  Each DC's ``spec.profile_name`` selects its workload
+        profile unless ``profiles`` overrides it.
+    seed:
+        Seeds an internal ``numpy`` generator; identical seeds give
+        identical probe streams.
+    profiles:
+        Optional explicit mapping of DC name → profile.
+    """
+
+    def __init__(
+        self,
+        topology: MultiDCTopology,
+        seed: int = 0,
+        profiles: dict[str, WorkloadProfile] | None = None,
+    ) -> None:
+        self.topology = topology
+        self.router = Router(topology)
+        self.faults = FaultInjector()
+        self.rng = np.random.default_rng(seed)
+        self._profiles: dict[int, WorkloadProfile] = {}
+        self._latency: dict[int, LatencyModel] = {}
+        self._dropmodel: dict[int, DropModel] = {}
+        for dc in topology.dcs:
+            if profiles and dc.spec.name in profiles:
+                profile = profiles[dc.spec.name]
+            else:
+                profile = profile_for(dc.spec.profile_name)
+            self._profiles[dc.dc_index] = profile
+            self._latency[dc.dc_index] = LatencyModel(profile)
+            self._dropmodel[dc.dc_index] = DropModel(profile)
+        self._ports: dict[str, EphemeralPortAllocator] = {}
+        self.probes_carried = 0
+
+    @classmethod
+    def single_dc(cls, spec: TopologySpec | None = None, seed: int = 0) -> "Fabric":
+        """Convenience: a fabric over one data center."""
+        return cls(MultiDCTopology.single(spec), seed=seed)
+
+    # -- model lookups ------------------------------------------------------
+
+    def profile_of(self, server_or_dc: Server | int) -> WorkloadProfile:
+        dc_index = (
+            server_or_dc if isinstance(server_or_dc, int) else server_or_dc.dc_index
+        )
+        return self._profiles[dc_index]
+
+    def latency_model(self, dc_index: int) -> LatencyModel:
+        return self._latency[dc_index]
+
+    def drop_model(self, dc_index: int) -> DropModel:
+        return self._dropmodel[dc_index]
+
+    def _resolve(self, server: Server | str) -> Server:
+        if isinstance(server, Server):
+            return server
+        return self.topology.server(server)
+
+    def _allocate_port(self, server: Server) -> int:
+        allocator = self._ports.get(server.device_id)
+        if allocator is None:
+            allocator = EphemeralPortAllocator()
+            self._ports[server.device_id] = allocator
+        return allocator.allocate()
+
+    # -- per-packet mechanics ------------------------------------------------
+
+    def _traverse(
+        self, path: Path, flow: FiveTuple, packet_bytes: int
+    ) -> tuple[bool, float]:
+        """Send one packet along ``path``.  Returns (delivered, extra_latency)."""
+        drop_model = self._dropmodel[path.src.dc_index]
+        # Host-side loss (stack + NIC at both endpoints).
+        if self.rng.random() < drop_model.budget.host_side:
+            return False, 0.0
+        extra_latency = 0.0
+        for hop in path.hops:
+            hop.counters.packets_forwarded += 1
+            if self.rng.random() < drop_model.hop_drop_prob(hop.kind):
+                hop.counters.input_discards += 1
+                return False, extra_latency
+            verdict = self.faults.evaluate_hop(
+                hop, flow, packet_bytes, self.rng.random()
+            )
+            if verdict.dropped:
+                return False, extra_latency
+            extra_latency += verdict.extra_latency_s
+        if path.wan_rtt > 0 and self.rng.random() < 1e-5:
+            return False, extra_latency
+        return True, extra_latency
+
+    def _paths(self, src: Server, dst: Server, flow: FiveTuple) -> tuple[Path, Path]:
+        forward = self.router.path(src, dst, flow)
+        reverse = self.router.path(dst, src, flow.reversed())
+        return forward, reverse
+
+    # -- scalar probe ---------------------------------------------------------
+
+    def probe(
+        self,
+        src: Server | str,
+        dst: Server | str,
+        t: float = 0.0,
+        payload_bytes: int = 0,
+        dst_port: int = DEFAULT_PROBE_PORT,
+        src_port: int | None = None,
+    ) -> ProbeResult:
+        """One TCP probe from ``src`` to ``dst`` at simulated time ``t``.
+
+        A fresh ephemeral source port is drawn unless ``src_port`` pins one
+        (the fixed-port ablation does).  The returned RTT is what the agent's
+        stopwatch would read: retransmission waits included.
+        """
+        src_server = self._resolve(src)
+        dst_server = self._resolve(dst)
+        self.probes_carried += 1
+
+        if not src_server.is_up:
+            return ProbeResult(
+                src=src_server.device_id,
+                dst=dst_server.device_id,
+                t=t,
+                success=False,
+                rtt_s=0.0,
+                error="agent_down",
+            )
+
+        port = src_port if src_port is not None else self._allocate_port(src_server)
+        flow = FiveTuple(
+            src_ip=src_server.ip,
+            src_port=port,
+            dst_ip=dst_server.ip,
+            dst_port=dst_port,
+            protocol=PROTO_TCP,
+        )
+        try:
+            forward, reverse = self._paths(src_server, dst_server, flow)
+        except NoRouteError:
+            return ProbeResult(
+                src=src_server.device_id,
+                dst=dst_server.device_id,
+                t=t,
+                success=False,
+                rtt_s=0.0,
+                error="no_route",
+                flow=flow,
+            )
+
+        def syn_attempt() -> tuple[bool, float]:
+            delivered, extra_fwd = self._traverse(forward, flow, 40)
+            if not delivered or not dst_server.is_up:
+                return False, 0.0
+            delivered_back, extra_rev = self._traverse(reverse, flow.reversed(), 40)
+            return delivered_back, extra_fwd + extra_rev
+
+        outcome = tcp.run_syn_handshake(syn_attempt)
+        latency_model = self._latency[src_server.dc_index]
+        if not outcome.success:
+            return ProbeResult(
+                src=src_server.device_id,
+                dst=dst_server.device_id,
+                t=t,
+                success=False,
+                rtt_s=outcome.waited_s,
+                error="timeout",
+                syn_drops=outcome.drops,
+                flow=flow,
+                scope=forward.scope,
+                forward_hops=tuple(forward.hop_ids()),
+            )
+
+        network_rtt = latency_model.sample_one(
+            self.rng, forward.n_hops, t=t, wan_rtt=forward.wan_rtt
+        )
+        rtt = outcome.waited_s + network_rtt + outcome.extra_latency_s
+
+        payload_rtt: float | None = None
+        if payload_bytes > 0:
+            payload_rtt = self._payload_exchange(
+                forward, reverse, flow, payload_bytes, latency_model, t
+            )
+
+        return ProbeResult(
+            src=src_server.device_id,
+            dst=dst_server.device_id,
+            t=t,
+            success=True,
+            rtt_s=rtt,
+            syn_drops=outcome.drops,
+            payload_rtt_s=payload_rtt,
+            flow=flow,
+            scope=forward.scope,
+            forward_hops=tuple(forward.hop_ids()),
+        )
+
+    def _payload_exchange(
+        self,
+        forward: Path,
+        reverse: Path,
+        flow: FiveTuple,
+        payload_bytes: int,
+        latency_model: LatencyModel,
+        t: float,
+    ) -> float | None:
+        """Measure the payload echo leg; ``None`` if it never completes."""
+
+        def data_attempt() -> tuple[bool, float]:
+            delivered, extra_fwd = self._traverse(forward, flow, payload_bytes)
+            if not delivered:
+                return False, 0.0
+            delivered_back, extra_rev = self._traverse(
+                reverse, flow.reversed(), payload_bytes
+            )
+            return delivered_back, extra_fwd + extra_rev
+
+        outcome = tcp.run_data_exchange(data_attempt)
+        if not outcome.success:
+            return None
+        network_rtt = latency_model.sample_one(
+            self.rng,
+            forward.n_hops,
+            t=t,
+            wan_rtt=forward.wan_rtt,
+            payload_bytes=payload_bytes,
+        )
+        return outcome.waited_s + network_rtt + outcome.extra_latency_s
+
+    # -- analytic + vectorized paths -------------------------------------------
+
+    def expected_attempt_drop(
+        self, src: Server | str, dst: Server | str, dst_port: int = DEFAULT_PROBE_PORT
+    ) -> float:
+        """Analytic healthy-network P(SYN attempt fails) for this pair.
+
+        Uses a representative flow for path selection; per-hop baseline
+        probabilities do not depend on the ECMP choice (all switches in one
+        tier share the budget), so the representative flow is exact.
+        """
+        src_server = self._resolve(src)
+        dst_server = self._resolve(dst)
+        flow = FiveTuple(src_server.ip, 49_152, dst_server.ip, dst_port)
+        forward, reverse = self._paths(src_server, dst_server, flow)
+        return self._dropmodel[src_server.dc_index].attempt_drop_prob(
+            forward, reverse
+        )
+
+    def _path_has_faults(self, *paths: Path) -> bool:
+        for path in paths:
+            for hop in path.hops:
+                if self.faults.faults_on(hop.device_id):
+                    return True
+        return False
+
+    def batch_probe(
+        self,
+        src: Server | str,
+        dst: Server | str,
+        n: int,
+        t: float = 0.0,
+        payload_bytes: int = 0,
+        dst_port: int = DEFAULT_PROBE_PORT,
+    ) -> BatchProbeResult:
+        """``n`` probes between one pair, vectorized when the path is healthy.
+
+        Falls back to the scalar engine when any fault sits on the pair's
+        forward or reverse path, or either endpoint is down, so results stay
+        trustworthy in incident scenarios.
+        """
+        if n < 1:
+            raise ValueError(f"n must be >= 1: {n}")
+        src_server = self._resolve(src)
+        dst_server = self._resolve(dst)
+        flow = FiveTuple(src_server.ip, 49_152, dst_server.ip, dst_port)
+        try:
+            forward, reverse = self._paths(src_server, dst_server, flow)
+        except NoRouteError:
+            forward = None  # type: ignore[assignment]
+        degraded = (
+            forward is None
+            or not src_server.is_up
+            or not dst_server.is_up
+            or self._path_has_faults(forward, reverse)
+        )
+        if degraded:
+            return self._batch_via_scalar(
+                src_server, dst_server, n, t, payload_bytes, dst_port
+            )
+
+        drop_model = self._dropmodel[src_server.dc_index]
+        p_attempt = drop_model.attempt_drop_prob(forward, reverse)
+        latency_model = self._latency[src_server.dc_index]
+
+        drops1 = self.rng.random(n) < p_attempt
+        drops2 = self.rng.random(n) < p_attempt
+        drops3 = self.rng.random(n) < p_attempt
+        syn_drops = (
+            drops1.astype(np.int64)
+            + (drops1 & drops2).astype(np.int64)
+            + (drops1 & drops2 & drops3).astype(np.int64)
+        )
+        success = syn_drops < 3
+        waited = np.zeros(n)
+        waited[syn_drops == 1] = tcp.syn_rtt_signature(1)
+        waited[syn_drops == 2] = tcp.syn_rtt_signature(2)
+        base = latency_model.sample(
+            self.rng,
+            forward.n_hops,
+            t=t,
+            wan_rtt=forward.wan_rtt,
+            payload_bytes=payload_bytes,
+            n=n,
+        )
+        rtt = np.where(success, waited + base, tcp.syn_rtt_signature(3))
+        for hop in forward.hops:
+            hop.counters.packets_forwarded += n
+        self.probes_carried += n
+        return BatchProbeResult(
+            src=src_server.device_id,
+            dst=dst_server.device_id,
+            t=t,
+            rtt_s=rtt,
+            success=success,
+            syn_drops=syn_drops,
+            scope=forward.scope,
+            attempt_drop_prob=p_attempt,
+        )
+
+    def _batch_via_scalar(
+        self,
+        src: Server,
+        dst: Server,
+        n: int,
+        t: float,
+        payload_bytes: int,
+        dst_port: int,
+    ) -> BatchProbeResult:
+        rtts = np.zeros(n)
+        success = np.zeros(n, dtype=bool)
+        syn_drops = np.zeros(n, dtype=np.int64)
+        scope = PathScope.SAME_HOST
+        for i in range(n):
+            result = self.probe(
+                src, dst, t=t, payload_bytes=payload_bytes, dst_port=dst_port
+            )
+            rtts[i] = result.rtt_s
+            success[i] = result.success
+            syn_drops[i] = result.syn_drops
+            if result.scope is not None:
+                scope = result.scope
+        return BatchProbeResult(
+            src=src.device_id,
+            dst=dst.device_id,
+            t=t,
+            rtt_s=rtts,
+            success=success,
+            syn_drops=syn_drops,
+            scope=scope,
+            attempt_drop_prob=float("nan"),
+        )
+
+    # -- switch management -----------------------------------------------------
+
+    def reload_switch(self, switch: Switch | str) -> list:
+        """Reload a switch: clears reload-fixable faults (§5.1)."""
+        if isinstance(switch, str):
+            device = self.topology.device(switch)
+            if not isinstance(device, Switch):
+                raise TypeError(f"{switch} is not a switch")
+            switch = device
+        switch.reload()
+        return self.faults.on_reload(switch)
+
+    def isolate_switch(self, switch: Switch | str) -> None:
+        """Take a switch out of rotation (silent-drop mitigation, §5.2)."""
+        if isinstance(switch, str):
+            device = self.topology.device(switch)
+            if not isinstance(device, Switch):
+                raise TypeError(f"{switch} is not a switch")
+            switch = device
+        switch.isolate()

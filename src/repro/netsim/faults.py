@@ -1,0 +1,333 @@
+"""Fault injection: the failures Pingmesh exists to find.
+
+Section 5 describes two families of *silent* switch drops:
+
+* **Packet black-holes** — deterministic drops of packets matching a
+  pattern.  Type 1 keys on the (src IP, dst IP) pair (TCAM parity errors);
+  type 2 additionally keys on the transport ports (ECMP-related errors).
+  Both are cleared by reloading the switch (§5.1).
+* **Silent random packet drops** — probabilistic drops from fabric-module
+  bit flips, CRC errors inside the switch, badly seated linecards.  Not
+  cleared by a reload; the switch must be isolated and RMA'd (§5.2).
+
+Plus the visible kinds (FCS errors on a link, congestion discards) and
+whole-unit outages (podset down) that produce Figure 8's patterns.
+
+Every fault implements a per-packet ``evaluate`` against a traversed hop.
+Black-hole pattern membership is decided by a salted deterministic hash of
+the relevant header fields, so a given (src, dst[, ports]) is either always
+dropped or never — exactly the determinism the detection algorithm relies
+on.  All randomness comes from the caller's ``numpy`` generator.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.netsim.addressing import FiveTuple, IPv4Address
+from repro.netsim.devices import Switch
+from repro.netsim.topology import MultiDCTopology
+
+__all__ = [
+    "Fault",
+    "BlackholeType1",
+    "BlackholeType2",
+    "SilentRandomDrop",
+    "FcsErrorFault",
+    "CongestionFault",
+    "FaultVerdict",
+    "FaultInjector",
+    "podset_down",
+    "podset_up",
+]
+
+_fault_counter = itertools.count(1)
+
+
+def _mix64(*words: int) -> int:
+    """Deterministic 64-bit mix of integer words (PYTHONHASHSEED-proof)."""
+    h = 0xCBF29CE484222325
+    for word in words:
+        h ^= word & 0xFFFFFFFFFFFFFFFF
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        h ^= h >> 31
+    return h
+
+
+@dataclass
+class FaultVerdict:
+    """What a fault (or the absence of one) does to a traversing packet."""
+
+    dropped: bool = False
+    silent: bool = False  # true ⇒ no SNMP counter increment
+    counter: str | None = None  # which visible counter to bump if not silent
+    extra_latency_s: float = 0.0
+
+
+@dataclass
+class Fault:
+    """Base fault bound to one switch."""
+
+    switch_id: str
+    fault_id: int = field(default_factory=lambda: next(_fault_counter))
+    cleared_by_reload: bool = False
+    description: str = ""
+
+    def evaluate(
+        self, flow: FiveTuple, packet_bytes: int, uniform: float
+    ) -> FaultVerdict:
+        """Judge one packet.  ``uniform`` is a pre-drawn U(0,1) sample."""
+        raise NotImplementedError
+
+
+@dataclass
+class BlackholeType1(Fault):
+    """Deterministic drops keyed on the (src IP, dst IP) pair (§5.1).
+
+    ``fraction`` is the fraction of address pairs whose TCAM entry is
+    corrupted.  Membership is a salted hash of the pair, so the same pair is
+    dropped 100 % of the time regardless of ports — "server A cannot talk to
+    server B, but it can talk to servers C and D just fine".
+    """
+
+    fraction: float = 0.05
+    cleared_by_reload: bool = True
+
+    def matches(self, src_ip: IPv4Address, dst_ip: IPv4Address) -> bool:
+        h = _mix64(self.fault_id, 0x7CA1, src_ip.value, dst_ip.value)
+        return (h % 1_000_000) < self.fraction * 1_000_000
+
+    def evaluate(
+        self, flow: FiveTuple, packet_bytes: int, uniform: float
+    ) -> FaultVerdict:
+        if self.matches(flow.src_ip, flow.dst_ip):
+            return FaultVerdict(dropped=True, silent=True)
+        return FaultVerdict()
+
+
+@dataclass
+class BlackholeType2(Fault):
+    """Deterministic drops keyed on addresses *and* ports (§5.1).
+
+    "Server A can talk to Server B's destination port Y using source port X,
+    but not source port Z."  Because the agent draws a fresh source port per
+    probe, a type-2 black-hole shows as a *partial* loss rate between the
+    affected pair — which is precisely why varying the source port matters
+    (ablation: ``bench_ablation_srcport``).
+    """
+
+    fraction: float = 0.05
+    cleared_by_reload: bool = True
+
+    def matches(self, flow: FiveTuple) -> bool:
+        h = _mix64(
+            self.fault_id,
+            0x7CA2,
+            flow.src_ip.value,
+            flow.dst_ip.value,
+            (flow.src_port << 16) | flow.dst_port,
+            flow.protocol,
+        )
+        return (h % 1_000_000) < self.fraction * 1_000_000
+
+    def evaluate(
+        self, flow: FiveTuple, packet_bytes: int, uniform: float
+    ) -> FaultVerdict:
+        if self.matches(flow):
+            return FaultVerdict(dropped=True, silent=True)
+        return FaultVerdict()
+
+
+@dataclass
+class SilentRandomDrop(Fault):
+    """Random drops the switch does not report (§5.2).
+
+    The incident in the paper showed 1–2 % random drops at one Spine switch
+    with clean SNMP/syslog; root cause was bit flips in a fabric module.
+    A reload does not fix it (``cleared_by_reload=False``).
+    """
+
+    drop_prob: float = 0.015
+
+    def evaluate(
+        self, flow: FiveTuple, packet_bytes: int, uniform: float
+    ) -> FaultVerdict:
+        if uniform < self.drop_prob:
+            return FaultVerdict(dropped=True, silent=True)
+        return FaultVerdict()
+
+
+@dataclass
+class FcsErrorFault(Fault):
+    """A link with an elevated bit-error rate.
+
+    Drop probability grows with frame length — the reason payload pings
+    exist: "it can help detect packet drops that are related to packet
+    length (e.g., fiber FCS errors)" (§4.1).  FCS drops are *visible* in the
+    switch counters.
+    """
+
+    bit_error_rate: float = 1e-8
+
+    def drop_prob(self, packet_bytes: int) -> float:
+        bits = 8 * max(64, packet_bytes)
+        return 1.0 - (1.0 - self.bit_error_rate) ** bits
+
+    def evaluate(
+        self, flow: FiveTuple, packet_bytes: int, uniform: float
+    ) -> FaultVerdict:
+        if uniform < self.drop_prob(packet_bytes):
+            return FaultVerdict(dropped=True, silent=False, counter="fcs_errors")
+        return FaultVerdict()
+
+
+@dataclass
+class CongestionFault(Fault):
+    """A congested switch: visible output discards plus queueing delay.
+
+    With network QoS deployed (§6.2), congestion bites the low-priority
+    DSCP class first: traffic to ``low_priority_port`` sees its queueing
+    delay and drop probability scaled by ``low_priority_multiplier``.
+    That asymmetry is exactly what the low-QoS pinglist class exists to
+    observe.
+    """
+
+    drop_prob: float = 1e-3
+    extra_queue_s: float = 500e-6
+    low_priority_port: int | None = None
+    low_priority_multiplier: float = 1.0
+
+    def _scale(self, flow: FiveTuple) -> float:
+        if (
+            self.low_priority_port is not None
+            and flow.dst_port == self.low_priority_port
+        ):
+            return self.low_priority_multiplier
+        return 1.0
+
+    def evaluate(
+        self, flow: FiveTuple, packet_bytes: int, uniform: float
+    ) -> FaultVerdict:
+        scale = self._scale(flow)
+        if uniform < min(0.95, self.drop_prob * scale):
+            return FaultVerdict(
+                dropped=True, silent=False, counter="output_discards"
+            )
+        return FaultVerdict(extra_latency_s=self.extra_queue_s * scale)
+
+
+class FaultInjector:
+    """Registry of active faults, consulted by the fabric per hop."""
+
+    def __init__(self) -> None:
+        self._by_switch: dict[str, list[Fault]] = {}
+        self._by_id: dict[int, Fault] = {}
+
+    def inject(self, fault: Fault) -> Fault:
+        """Activate a fault; returns it for later :meth:`clear`."""
+        self._by_switch.setdefault(fault.switch_id, []).append(fault)
+        self._by_id[fault.fault_id] = fault
+        return fault
+
+    def clear(self, fault: Fault | int) -> None:
+        """Deactivate a fault by object or id (no-op if already gone)."""
+        fault_id = fault if isinstance(fault, int) else fault.fault_id
+        found = self._by_id.pop(fault_id, None)
+        if found is None:
+            return
+        faults = self._by_switch.get(found.switch_id, [])
+        self._by_switch[found.switch_id] = [
+            f for f in faults if f.fault_id != fault_id
+        ]
+
+    def clear_all(self) -> None:
+        self._by_switch.clear()
+        self._by_id.clear()
+
+    def faults_on(self, switch_id: str) -> list[Fault]:
+        return list(self._by_switch.get(switch_id, []))
+
+    def active_faults(self) -> list[Fault]:
+        return list(self._by_id.values())
+
+    def has_faults(self) -> bool:
+        return bool(self._by_id)
+
+    def on_reload(self, switch: Switch) -> list[Fault]:
+        """Apply a switch reload: clear reload-fixable faults; return them."""
+        cleared = [
+            fault
+            for fault in self.faults_on(switch.device_id)
+            if fault.cleared_by_reload
+        ]
+        for fault in cleared:
+            self.clear(fault)
+        return cleared
+
+    def evaluate_hop(
+        self, switch: Switch, flow: FiveTuple, packet_bytes: int, uniform: float
+    ) -> FaultVerdict:
+        """Combine all faults on one hop for one packet.
+
+        The first fault that drops wins; latency penalties accumulate.
+        Counter bookkeeping happens here so callers only see the verdict.
+        """
+        faults = self._by_switch.get(switch.device_id)
+        if not faults:
+            return FaultVerdict()
+        extra_latency = 0.0
+        for fault in faults:
+            verdict = fault.evaluate(flow, packet_bytes, uniform)
+            if verdict.dropped:
+                if verdict.silent:
+                    switch.counters.silent_drops += 1
+                elif verdict.counter:
+                    current = getattr(switch.counters, verdict.counter)
+                    setattr(switch.counters, verdict.counter, current + 1)
+                return FaultVerdict(
+                    dropped=True,
+                    silent=verdict.silent,
+                    counter=verdict.counter,
+                    extra_latency_s=extra_latency,
+                )
+            extra_latency += verdict.extra_latency_s
+        return FaultVerdict(extra_latency_s=extra_latency)
+
+
+# -- whole-unit outage helpers (Figure 8 scenarios) ------------------------
+
+
+def podset_down(topology: MultiDCTopology, dc: int | str, podset: int) -> list[str]:
+    """Power off a whole podset (servers, ToRs, Leaves) — Fig. 8(b).
+
+    Returns the ids of the devices brought down, for symmetric restoration.
+    """
+    return _set_podset_state(topology, dc, podset, up=False)
+
+
+def podset_up(topology: MultiDCTopology, dc: int | str, podset: int) -> list[str]:
+    """Restore a podset powered off by :func:`podset_down`."""
+    return _set_podset_state(topology, dc, podset, up=True)
+
+
+def _set_podset_state(
+    topology: MultiDCTopology, dc: int | str, podset: int, up: bool
+) -> list[str]:
+    dc_topo = topology.dc(dc)
+    if not 0 <= podset < dc_topo.spec.n_podsets:
+        raise ValueError(f"no podset {podset} in {dc_topo.spec.name}")
+    devices: Iterable = itertools.chain(
+        dc_topo.servers_in_podset(podset),
+        (tor for tor in dc_topo.tors if tor.podset_index == podset),
+        dc_topo.leaves_of(podset),
+    )
+    touched = []
+    for device in devices:
+        if up:
+            device.bring_up()
+        else:
+            device.bring_down()
+        touched.append(device.device_id)
+    return touched

@@ -1,0 +1,104 @@
+"""Time-scheduled fault injection: incidents that start and end.
+
+Real incidents have a timeline — a linecard reseats itself, power returns,
+congestion follows the traffic peak.  :class:`FaultSchedule` binds scenario
+injection/reversion to the simulated event queue so long-running
+simulations can replay a whole operational day: quiet morning, a black-hole
+at noon, a podset power blip in the evening.
+
+Used by the day-in-the-life integration test and available to users for
+custom drills.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netsim.fabric import Fabric
+from repro.netsim.scenarios import Scenario, apply_scenario
+from repro.netsim.simclock import EventQueue
+
+__all__ = ["ScheduledIncident", "FaultSchedule"]
+
+
+@dataclass
+class ScheduledIncident:
+    """One scenario bound to a [start, end) interval."""
+
+    scenario_name: str
+    start_t: float
+    end_t: float | None  # None = never auto-reverted
+    kwargs: dict = field(default_factory=dict)
+    applied: Scenario | None = None
+    started: bool = False
+    ended: bool = False
+
+    def __post_init__(self) -> None:
+        if self.start_t < 0:
+            raise ValueError(f"start must be >= 0: {self.start_t}")
+        if self.end_t is not None and self.end_t <= self.start_t:
+            raise ValueError(
+                f"end must be after start: [{self.start_t}, {self.end_t})"
+            )
+
+
+class FaultSchedule:
+    """Injects and reverts scenarios at scheduled simulated times."""
+
+    def __init__(self, fabric: Fabric, queue: EventQueue) -> None:
+        self.fabric = fabric
+        self.queue = queue
+        self.incidents: list[ScheduledIncident] = []
+
+    def add(
+        self,
+        scenario_name: str,
+        start_t: float,
+        end_t: float | None = None,
+        **kwargs,
+    ) -> ScheduledIncident:
+        """Schedule a scenario; returns the handle for later inspection."""
+        incident = ScheduledIncident(
+            scenario_name=scenario_name,
+            start_t=start_t,
+            end_t=end_t,
+            kwargs=kwargs,
+        )
+        self.incidents.append(incident)
+        self.queue.schedule_at(
+            start_t, lambda: self._start(incident), name=f"incident:{scenario_name}"
+        )
+        if end_t is not None:
+            self.queue.schedule_at(
+                end_t,
+                lambda: self._end(incident),
+                name=f"incident-end:{scenario_name}",
+            )
+        return incident
+
+    def _start(self, incident: ScheduledIncident) -> None:
+        incident.applied = apply_scenario(
+            incident.scenario_name, self.fabric, **incident.kwargs
+        )
+        incident.started = True
+
+    def _end(self, incident: ScheduledIncident) -> None:
+        if incident.applied is not None and not incident.ended:
+            incident.applied.revert()
+        incident.ended = True
+
+    def active_at(self, t: float) -> list[ScheduledIncident]:
+        """Incidents whose interval contains ``t``."""
+        return [
+            incident
+            for incident in self.incidents
+            if incident.start_t <= t and (incident.end_t is None or t < incident.end_t)
+        ]
+
+    def ground_truth_devices(self, t: float) -> set[str]:
+        """All devices implicated by incidents active at ``t``."""
+        devices: set[str] = set()
+        for incident in self.active_at(t):
+            if incident.applied is not None:
+                devices.update(incident.applied.ground_truth_devices)
+        return devices

@@ -1,0 +1,162 @@
+"""Path computation with ECMP five-tuple hashing.
+
+The fabric is a folded Clos (Figure 1): server → ToR → Leaf → Spine → Leaf →
+ToR → server within a DC, plus border routers and the WAN across DCs.  At
+every tier with multiple equal-cost next hops the switch picks one by hashing
+the five-tuple (§2.1), salted per tier/stage so paths do not polarize.
+
+Routing excludes devices that are DOWN or ISOLATED — the routing protocol
+withdraws them — but it happily routes *through* a faulty-but-up switch,
+which is exactly what makes black-holes and silent random drops hard to
+find (§5).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.netsim.addressing import FiveTuple
+from repro.netsim.devices import Server, Switch
+from repro.netsim.topology import ClosTopology, MultiDCTopology
+
+__all__ = ["PathScope", "Path", "Router", "NoRouteError"]
+
+# Per-stage ECMP hash salts; using distinct salts per decision point mirrors
+# production practice of seeding each switch's hash differently.
+_SALT_UP_LEAF = 0x1EAF
+_SALT_UP_SPINE = 0x59135
+_SALT_DOWN_LEAF = 0xD1EAF
+_SALT_BORDER_SRC = 0xB0B0
+_SALT_BORDER_DST = 0xB0B1
+_SALT_SPINE_DST = 0x59136
+
+
+class NoRouteError(Exception):
+    """No live path exists between the endpoints."""
+
+
+class PathScope(enum.Enum):
+    """How far apart the endpoints are; drives latency/drop composition."""
+
+    SAME_HOST = "same-host"
+    INTRA_POD = "intra-pod"
+    INTRA_PODSET = "intra-podset"
+    INTRA_DC = "intra-dc"
+    INTER_DC = "inter-dc"
+
+
+@dataclass
+class Path:
+    """A one-way path: the ordered switches a packet traverses.
+
+    ``wan_rtt`` is the round-trip WAN propagation this direction's DC pair
+    implies (0 inside one DC); the latency model halves it per direction.
+    """
+
+    src: Server
+    dst: Server
+    scope: PathScope
+    hops: list[Switch] = field(default_factory=list)
+    wan_rtt: float = 0.0
+
+    @property
+    def n_hops(self) -> int:
+        return len(self.hops)
+
+    def hop_ids(self) -> list[str]:
+        return [hop.device_id for hop in self.hops]
+
+    def __repr__(self) -> str:
+        route = " -> ".join(self.hop_ids()) or "(direct)"
+        return f"Path({self.src.device_id} => {self.dst.device_id} [{self.scope.value}]: {route})"
+
+
+def classify_scope(topology: MultiDCTopology, src: Server, dst: Server) -> PathScope:
+    """Determine the topological relationship of two servers."""
+    if src.device_id == dst.device_id:
+        return PathScope.SAME_HOST
+    if src.dc_index != dst.dc_index:
+        return PathScope.INTER_DC
+    if src.pod_index == dst.pod_index:
+        return PathScope.INTRA_POD
+    if src.podset_index == dst.podset_index:
+        return PathScope.INTRA_PODSET
+    return PathScope.INTRA_DC
+
+
+def _pick(candidates: list[Switch], flow: FiveTuple, salt: int) -> Switch:
+    """ECMP choice among live candidates; raises if none are live."""
+    live = [switch for switch in candidates if switch.is_up]
+    if not live:
+        raise NoRouteError("all candidate next-hops are down")
+    if len(live) == 1:
+        return live[0]
+    return live[flow.ecmp_hash(salt) % len(live)]
+
+
+class Router:
+    """Computes forward paths over a :class:`MultiDCTopology`."""
+
+    def __init__(self, topology: MultiDCTopology) -> None:
+        self.topology = topology
+
+    def path(self, src: Server, dst: Server, flow: FiveTuple) -> Path:
+        """The one-way path of a packet with ``flow`` from ``src`` to ``dst``.
+
+        Raises :class:`NoRouteError` when routing has no live path (e.g. the
+        whole Leaf tier of a podset is down).  A *faulty* switch that is
+        still up is part of the path — faults are applied downstream.
+        """
+        scope = classify_scope(self.topology, src, dst)
+        if scope == PathScope.SAME_HOST:
+            return Path(src, dst, scope)
+
+        src_dc = self.topology.dc(src.dc_index)
+        dst_dc = self.topology.dc(dst.dc_index)
+        hops: list[Switch] = []
+
+        src_tor = src_dc.tor_of(src)
+        if not src_tor.is_up:
+            raise NoRouteError(f"source ToR {src_tor.device_id} is down")
+        hops.append(src_tor)
+
+        if scope == PathScope.INTRA_POD:
+            return Path(src, dst, scope, hops)
+
+        if scope == PathScope.INTRA_PODSET:
+            leaf = _pick(src_dc.leaves_of(src.podset_index), flow, _SALT_UP_LEAF)
+            hops.append(leaf)
+            hops.append(self._dst_tor(dst_dc, dst))
+            return Path(src, dst, scope, hops)
+
+        # Up through the source podset to the spine tier.
+        up_leaf = _pick(src_dc.leaves_of(src.podset_index), flow, _SALT_UP_LEAF)
+        hops.append(up_leaf)
+        spine = _pick(src_dc.spines, flow, _SALT_UP_SPINE)
+        hops.append(spine)
+
+        if scope == PathScope.INTRA_DC:
+            down_leaf = _pick(
+                dst_dc.leaves_of(dst.podset_index), flow, _SALT_DOWN_LEAF
+            )
+            hops.append(down_leaf)
+            hops.append(self._dst_tor(dst_dc, dst))
+            return Path(src, dst, scope, hops)
+
+        # INTER_DC: exit via a border router, cross the WAN, descend the
+        # destination DC's Clos.
+        hops.append(_pick(src_dc.borders, flow, _SALT_BORDER_SRC))
+        hops.append(_pick(dst_dc.borders, flow, _SALT_BORDER_DST))
+        hops.append(_pick(dst_dc.spines, flow, _SALT_SPINE_DST))
+        hops.append(_pick(dst_dc.leaves_of(dst.podset_index), flow, _SALT_DOWN_LEAF))
+        hops.append(self._dst_tor(dst_dc, dst))
+        wan_rtt = self.topology.wan_rtt[(src.dc_index, dst.dc_index)]
+        return Path(src, dst, scope, hops, wan_rtt=wan_rtt)
+
+    @staticmethod
+    def _dst_tor(dst_dc: ClosTopology, dst: Server) -> Switch:
+        tor = dst_dc.tor_of(dst)
+        if not tor.is_up:
+            raise NoRouteError(f"destination ToR {tor.device_id} is down")
+        return tor

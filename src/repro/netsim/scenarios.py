@@ -1,0 +1,176 @@
+"""Canned incident scenarios: the paper's war stories as one-liners.
+
+Each scenario applies a named failure to a fabric and returns a handle that
+can assert ground truth and undo itself.  Used by examples, benches and
+failure-injection tests so the "what happened" of each drill lives in one
+place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netsim.fabric import Fabric
+from repro.netsim.faults import (
+    BlackholeType1,
+    BlackholeType2,
+    CongestionFault,
+    Fault,
+    FcsErrorFault,
+    SilentRandomDrop,
+    podset_down,
+    podset_up,
+)
+
+__all__ = ["Scenario", "SCENARIOS", "apply_scenario"]
+
+
+@dataclass
+class Scenario:
+    """An applied incident: what was injected and how to clean it up."""
+
+    name: str
+    description: str
+    fabric: Fabric
+    faults: list[Fault] = field(default_factory=list)
+    downed_podset: tuple[int, int] | None = None  # (dc, podset)
+    ground_truth_devices: list[str] = field(default_factory=list)
+
+    def revert(self) -> None:
+        """Undo the scenario (clear faults, restore power)."""
+        for fault in self.faults:
+            self.fabric.faults.clear(fault)
+        if self.downed_podset is not None:
+            dc, podset = self.downed_podset
+            podset_up(self.fabric.topology, dc, podset)
+
+
+def _tor_blackhole(fabric: Fabric, dc: int = 0, pod: int = 2) -> Scenario:
+    """§5.1 type 1: a ToR's TCAM corrupts; address-pair black-holes."""
+    tor = fabric.topology.dc(dc).tors[pod]
+    fault = fabric.faults.inject(
+        BlackholeType1(switch_id=tor.device_id, fraction=0.5)
+    )
+    return Scenario(
+        name="tor-blackhole",
+        description="type-1 packet black-hole at one ToR (TCAM parity error)",
+        fabric=fabric,
+        faults=[fault],
+        ground_truth_devices=[tor.device_id],
+    )
+
+
+def _port_blackhole(fabric: Fabric, dc: int = 0, pod: int = 1) -> Scenario:
+    """§5.1 type 2: port-sensitive black-holes (ECMP-related corruption)."""
+    tor = fabric.topology.dc(dc).tors[pod]
+    fault = fabric.faults.inject(
+        BlackholeType2(switch_id=tor.device_id, fraction=0.3)
+    )
+    return Scenario(
+        name="port-blackhole",
+        description="type-2 black-hole: specific five-tuples dropped",
+        fabric=fabric,
+        faults=[fault],
+        ground_truth_devices=[tor.device_id],
+    )
+
+
+def _silent_spine(fabric: Fabric, dc: int = 0, spine: int = 1) -> Scenario:
+    """§5.2: a Spine's fabric module flips bits; random silent drops."""
+    switch = fabric.topology.dc(dc).spines[spine]
+    fault = fabric.faults.inject(
+        SilentRandomDrop(switch_id=switch.device_id, drop_prob=0.015)
+    )
+    return Scenario(
+        name="silent-spine",
+        description="silent random 1-2% drops at a Spine (bit flips)",
+        fabric=fabric,
+        faults=[fault],
+        ground_truth_devices=[switch.device_id],
+    )
+
+
+def _podset_power_loss(fabric: Fabric, dc: int = 0, podset: int = 1) -> Scenario:
+    """Figure 8(b): a whole podset loses power."""
+    podset_down(fabric.topology, dc, podset)
+    return Scenario(
+        name="podset-down",
+        description="podset power loss (Figure 8(b) white cross)",
+        fabric=fabric,
+        downed_podset=(dc, podset),
+    )
+
+
+def _leaf_congestion(fabric: Fabric, dc: int = 0, podset: int = 0) -> Scenario:
+    """Figure 8(c): the Leaf layer of one podset congests out of SLA."""
+    faults = [
+        fabric.faults.inject(
+            CongestionFault(
+                switch_id=leaf.device_id, drop_prob=1e-3, extra_queue_s=7e-3
+            )
+        )
+        for leaf in fabric.topology.dc(dc).leaves_of(podset)
+    ]
+    return Scenario(
+        name="leaf-congestion",
+        description="Leaf-layer congestion in one podset (Figure 8(c) red cross)",
+        fabric=fabric,
+        faults=faults,
+        ground_truth_devices=[f.switch_id for f in faults],
+    )
+
+
+def _spine_congestion(fabric: Fabric, dc: int = 0) -> Scenario:
+    """Figure 8(d): the whole Spine layer out of SLA."""
+    faults = [
+        fabric.faults.inject(
+            CongestionFault(
+                switch_id=spine.device_id, drop_prob=1e-3, extra_queue_s=7e-3
+            )
+        )
+        for spine in fabric.topology.dc(dc).spines
+    ]
+    return Scenario(
+        name="spine-congestion",
+        description="Spine-layer congestion (Figure 8(d) green diagonal)",
+        fabric=fabric,
+        faults=faults,
+        ground_truth_devices=[f.switch_id for f in faults],
+    )
+
+
+def _fcs_errors(fabric: Fabric, dc: int = 0, podset: int = 0) -> Scenario:
+    """§4.1's length-dependent drops: a dirty fiber into a Leaf."""
+    leaf = fabric.topology.dc(dc).leaves_of(podset)[0]
+    fault = fabric.faults.inject(
+        FcsErrorFault(switch_id=leaf.device_id, bit_error_rate=2e-7)
+    )
+    return Scenario(
+        name="fcs-errors",
+        description="fiber FCS errors: drop probability grows with frame size",
+        fabric=fabric,
+        faults=[fault],
+        ground_truth_devices=[leaf.device_id],
+    )
+
+
+SCENARIOS = {
+    "tor-blackhole": _tor_blackhole,
+    "port-blackhole": _port_blackhole,
+    "silent-spine": _silent_spine,
+    "podset-down": _podset_power_loss,
+    "leaf-congestion": _leaf_congestion,
+    "spine-congestion": _spine_congestion,
+    "fcs-errors": _fcs_errors,
+}
+
+
+def apply_scenario(name: str, fabric: Fabric, **kwargs) -> Scenario:
+    """Apply a named scenario to a fabric."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {sorted(SCENARIOS)}"
+        ) from None
+    return factory(fabric, **kwargs)

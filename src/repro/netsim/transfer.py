@@ -1,0 +1,116 @@
+"""Multi-round-trip transfer probes — addressing the §6.4 limitation.
+
+"Though the Pingmesh Agent can send and receive probing messages of up to
+64 KB, we only use SYN/SYN-ACK and a single packet for single RTT
+measurement. ... We recently experienced a live-site incident caused by TCP
+parameter tuning.  A bug ... rewrote the TCP parameters to their default
+value.  As a result, for some of our services, the initial congestion
+window (ICW) reduced from 16 to 4.  For long distance TCP sessions, the
+session finish time increased by several hundreds of milliseconds ...
+Pingmesh did not catch this because it only measures single packet RTT."
+
+This module implements the fix the limitation implies: a *transfer probe*
+that measures the completion time of a multi-segment transfer, which is
+sensitive to the ICW.  Slow-start without loss delivers ``icw`` segments in
+round 1, ``2·icw`` in round 2, and so on; the number of round trips — and
+therefore the WAN-dominated completion time — depends directly on the ICW.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.netsim.fabric import DEFAULT_PROBE_PORT, Fabric
+
+__all__ = ["TransferResult", "transfer_rounds", "transfer_probe", "MSS_BYTES"]
+
+MSS_BYTES = 1460
+DEFAULT_ICW_SEGMENTS = 16  # the tuned production value of §6.4
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Outcome of one transfer probe."""
+
+    src: str
+    dst: str
+    payload_bytes: int
+    icw_segments: int
+    success: bool
+    handshake_rtt_s: float
+    data_round_trips: int
+    completion_s: float  # handshake + all data rounds
+    error: str | None = None
+
+
+def transfer_rounds(payload_bytes: int, icw_segments: int, mss: int = MSS_BYTES) -> int:
+    """Round trips needed to deliver a payload under lossless slow start.
+
+    Round k (1-indexed) can carry ``icw · 2^(k-1)`` segments, so after k
+    rounds ``icw · (2^k − 1)`` segments have been delivered.
+    """
+    if payload_bytes < 0:
+        raise ValueError(f"payload must be >= 0: {payload_bytes}")
+    if icw_segments < 1:
+        raise ValueError(f"icw must be >= 1: {icw_segments}")
+    segments = math.ceil(payload_bytes / mss)
+    if segments == 0:
+        return 0
+    # Smallest k with icw * (2^k - 1) >= segments.
+    return math.ceil(math.log2(segments / icw_segments + 1))
+
+
+def transfer_probe(
+    fabric: Fabric,
+    src,
+    dst,
+    payload_bytes: int,
+    t: float = 0.0,
+    icw_segments: int = DEFAULT_ICW_SEGMENTS,
+    dst_port: int = DEFAULT_PROBE_PORT,
+) -> TransferResult:
+    """Measure the completion time of a multi-segment transfer.
+
+    The handshake reuses the regular probe (full drop/retransmission
+    semantics); each data round trip then samples a fresh RTT on the same
+    connection's path.  Round-trip *count* is the ICW-sensitive part; per-
+    round RTTs carry the usual latency distribution.
+    """
+    handshake = fabric.probe(src, dst, t=t, dst_port=dst_port)
+    src_id = handshake.src
+    dst_id = handshake.dst
+    if not handshake.success:
+        return TransferResult(
+            src=src_id,
+            dst=dst_id,
+            payload_bytes=payload_bytes,
+            icw_segments=icw_segments,
+            success=False,
+            handshake_rtt_s=handshake.rtt_s,
+            data_round_trips=0,
+            completion_s=handshake.rtt_s,
+            error=handshake.error,
+        )
+
+    rounds = transfer_rounds(payload_bytes, icw_segments)
+    src_server = fabric.topology.server(src_id)
+    dst_server = fabric.topology.server(dst_id)
+    latency_model = fabric.latency_model(src_server.dc_index)
+    flow = handshake.flow
+    forward = fabric.router.path(src_server, dst_server, flow)
+    total = handshake.rtt_s
+    for _ in range(rounds):
+        total += latency_model.sample_one(
+            fabric.rng, forward.n_hops, t=t, wan_rtt=forward.wan_rtt
+        )
+    return TransferResult(
+        src=src_id,
+        dst=dst_id,
+        payload_bytes=payload_bytes,
+        icw_segments=icw_segments,
+        success=True,
+        handshake_rtt_s=handshake.rtt_s,
+        data_round_trips=rounds,
+        completion_s=total,
+    )

@@ -1,0 +1,115 @@
+"""Tests for the Perfcounter Aggregator."""
+
+import pytest
+
+from repro.autopilot.perfcounter import PerfcounterAggregator
+from repro.netsim.simclock import EventQueue, SimClock
+
+
+@pytest.fixture()
+def queue():
+    return EventQueue(SimClock())
+
+
+def _static_producer(values):
+    return lambda t: dict(values)
+
+
+class TestCollection:
+    def test_collects_every_period(self, queue):
+        pa = PerfcounterAggregator(queue, collection_period_s=300.0)
+        pa.register_producer("srv0", _static_producer({"p99_us": 500.0}))
+        pa.start()
+        queue.run_for(1500.0)
+        series = pa.series("srv0", "p99_us")
+        assert [s.t for s in series] == [300.0, 600.0, 900.0, 1200.0, 1500.0]
+        assert pa.collections_run == 5
+
+    def test_five_minute_default_matches_paper(self, queue):
+        assert PerfcounterAggregator(queue).collection_period_s == 300.0
+
+    def test_latest(self, queue):
+        pa = PerfcounterAggregator(queue, collection_period_s=100.0)
+        ticker = {"n": 0}
+
+        def producer(t):
+            ticker["n"] += 1
+            return {"count": float(ticker["n"])}
+
+        pa.register_producer("srv0", producer)
+        pa.start()
+        queue.run_for(300.0)
+        assert pa.latest("srv0", "count").value == 3.0
+        assert pa.latest("srv0", "missing") is None
+
+    def test_broken_producer_does_not_stop_collection(self, queue):
+        pa = PerfcounterAggregator(queue, collection_period_s=100.0)
+
+        def broken(t):
+            raise RuntimeError("producer crashed")
+
+        pa.register_producer("bad", broken)
+        pa.register_producer("good", _static_producer({"x": 1.0}))
+        pa.start()
+        queue.run_for(200.0)
+        assert len(pa.series("good", "x")) == 2
+        assert pa.series("bad", "x") == []
+
+    def test_unregister_stops_future_samples(self, queue):
+        pa = PerfcounterAggregator(queue, collection_period_s=100.0)
+        pa.register_producer("srv0", _static_producer({"x": 1.0}))
+        pa.start()
+        queue.run_for(100.0)
+        pa.unregister_producer("srv0")
+        queue.run_for(200.0)
+        assert len(pa.series("srv0", "x")) == 1
+        assert pa.producer_count == 0
+
+    def test_double_start_rejected(self, queue):
+        pa = PerfcounterAggregator(queue)
+        pa.start()
+        with pytest.raises(RuntimeError):
+            pa.start()
+
+    def test_invalid_period_rejected(self, queue):
+        with pytest.raises(ValueError):
+            PerfcounterAggregator(queue, collection_period_s=0)
+
+    def test_counters_of(self, queue):
+        pa = PerfcounterAggregator(queue, collection_period_s=100.0)
+        pa.register_producer("srv0", _static_producer({"b": 1.0, "a": 2.0}))
+        pa.start()
+        queue.run_for(100.0)
+        assert pa.counters_of("srv0") == ["a", "b"]
+
+
+class TestAggregation:
+    @pytest.fixture()
+    def populated(self, queue):
+        pa = PerfcounterAggregator(queue, collection_period_s=100.0)
+        for i, value in enumerate([1.0, 2.0, 3.0, 10.0]):
+            pa.register_producer(f"srv{i}", _static_producer({"drop_rate": value}))
+        pa.start()
+        queue.run_for(100.0)
+        return pa
+
+    def test_mean(self, populated):
+        assert populated.aggregate_latest("drop_rate", "mean") == 4.0
+
+    def test_max_min(self, populated):
+        assert populated.aggregate_latest("drop_rate", "max") == 10.0
+        assert populated.aggregate_latest("drop_rate", "min") == 1.0
+
+    def test_percentile(self, populated):
+        assert populated.aggregate_latest("drop_rate", "percentile", q=50) == 2.5
+
+    def test_percentile_requires_q(self, populated):
+        with pytest.raises(ValueError):
+            populated.aggregate_latest("drop_rate", "percentile")
+
+    def test_unknown_aggregation_rejected(self, populated):
+        with pytest.raises(ValueError):
+            populated.aggregate_latest("drop_rate", "median-ish")
+
+    def test_missing_counter_returns_none(self, populated):
+        assert populated.aggregate_latest("nothing") is None

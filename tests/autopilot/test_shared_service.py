@@ -1,0 +1,107 @@
+"""Tests for the shared-service framework and resource caps."""
+
+import pytest
+
+from repro.autopilot.shared_service import (
+    ResourceBudgetExceeded,
+    ResourceUsage,
+    SharedService,
+)
+
+
+class TestResourceUsage:
+    def test_cpu_accumulates(self):
+        usage = ResourceUsage()
+        usage.charge_cpu(1.0)
+        usage.charge_cpu(0.5)
+        assert usage.cpu_seconds == 1.5
+
+    def test_negative_charges_rejected(self):
+        usage = ResourceUsage()
+        with pytest.raises(ValueError):
+            usage.charge_cpu(-1.0)
+        with pytest.raises(ValueError):
+            usage.set_memory(-1.0)
+        with pytest.raises(ValueError):
+            usage.charge_bytes(-1)
+
+    def test_peak_memory_watermark(self):
+        usage = ResourceUsage()
+        usage.set_memory(40.0)
+        usage.set_memory(45.0)
+        usage.set_memory(30.0)
+        assert usage.memory_mb == 30.0
+        assert usage.peak_memory_mb == 45.0
+
+    def test_cpu_utilization(self):
+        usage = ResourceUsage(started_at=100.0)
+        usage.charge_cpu(2.0)
+        assert usage.cpu_utilization(now=300.0) == pytest.approx(0.01)
+
+    def test_cpu_utilization_before_start_is_zero(self):
+        usage = ResourceUsage(started_at=100.0)
+        assert usage.cpu_utilization(now=100.0) == 0.0
+
+
+class TestSharedService:
+    def test_lifecycle(self):
+        service = SharedService("svc", "srv0")
+        service.start(now=10.0)
+        assert service.running
+        service.stop()
+        assert not service.running
+
+    def test_double_start_rejected(self):
+        service = SharedService("svc", "srv0")
+        service.start()
+        with pytest.raises(RuntimeError):
+            service.start()
+
+    def test_stop_when_not_running_is_noop(self):
+        SharedService("svc", "srv0").stop()
+
+    def test_invalid_caps_rejected(self):
+        with pytest.raises(ValueError):
+            SharedService("svc", "srv0", memory_cap_mb=0)
+        with pytest.raises(ValueError):
+            SharedService("svc", "srv0", cpu_cap_fraction=0)
+
+    def test_memory_cap_terminates_fail_closed(self):
+        """§3.4.2: exceed the memory cap and the OS kills the agent."""
+        service = SharedService("svc", "srv0", memory_cap_mb=45.0)
+        service.start()
+        service.charge(memory_mb=44.0)
+        assert service.running
+        with pytest.raises(ResourceBudgetExceeded):
+            service.charge(memory_mb=46.0)
+        assert not service.running
+        assert "memory cap exceeded" in service.terminated_reason
+
+    def test_restart_clears_termination_reason(self):
+        service = SharedService("svc", "srv0", memory_cap_mb=10.0)
+        service.start()
+        with pytest.raises(ResourceBudgetExceeded):
+            service.charge(memory_mb=20.0)
+        service.start(now=50.0)
+        assert service.terminated_reason is None
+
+    def test_charges_ignored_when_stopped(self):
+        service = SharedService("svc", "srv0")
+        service.charge(cpu_seconds=5.0)
+        assert service.usage.cpu_seconds == 0.0
+
+    def test_perf_counters_exposed(self):
+        service = SharedService("svc", "srv0")
+        service.start(now=0.0)
+        service.charge(cpu_seconds=1.0, memory_mb=30.0)
+        counters = service.perf_counters(now=100.0)
+        assert counters["cpu_utilization"] == pytest.approx(0.01)
+        assert counters["memory_mb"] == 30.0
+        assert counters["peak_memory_mb"] == 30.0
+
+    def test_bytes_accounting(self):
+        service = SharedService("svc", "srv0")
+        service.start()
+        service.charge(sent_bytes=1000)
+        service.charge(sent_bytes=500)
+        assert service.usage.bytes_sent == 1500

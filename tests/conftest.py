@@ -1,0 +1,16 @@
+"""Shared test configuration.
+
+Hypothesis's per-example deadline is disabled: the property tests build
+topologies and fabrics whose first-example cost is dominated by one-time
+construction, which trips wall-clock deadlines on loaded CI machines
+without indicating any regression.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

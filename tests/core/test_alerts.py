@@ -1,0 +1,96 @@
+"""Tests for threshold alerting (§4.3)."""
+
+import pytest
+
+from repro.core.dsa.alerts import AlertEngine, SlaThresholds
+from repro.core.dsa.sla import NetworkSla, SlaScope
+
+
+def _sla(drop_rate=1e-5, p99_us=800.0, probe_count=1000, key="dc0"):
+    return NetworkSla(
+        scope=SlaScope.DATACENTER,
+        key=key,
+        window_start=0.0,
+        window_end=600.0,
+        probe_count=probe_count,
+        drop_rate=drop_rate,
+        p50_us=250.0,
+        p99_us=p99_us,
+    )
+
+
+class TestThresholds:
+    def test_paper_defaults(self):
+        thresholds = SlaThresholds()
+        assert thresholds.max_drop_rate == 1e-3
+        assert thresholds.max_p99_us == 5000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlaThresholds(max_drop_rate=0)
+        with pytest.raises(ValueError):
+            SlaThresholds(max_p99_us=-1)
+        with pytest.raises(ValueError):
+            SlaThresholds(min_probe_count=0)
+
+
+class TestAlerting:
+    def test_healthy_sla_fires_nothing(self):
+        engine = AlertEngine()
+        assert engine.evaluate([_sla()]) == []
+        assert engine.history == []
+
+    def test_drop_rate_violation(self):
+        engine = AlertEngine()
+        alerts = engine.evaluate([_sla(drop_rate=2e-3)])
+        assert len(alerts) == 1
+        assert alerts[0].metric == "drop_rate"
+        assert alerts[0].value == 2e-3
+        assert alerts[0].threshold == 1e-3
+
+    def test_p99_violation(self):
+        engine = AlertEngine()
+        alerts = engine.evaluate([_sla(p99_us=7000.0)])
+        assert alerts[0].metric == "p99_us"
+
+    def test_both_metrics_fire_together(self):
+        engine = AlertEngine()
+        alerts = engine.evaluate([_sla(drop_rate=5e-3, p99_us=9000.0)])
+        assert {alert.metric for alert in alerts} == {"drop_rate", "p99_us"}
+
+    def test_small_windows_are_skipped(self):
+        engine = AlertEngine(SlaThresholds(min_probe_count=100))
+        assert engine.evaluate([_sla(drop_rate=1.0, probe_count=10)]) == []
+
+    def test_none_p99_tolerated(self):
+        sla = NetworkSla(
+            scope=SlaScope.SERVER,
+            key="s",
+            window_start=0.0,
+            window_end=600.0,
+            probe_count=50,
+            drop_rate=0.0,
+            p50_us=None,
+            p99_us=None,
+        )
+        assert AlertEngine().evaluate([sla]) == []
+
+    def test_history_accumulates_and_filters(self):
+        engine = AlertEngine()
+        engine.evaluate([_sla(drop_rate=2e-3, key="dc0")])
+        engine.evaluate([_sla(drop_rate=3e-3, key="dc1")])
+        assert len(engine.history) == 2
+        assert len(engine.alerts_for("dc0")) == 1
+
+    def test_is_network_issue(self):
+        """§4.3: Pingmesh answers the 'is it the network?' question."""
+        engine = AlertEngine()
+        assert engine.is_network_issue([_sla()]) is False
+        assert engine.is_network_issue([_sla(p99_us=6000.0)]) is True
+
+    def test_as_row(self):
+        engine = AlertEngine()
+        alert = engine.evaluate([_sla(drop_rate=2e-3)])[0]
+        row = alert.as_row()
+        assert row["metric"] == "drop_rate"
+        assert row["t"] == 600.0

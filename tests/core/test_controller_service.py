@@ -1,0 +1,157 @@
+"""Tests for the replicated controller web service (§3.3.2)."""
+
+import pytest
+
+from repro.core.controller.generator import GeneratorConfig
+from repro.core.controller.service import (
+    ControllerUnavailableError,
+    PinglistNotFoundError,
+    PingmeshControllerService,
+)
+from repro.netsim.topology import MultiDCTopology, TopologySpec
+
+
+@pytest.fixture()
+def topology():
+    return MultiDCTopology.single(TopologySpec())
+
+
+@pytest.fixture()
+def service(topology):
+    service = PingmeshControllerService(topology, n_replicas=2)
+    service.regenerate()
+    return service
+
+
+class TestGeneration:
+    def test_regenerate_populates_all_replicas(self, service, topology):
+        for replica in service.replicas.values():
+            assert len(replica.files) == topology.n_servers
+            assert replica.generation == 1
+
+    def test_regenerate_bumps_generation(self, service):
+        assert service.regenerate() == 2
+        assert service.get_pinglist("dc0/ps0/pod0/srv0").generation == 2
+
+    def test_replicas_serve_identical_content(self, service):
+        files = [replica.files for replica in service.replicas.values()]
+        assert files[0] == files[1]
+
+    def test_needs_at_least_one_replica(self, topology):
+        with pytest.raises(ValueError):
+            PingmeshControllerService(topology, n_replicas=0)
+
+
+class TestServing:
+    def test_get_pinglist_roundtrip(self, service, topology):
+        server_id = topology.dc(0).servers[5].device_id
+        pinglist = service.get_pinglist(server_id)
+        assert pinglist.server_id == server_id
+        assert len(pinglist) > 0
+
+    def test_unknown_server_is_404(self, service):
+        with pytest.raises(PinglistNotFoundError):
+            service.get_pinglist("dc9/ghost")
+
+    def test_requests_spread_over_replicas(self, service):
+        for _ in range(10):
+            service.get_pinglist("dc0/ps0/pod0/srv0")
+        served = [replica.requests_served for replica in service.replicas.values()]
+        assert served == [5, 5]
+
+    def test_one_replica_down_is_transparent(self, service):
+        service.fail_replica("controller0")
+        pinglist = service.get_pinglist("dc0/ps0/pod0/srv0")
+        assert pinglist is not None
+        assert service.healthy_replica_count() == 1
+
+    def test_all_replicas_down_is_unavailable(self, service):
+        service.fail_replica("controller0")
+        service.fail_replica("controller1")
+        with pytest.raises(ControllerUnavailableError):
+            service.get_pinglist("dc0/ps0/pod0/srv0")
+
+    def test_recovered_replica_regenerates_same_files(self, service):
+        service.fail_replica("controller0")
+        service.regenerate()  # only controller1 gets generation 2
+        service.recover_replica("controller0")
+        assert (
+            service.replicas["controller0"].files
+            == service.replicas["controller1"].files
+        )
+
+
+class TestKillSwitch:
+    def test_remove_all_pinglists_serves_404(self, service):
+        """'we can stop the Pingmesh Agent from working by simply removing
+        all the pinglist files from the controller'."""
+        service.remove_all_pinglists()
+        with pytest.raises(PinglistNotFoundError):
+            service.get_pinglist("dc0/ps0/pod0/srv0")
+
+    def test_regenerate_restores_service(self, service):
+        service.remove_all_pinglists()
+        service.regenerate()
+        assert service.get_pinglist("dc0/ps0/pod0/srv0") is not None
+
+
+class TestReconfigure:
+    def test_reconfigure_changes_pinglists(self, service):
+        before = service.get_pinglist("dc0/ps0/pod0/srv0")
+        service.reconfigure(GeneratorConfig(enable_qos_low=True))
+        after = service.get_pinglist("dc0/ps0/pod0/srv0")
+        assert len(after) > len(before)
+        assert after.generation == before.generation + 1
+
+
+class TestConditionalGet:
+    def test_304_when_generation_current(self, service):
+        pinglist = service.get_pinglist("dc0/ps0/pod0/srv0")
+        assert (
+            service.get_pinglist(
+                "dc0/ps0/pod0/srv0", if_generation=pinglist.generation
+            )
+            is None
+        )
+
+    def test_full_body_when_stale(self, service):
+        pinglist = service.get_pinglist("dc0/ps0/pod0/srv0")
+        service.regenerate()
+        fresh = service.get_pinglist(
+            "dc0/ps0/pod0/srv0", if_generation=pinglist.generation
+        )
+        assert fresh is not None
+        assert fresh.generation == pinglist.generation + 1
+
+    def test_404_beats_304(self, service):
+        """A removed pinglist must 404 even with a matching generation —
+        the kill switch cannot be masked by caching."""
+        service.remove_all_pinglists()
+        with pytest.raises(PinglistNotFoundError):
+            service.get_pinglist("dc0/ps0/pod0/srv0", if_generation=1)
+
+
+class TestTopologyGrowthConsistency:
+    def test_replicas_agree_after_growth(self, service, topology):
+        """Stateless replicas must generate identical files after the
+        topology grows — determinism is what lets any replica serve any
+        agent (§3.3.2)."""
+        topology.dc(0).add_podset()
+        service.regenerate()
+        files = [replica.files for replica in service.replicas.values()]
+        assert files[0] == files[1]
+        assert len(files[0]) == topology.n_servers
+
+    def test_new_servers_served_after_growth(self, service, topology):
+        new_servers = topology.dc(0).add_podset()
+        service.regenerate()
+        pinglist = service.get_pinglist(new_servers[0].device_id)
+        assert len(pinglist) > 0
+        # And existing servers' pinglists now include the new pods.
+        old = service.get_pinglist(topology.dc(0).servers[0].device_id)
+        new_pods = {server.pod_index for server in new_servers}
+        tor_level_pods = {
+            topology.server(entry.peer_id).pod_index
+            for entry in old.peers_by_purpose("tor-level")
+        }
+        assert new_pods & tor_level_pods

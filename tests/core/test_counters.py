@@ -1,0 +1,120 @@
+"""Tests for the agent's streaming latency counters."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.agent.counters import LatencyCounters
+
+
+class TestIngestion:
+    def test_counts_successes_and_failures(self):
+        counters = LatencyCounters()
+        counters.add(True, 250e-6)
+        counters.add(True, 300e-6)
+        counters.add(False, 21.0)
+        assert counters.probes_total == 3
+        assert counters.probes_success == 2
+        assert counters.probes_failed == 1
+
+    def test_drop_signatures_classified(self):
+        counters = LatencyCounters()
+        counters.add(True, 250e-6)  # clean
+        counters.add(True, 3.0003)  # one drop
+        counters.add(True, 9.0004)  # two drops
+        assert counters.probes_one_drop == 1
+        assert counters.probes_two_drops == 1
+
+    def test_drop_rate_heuristic(self):
+        counters = LatencyCounters()
+        for _ in range(97):
+            counters.add(True, 250e-6)
+        counters.add(True, 3.1)
+        counters.add(True, 9.2)
+        counters.add(False, 21.0)  # failed probes excluded entirely
+        assert counters.drop_rate() == pytest.approx(2 / 99)
+
+    def test_drop_rate_empty_window(self):
+        assert LatencyCounters().drop_rate() == 0.0
+
+    def test_nine_second_probe_counts_one_drop(self):
+        """'we only count one packet drop instead of two for every
+        connection with 9 second RTT'."""
+        counters = LatencyCounters()
+        counters.add(True, 9.1)
+        counters.add(True, 200e-6)
+        assert counters.drop_rate() == pytest.approx(1 / 2)
+
+
+class TestPercentiles:
+    def test_percentiles_from_reservoir(self):
+        counters = LatencyCounters()
+        for rtt_us in range(100, 200):
+            counters.add(True, rtt_us * 1e-6)
+        assert counters.percentile_us(50) == pytest.approx(149.5, rel=0.02)
+        assert counters.percentile_us(99) == pytest.approx(198, rel=0.02)
+
+    def test_percentile_none_when_empty(self):
+        assert LatencyCounters().percentile_us(99) is None
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            LatencyCounters().percentile_us(101)
+
+    def test_reservoir_is_bounded(self):
+        counters = LatencyCounters(reservoir_size=100, seed=1)
+        for _ in range(10_000):
+            counters.add(True, 250e-6)
+        assert counters.memory_samples == 100
+
+    def test_reservoir_approximates_full_distribution(self):
+        rng = np.random.default_rng(7)
+        samples = rng.lognormal(np.log(250e-6), 0.5, 50_000)
+        counters = LatencyCounters(reservoir_size=4096, seed=2)
+        for rtt in samples:
+            counters.add(True, float(rtt))
+        true_p50 = float(np.percentile(samples, 50)) * 1e6
+        assert counters.percentile_us(50) == pytest.approx(true_p50, rel=0.05)
+
+    def test_invalid_reservoir_size(self):
+        with pytest.raises(ValueError):
+            LatencyCounters(reservoir_size=0)
+
+
+class TestWindows:
+    def test_reset_window_clears_everything(self):
+        counters = LatencyCounters()
+        counters.add(True, 3.2)
+        counters.add(False, 21.0)
+        counters.reset_window()
+        assert counters.probes_total == 0
+        assert counters.drop_rate() == 0.0
+        assert counters.percentile_us(50) is None
+
+    def test_snapshot_shape(self):
+        counters = LatencyCounters()
+        counters.add(True, 500e-6)
+        snapshot = counters.snapshot()
+        assert set(snapshot) == {
+            "probes_total",
+            "probes_failed",
+            "packet_drop_rate",
+            "latency_p50_us",
+            "latency_p99_us",
+        }
+        assert snapshot["latency_p50_us"] == pytest.approx(500.0)
+
+    def test_snapshot_zero_defaults_when_empty(self):
+        snapshot = LatencyCounters().snapshot()
+        assert snapshot["latency_p50_us"] == 0.0
+        assert snapshot["packet_drop_rate"] == 0.0
+
+    @given(st.lists(st.floats(min_value=1e-5, max_value=1.0), max_size=200))
+    def test_drop_rate_bounded(self, rtts):
+        """Property: the heuristic never exceeds 1 for sub-3s RTTs mixed
+        with signature RTTs."""
+        counters = LatencyCounters(reservoir_size=64)
+        for rtt in rtts:
+            counters.add(True, rtt)
+        assert 0.0 <= counters.drop_rate() <= 1.0

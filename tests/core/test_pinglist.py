@@ -1,0 +1,145 @@
+"""Tests for pinglist models and XML round-tripping."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.controller.pinglist import (
+    PingParameters,
+    Pinglist,
+    PinglistEntry,
+    PinglistParseError,
+)
+
+
+def _pinglist(entries=None, **params):
+    return Pinglist(
+        server_id="dc0/ps0/pod0/srv0",
+        generation=3,
+        generated_at=123.5,
+        parameters=PingParameters(**params),
+        entries=entries
+        or [
+            PinglistEntry("dc0/ps0/pod0/srv1", "10.0.0.2", "intra-pod"),
+            PinglistEntry("dc0/ps0/pod1/srv0", "10.0.0.9", "tor-level"),
+            PinglistEntry("dc1/ps0/pod0/srv0", "11.0.0.1", "inter-dc", qos="low"),
+            PinglistEntry(
+                "dc0/ps1/pod4/srv0", "10.0.0.33", "tor-level", payload_bytes=1000
+            ),
+        ],
+    )
+
+
+class TestModels:
+    def test_parameters_validation(self):
+        with pytest.raises(ValueError):
+            PingParameters(probe_interval_s=0)
+        with pytest.raises(ValueError):
+            PingParameters(payload_bytes=-1)
+        with pytest.raises(ValueError):
+            PingParameters(tcp_port_high=0)
+
+    def test_port_for_qos(self):
+        params = PingParameters(tcp_port_high=81, tcp_port_low=82)
+        assert params.port_for("high") == 81
+        assert params.port_for("low") == 82
+        with pytest.raises(ValueError):
+            params.port_for("mid")
+
+    def test_entry_validation(self):
+        with pytest.raises(ValueError):
+            PinglistEntry("x", "10.0.0.1", purpose="warp")
+        with pytest.raises(ValueError):
+            PinglistEntry("x", "10.0.0.1", qos="medium")
+        with pytest.raises(ValueError):
+            PinglistEntry("x", "10.0.0.1", payload_bytes=-5)
+
+    def test_len_and_purpose_filter(self):
+        pinglist = _pinglist()
+        assert len(pinglist) == 4
+        assert len(pinglist.peers_by_purpose("tor-level")) == 2
+        assert len(pinglist.peers_by_purpose("vip")) == 0
+        with pytest.raises(ValueError):
+            pinglist.peers_by_purpose("nothing")
+
+
+class TestXmlRoundTrip:
+    def test_roundtrip_preserves_everything(self):
+        original = _pinglist(probe_interval_s=30.0, payload_bytes=0)
+        parsed = Pinglist.from_xml(original.to_xml())
+        assert parsed.server_id == original.server_id
+        assert parsed.generation == original.generation
+        assert parsed.generated_at == original.generated_at
+        assert parsed.parameters == original.parameters
+        assert parsed.entries == original.entries
+
+    def test_empty_pinglist_roundtrip(self):
+        original = _pinglist(entries=[])
+        original.entries = []
+        parsed = Pinglist.from_xml(original.to_xml())
+        assert parsed.entries == []
+
+    def test_xml_is_standard_and_humanish(self):
+        xml = _pinglist().to_xml()
+        assert xml.startswith("<Pinglist")
+        assert "<Peers>" in xml
+        assert 'purpose="inter-dc"' in xml
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(PinglistParseError):
+            Pinglist.from_xml("<Pinglist><unclosed>")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(PinglistParseError):
+            Pinglist.from_xml("<NotAPinglist/>")
+
+    def test_missing_parameters_rejected(self):
+        with pytest.raises(PinglistParseError):
+            Pinglist.from_xml(
+                '<Pinglist server="s" generation="1" generatedAt="0.0"><Peers/></Pinglist>'
+            )
+
+    def test_bad_attribute_types_rejected(self):
+        xml = _pinglist().to_xml().replace('generation="3"', 'generation="three"')
+        with pytest.raises(PinglistParseError):
+            Pinglist.from_xml(xml)
+
+    @given(
+        st.floats(min_value=1.0, max_value=3600.0, allow_nan=False),
+        st.integers(min_value=0, max_value=65_536),
+        st.integers(min_value=0, max_value=500),
+    )
+    def test_roundtrip_property(self, interval, payload, n_peers):
+        entries = [
+            PinglistEntry(f"srv{i}", f"10.0.{i // 256}.{i % 256 or 1}", "tor-level")
+            for i in range(min(n_peers, 40))
+        ]
+        original = Pinglist(
+            server_id="s",
+            generation=1,
+            generated_at=0.0,
+            parameters=PingParameters(
+                probe_interval_s=interval, payload_bytes=payload
+            ),
+            entries=entries,
+        )
+        parsed = Pinglist.from_xml(original.to_xml())
+        assert parsed.parameters.probe_interval_s == interval
+        assert len(parsed.entries) == len(entries)
+
+
+class TestParserRobustness:
+    @given(st.text(max_size=300))
+    def test_arbitrary_text_never_crashes_the_parser(self, text):
+        """Fuzz: any input either parses or raises PinglistParseError."""
+        try:
+            Pinglist.from_xml(text)
+        except PinglistParseError:
+            pass
+
+    @given(st.text(alphabet="<>/ab \"'=", max_size=120))
+    def test_tag_soup_never_crashes_the_parser(self, soup):
+        try:
+            Pinglist.from_xml("<Pinglist" + soup)
+        except PinglistParseError:
+            pass

@@ -1,0 +1,164 @@
+"""Tests for the DSA pipeline cadences and wiring."""
+
+import pytest
+
+from repro.core.dsa.database import ResultsDatabase
+from repro.core.dsa.pipeline import DsaConfig, DsaPipeline
+from repro.core.dsa.records import LATENCY_STREAM
+from repro.cosmos.jobs import JobManager
+from repro.cosmos.store import CosmosStore
+from repro.netsim.simclock import EventQueue, SimClock
+from repro.netsim.topology import MultiDCTopology, TopologySpec
+
+
+def _record(t, src_pod=0, dst_pod=1, rtt_us=250.0, success=True):
+    return {
+        "t": t,
+        "src": f"dc0/s{src_pod}",
+        "dst": f"dc0/d{dst_pod}",
+        "src_dc": 0,
+        "dst_dc": 0,
+        "src_podset": src_pod // 4,
+        "dst_podset": dst_pod // 4,
+        "src_pod": src_pod,
+        "dst_pod": dst_pod,
+        "success": success,
+        "rtt_us": rtt_us,
+        "syn_drops": 0,
+        "purpose": "tor-level",
+        "qos": "high",
+    }
+
+
+@pytest.fixture()
+def world():
+    clock = SimClock()
+    queue = EventQueue(clock)
+    store = CosmosStore()
+    db = ResultsDatabase()
+    topology = MultiDCTopology.single(TopologySpec())
+    pipeline = DsaPipeline(
+        store=store,
+        database=db,
+        job_manager=JobManager(queue),
+        topology=topology,
+        config=DsaConfig(ingestion_delay_s=0.0),
+    )
+    pipeline.register_jobs()
+    return clock, queue, store, db, pipeline
+
+
+def _seed_records(store, until_t, every=60.0):
+    records = []
+    t = 0.0
+    while t < until_t:
+        for src_pod in range(8):
+            for dst_pod in range(8):
+                records.append(_record(t, src_pod, dst_pod))
+        t += every
+    store.append(LATENCY_STREAM, records, t=until_t)
+
+
+class TestCadences:
+    def test_jobs_registered(self, world):
+        _clock, _queue, _store, _db, pipeline = world
+        assert pipeline.job_manager.jobs() == ["dsa-10min", "dsa-1day", "dsa-1hour"]
+
+    def test_ten_minute_job_produces_podpair_rows(self, world):
+        clock, queue, store, db, pipeline = world
+        _seed_records(store, 600.0)
+        queue.run_for(600.0)
+        assert db.row_count("podpair_10min") == 64
+        assert db.row_count("patterns_10min") == 1
+
+    def test_hourly_job_produces_slas(self, world):
+        clock, queue, store, db, pipeline = world
+        _seed_records(store, 3600.0)
+        queue.run_for(3600.0)
+        rows = db.query("sla_hourly")
+        assert rows
+        scopes = {row["scope"] for row in rows}
+        assert "datacenter" in scopes and "server" in scopes
+
+    def test_daily_job_produces_drop_table(self, world):
+        clock, queue, store, db, pipeline = world
+        _seed_records(store, 600.0)
+        queue.run_for(86_400.0)
+        rows = db.query("drop_daily")
+        assert len(rows) == 1  # first daily window [0, 86400) has the data
+        assert rows[0]["intra_pod_probes"] > 0
+        assert db.query("blackhole_daily")  # the daily detector also ran
+
+    def test_ingestion_delay_shifts_window(self):
+        clock = SimClock()
+        queue = EventQueue(clock)
+        store = CosmosStore()
+        db = ResultsDatabase()
+        pipeline = DsaPipeline(
+            store=store,
+            database=db,
+            job_manager=JobManager(queue),
+            topology=MultiDCTopology.single(TopologySpec()),
+            config=DsaConfig(ingestion_delay_s=600.0),
+        )
+        pipeline.register_jobs()
+        # Records only exist in [0, 600); with a 600 s delay the job at
+        # t=1200 processes exactly [0, 600).
+        store.append(
+            LATENCY_STREAM, [_record(float(t)) for t in range(0, 600, 10)], t=600.0
+        )
+        queue.run_for(600.0)
+        assert db.row_count("podpair_10min") == 0  # window [−600, 0) empty
+        queue.run_for(600.0)
+        assert db.row_count("podpair_10min") == 1
+
+    def test_near_real_time_latency_about_20_minutes(self):
+        """§3.5: generation → consumption ≈ 20 min for the 10-min jobs."""
+        config = DsaConfig(ingestion_delay_s=600.0)
+        # A record generated just after a window opens waits period+delay.
+        worst_case = config.near_real_time_period_s + config.ingestion_delay_s
+        assert worst_case == pytest.approx(1200.0)  # 20 minutes
+
+
+class TestPatternsAndQueries:
+    def test_normal_pattern_recorded(self, world):
+        clock, queue, store, db, pipeline = world
+        _seed_records(store, 600.0)
+        queue.run_for(600.0)
+        pattern = pipeline.latest_pattern(0)
+        assert pattern["pattern"] == "normal"
+
+    def test_latest_pattern_none_before_first_job(self, world):
+        assert world[4].latest_pattern(0) is None
+
+    def test_latest_heatmap_on_demand(self, world):
+        clock, queue, store, db, pipeline = world
+        _seed_records(store, 600.0)
+        clock.advance_to(600.0)
+        heatmap = pipeline.latest_heatmap(0, t=600.0)
+        assert heatmap.n_pods == 8
+
+    def test_retention_expires_old_data(self):
+        clock = SimClock()
+        queue = EventQueue(clock)
+        store = CosmosStore(extent_max_records=10)
+        db = ResultsDatabase()
+        pipeline = DsaPipeline(
+            store=store,
+            database=db,
+            job_manager=JobManager(queue),
+            topology=MultiDCTopology.single(TopologySpec()),
+            config=DsaConfig(ingestion_delay_s=0.0, retention_s=3600.0),
+        )
+        pipeline.register_jobs()
+        store.append(LATENCY_STREAM, [_record(1.0)] * 10, t=1.0)
+        queue.run_for(2 * 86_400.0)
+        assert store.stream(LATENCY_STREAM).record_count == 0
+
+
+class TestConfigValidation:
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            DsaConfig(ingestion_delay_s=-1.0)
+        with pytest.raises(ValueError):
+            DsaConfig(hourly_period_s=0)

@@ -1,0 +1,160 @@
+"""Tests for the canned DSA queries."""
+
+import pytest
+
+from repro.core.dsa.database import ResultsDatabase
+from repro.core.dsa.queries import DsaQueries
+
+
+@pytest.fixture()
+def db():
+    db = ResultsDatabase()
+    for hour in range(1, 25):
+        t = hour * 3600.0
+        incident = hour == 24
+        db.insert(
+            "sla_hourly",
+            [
+                {
+                    "t": t,
+                    "scope": "datacenter",
+                    "key": "dc0",
+                    "probe_count": 10_000,
+                    "drop_rate": 2e-3 if incident else 2e-5,
+                    "p50_us": 260.0,
+                    "p99_us": 950.0,
+                },
+                {
+                    "t": t,
+                    "scope": "pod",
+                    "key": "dc0/pod1",
+                    "probe_count": 500,
+                    "drop_rate": 5e-5,
+                    "p50_us": 250.0,
+                    "p99_us": 900.0,
+                },
+                {
+                    "t": t,
+                    "scope": "pod",
+                    "key": "dc0/pod2",
+                    "probe_count": 500,
+                    "drop_rate": 1e-5,
+                    "p50_us": 250.0,
+                    "p99_us": 1200.0,
+                },
+                {
+                    "t": t,
+                    "scope": "pod",
+                    "key": "dc0/pod3",
+                    "probe_count": 10,  # statistically empty
+                    "drop_rate": 1.0,
+                    "p50_us": 250.0,
+                    "p99_us": 900.0,
+                },
+            ],
+        )
+    db.insert(
+        "patterns_10min",
+        [
+            {"t": 86_000.0, "dc": 0, "pattern": "spine-failure", "affected_podsets": [0, 1]},
+            {"t": 85_000.0, "dc": 0, "pattern": "normal", "affected_podsets": []},
+        ],
+    )
+    db.insert(
+        "silentdrop_incidents",
+        [
+            {
+                "t": 86_100.0,
+                "dc": 0,
+                "measured_drop_rate": 2e-3,
+                "suspected_tier": "spine",
+                "localized_switch": "dc0/spine1",
+            }
+        ],
+    )
+    db.insert(
+        "anomalies",
+        [
+            {
+                "t": 86_200.0,
+                "scope": "datacenter",
+                "key": "dc0",
+                "metric": "drop_rate",
+                "value": 2e-3,
+                "baseline_mean": 2e-5,
+                "z_score": 40.0,
+            }
+        ],
+    )
+    return db
+
+
+@pytest.fixture()
+def queries(db):
+    return DsaQueries(db)
+
+
+class TestSlaQueries:
+    def test_latest_sla(self, queries):
+        row = queries.latest_sla("datacenter", "dc0")
+        assert row["t"] == 24 * 3600.0
+        assert row["drop_rate"] == 2e-3
+
+    def test_latest_sla_missing_key(self, queries):
+        assert queries.latest_sla("datacenter", "dc9") is None
+
+    def test_sla_series_ordered(self, queries):
+        series = queries.sla_series("datacenter", "dc0", "drop_rate")
+        assert len(series) == 24
+        assert series[0][0] < series[-1][0]
+
+    def test_sla_series_since_filter(self, queries):
+        series = queries.sla_series(
+            "datacenter", "dc0", "p99_us", since_t=20 * 3600.0
+        )
+        assert len(series) == 5
+
+    def test_worst_by_filters_small_windows(self, queries):
+        worst = queries.worst_by("pod", metric="drop_rate", k=2, min_probes=100)
+        assert [row["key"] for row in worst] == ["dc0/pod1", "dc0/pod2"]
+
+    def test_worst_by_latency(self, queries):
+        worst = queries.worst_by("pod", metric="p99_us", k=1, min_probes=100)
+        assert worst[0]["key"] == "dc0/pod2"
+
+    def test_worst_by_empty_table(self):
+        assert DsaQueries(ResultsDatabase()).worst_by("pod") == []
+
+
+class TestTrends:
+    def test_incident_ratio_visible(self, queries):
+        trend = queries.drop_rate_trend("datacenter", "dc0", windows=23)
+        assert trend["current"] == 2e-3
+        assert trend["trailing_mean"] == pytest.approx(2e-5)
+        assert trend["ratio"] == pytest.approx(100.0)
+
+    def test_quiet_key_ratio_near_one(self, queries):
+        trend = queries.drop_rate_trend("pod", "dc0/pod1")
+        assert trend["ratio"] == pytest.approx(1.0)
+
+    def test_insufficient_history(self, queries):
+        assert queries.drop_rate_trend("pod", "dc0/ghost") is None
+
+
+class TestOpenQuestions:
+    def test_everything_surfaces(self, queries):
+        questions = queries.open_questions(t=86_400.0, lookback_s=3600.0)
+        text = "\n".join(questions)
+        assert "spine-failure" in text
+        assert "dc0/spine1" in text
+        assert "anomaly" in text
+        # The normal pattern is not a question.
+        assert "normal" not in text
+
+    def test_quiet_period_is_empty(self, queries):
+        assert queries.open_questions(t=40_000.0, lookback_s=600.0) == []
+
+    def test_pattern_history_newest_first(self, queries):
+        history = queries.pattern_history(0)
+        assert history[0]["pattern"] == "spine-failure"
+        assert len(history) == 2

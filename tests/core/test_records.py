@@ -1,0 +1,66 @@
+"""Tests for the latency record schema."""
+
+import pytest
+
+from repro.core.dsa.records import LATENCY_STREAM, RECORD_COLUMNS, make_record
+from repro.netsim.fabric import Fabric
+from repro.netsim.topology import TopologySpec
+
+
+@pytest.fixture(scope="module")
+def fabric():
+    return Fabric.single_dc(TopologySpec(), seed=4)
+
+
+class TestMakeRecord:
+    def test_success_record_fields(self, fabric):
+        dc = fabric.topology.dc(0)
+        result = fabric.probe(dc.servers[0], dc.servers[30], t=42.0)
+        record = make_record(fabric.topology, result, purpose="tor-level")
+        assert set(RECORD_COLUMNS) <= set(record)
+        assert record["t"] == 42.0
+        assert record["src"] == dc.servers[0].device_id
+        assert record["success"] is True
+        assert record["rtt_us"] == pytest.approx(result.rtt_s * 1e6)
+        assert record["error"] is None
+
+    def test_topology_coordinates(self, fabric):
+        dc = fabric.topology.dc(0)
+        src = dc.servers_in_podset(0)[0]
+        dst = dc.servers_in_podset(1)[0]
+        record = make_record(fabric.topology, fabric.probe(src, dst))
+        assert record["src_podset"] == 0
+        assert record["dst_podset"] == 1
+        assert record["src_pod"] == src.pod_index
+        assert record["dst_pod"] == dst.pod_index
+        assert record["src_dc"] == record["dst_dc"] == 0
+
+    def test_failed_probe_record(self, fabric):
+        dc = fabric.topology.dc(0)
+        victim = dc.servers[7]
+        victim.bring_down()
+        try:
+            result = fabric.probe(dc.servers[0], victim)
+        finally:
+            victim.bring_up()
+        record = make_record(fabric.topology, result)
+        assert record["success"] is False
+        assert record["error"] == "timeout"
+        assert record["payload_rtt_us"] is None
+
+    def test_payload_rtt_included(self, fabric):
+        dc = fabric.topology.dc(0)
+        result = fabric.probe(dc.servers[0], dc.servers[1], payload_bytes=1000)
+        record = make_record(fabric.topology, result)
+        assert record["payload_rtt_us"] is not None
+        assert record["payload_rtt_us"] > 0
+
+    def test_purpose_and_qos_tagged(self, fabric):
+        dc = fabric.topology.dc(0)
+        result = fabric.probe(dc.servers[0], dc.servers[1])
+        record = make_record(fabric.topology, result, purpose="intra-pod", qos="low")
+        assert record["purpose"] == "intra-pod"
+        assert record["qos"] == "low"
+
+    def test_stream_name_constant(self):
+        assert LATENCY_STREAM == "pingmesh/latency"

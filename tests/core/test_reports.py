@@ -1,0 +1,119 @@
+"""Tests for operator reports."""
+
+import pytest
+
+from repro.core.dsa.database import ResultsDatabase
+from repro.core.dsa.reports import ReportBuilder
+
+
+@pytest.fixture()
+def db():
+    db = ResultsDatabase()
+    for hour in range(24):
+        t = (hour + 1) * 3600.0
+        db.insert(
+            "sla_hourly",
+            [
+                {
+                    "t": t,
+                    "scope": "datacenter",
+                    "key": "dc0",
+                    "probe_count": 10_000,
+                    "drop_rate": 2e-5,
+                    "p50_us": 260.0,
+                    "p99_us": 950.0,
+                },
+                {
+                    "t": t,
+                    "scope": "pod",
+                    "key": "dc0/pod3",
+                    "probe_count": 500,
+                    "drop_rate": 8e-4 if hour == 12 else 1e-5,
+                    "p50_us": 250.0,
+                    "p99_us": 4000.0 if hour == 12 else 900.0,
+                },
+                {
+                    "t": t,
+                    "scope": "pod",
+                    "key": "dc0/pod0",
+                    "probe_count": 500,
+                    "drop_rate": 1e-5,
+                    "p50_us": 250.0,
+                    "p99_us": 900.0,
+                },
+            ],
+        )
+    db.insert(
+        "alerts",
+        [
+            {
+                "t": 45_000.0,
+                "scope": "pod",
+                "key": "dc0/pod3",
+                "metric": "drop_rate",
+                "value": 8e-4,
+                "threshold": 1e-3,
+            }
+        ],
+    )
+    db.insert(
+        "silentdrop_incidents",
+        [
+            {
+                "t": 46_000.0,
+                "dc": 0,
+                "measured_drop_rate": 2e-3,
+                "suspected_tier": "spine",
+                "localized_switch": "dc0/spine1",
+            }
+        ],
+    )
+    db.insert("blackhole_daily", [{"t": 86_400.0, "detected": 3}])
+    db.insert(
+        "patterns_10min",
+        [{"t": 45_600.0, "dc": 0, "pattern": "spine-failure", "affected_podsets": [0, 1]}],
+    )
+    return db
+
+
+class TestDailyReport:
+    def test_report_structure(self, db):
+        report = ReportBuilder(db).daily_sla_report(t=86_400.0)
+        assert "daily network SLA report" in report.text
+        assert "dc0" in report.text
+        assert len(report.dc_rows) == 1
+        assert report.dc_rows[0]["windows"] == 24
+
+    def test_worst_pods_ranked_by_drop_rate(self, db):
+        report = ReportBuilder(db).daily_sla_report(t=86_400.0, worst_k=2)
+        assert report.worst_pods[0]["key"] == "dc0/pod3"
+
+    def test_drop_rate_is_probe_weighted(self, db):
+        report = ReportBuilder(db).daily_sla_report(t=86_400.0)
+        # 23 hours at 1e-5 plus one at 8e-4, equal weights.
+        expected = (23 * 1e-5 + 8e-4) / 24
+        pod3 = next(r for r in report.worst_pods if r["key"] == "dc0/pod3")
+        assert pod3["drop_rate"] == pytest.approx(expected)
+
+    def test_detector_sections(self, db):
+        report = ReportBuilder(db).daily_sla_report(t=86_400.0)
+        assert "3 black-holed ToR(s)" in report.text
+        assert "dc0/spine1" in report.text
+
+    def test_empty_database(self):
+        report = ReportBuilder(ResultsDatabase()).daily_sla_report(t=86_400.0)
+        assert "(no hourly SLA data in window)" in report.text
+        assert report.alerts == []
+
+
+class TestIncidentDigest:
+    def test_digest_mentions_everything(self, db):
+        digest = ReportBuilder(db).incident_digest(t=46_500.0, lookback_s=3600.0)
+        assert "spine-failure" in digest
+        assert "drop_rate=0.0008" in digest
+        assert "culprit=dc0/spine1" in digest
+        assert "NETWORK ISSUE LIKELY" in digest
+
+    def test_quiet_digest_exonerates_the_network(self, db):
+        digest = ReportBuilder(db).incident_digest(t=10_000.0, lookback_s=600.0)
+        assert "network looks innocent" in digest

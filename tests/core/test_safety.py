@@ -1,0 +1,66 @@
+"""Tests for the agent's fail-closed safety guard (§3.4.2)."""
+
+import pytest
+
+from repro.core.agent.safety import (
+    MAX_CONTROLLER_FAILURES,
+    MAX_PAYLOAD_BYTES,
+    MIN_PROBE_INTERVAL_S,
+    SafetyGuard,
+)
+
+
+class TestHardLimits:
+    def test_constants_match_the_paper(self):
+        assert MIN_PROBE_INTERVAL_S == 10.0
+        assert MAX_PAYLOAD_BYTES == 64 * 1024
+
+    def test_interval_clamped_to_floor(self):
+        assert SafetyGuard.clamp_probe_interval(1.0) == 10.0
+        assert SafetyGuard.clamp_probe_interval(9.999) == 10.0
+
+    def test_interval_above_floor_untouched(self):
+        assert SafetyGuard.clamp_probe_interval(60.0) == 60.0
+
+    def test_payload_clamped_to_cap(self):
+        assert SafetyGuard.clamp_payload(1_000_000) == MAX_PAYLOAD_BYTES
+        assert SafetyGuard.clamp_payload(MAX_PAYLOAD_BYTES) == MAX_PAYLOAD_BYTES
+
+    def test_payload_never_negative(self):
+        assert SafetyGuard.clamp_payload(-5) == 0
+
+    def test_normal_payload_untouched(self):
+        assert SafetyGuard.clamp_payload(1000) == 1000
+
+
+class TestFailClosed:
+    def test_three_strikes_falls_closed(self):
+        guard = SafetyGuard()
+        assert guard.record_controller_failure() is False
+        assert guard.record_controller_failure() is False
+        assert guard.record_controller_failure() is True
+        assert guard.fail_closed
+        assert "3 times" in guard.fail_closed_reason
+
+    def test_success_resets_the_streak(self):
+        guard = SafetyGuard()
+        guard.record_controller_failure()
+        guard.record_controller_failure()
+        guard.record_controller_success()
+        assert guard.consecutive_failures == 0
+        guard.record_controller_failure()
+        assert not guard.fail_closed
+
+    def test_missing_pinglist_is_immediate_stop(self):
+        guard = SafetyGuard()
+        guard.record_pinglist_missing()
+        assert guard.fail_closed
+        assert "no pinglist" in guard.fail_closed_reason
+
+    def test_success_reopens_after_fail_closed(self):
+        guard = SafetyGuard()
+        for _ in range(MAX_CONTROLLER_FAILURES):
+            guard.record_controller_failure()
+        guard.record_controller_success()
+        assert not guard.fail_closed
+        assert guard.fail_closed_reason is None

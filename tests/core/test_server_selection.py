@@ -1,0 +1,78 @@
+"""Tests for network-aware server selection (§6.2)."""
+
+import pytest
+
+from repro.autopilot.perfcounter import PerfcounterAggregator
+from repro.core.dsa.server_selection import ServerSelector
+from repro.netsim.simclock import EventQueue, SimClock
+
+
+@pytest.fixture()
+def pa():
+    queue = EventQueue(SimClock())
+    pa = PerfcounterAggregator(queue, collection_period_s=100.0)
+    profiles = {
+        "clean": {"packet_drop_rate": 1e-5, "latency_p99_us": 800.0},
+        "slow": {"packet_drop_rate": 2e-5, "latency_p99_us": 3000.0},
+        "droppy": {"packet_drop_rate": 5e-4, "latency_p99_us": 900.0},
+        "bad": {"packet_drop_rate": 5e-3, "latency_p99_us": 9000.0},
+    }
+    for server_id, counters in profiles.items():
+        pa.register_producer(server_id, lambda t, c=counters: dict(c))
+    pa.start()
+    queue.run_for(100.0)
+    return pa
+
+
+class TestScoring:
+    def test_clean_server_eligible(self, pa):
+        score = ServerSelector(pa).score("clean")
+        assert score.eligible
+        assert score.drop_rate == 1e-5
+
+    def test_over_threshold_disqualified(self, pa):
+        selector = ServerSelector(pa)
+        bad = selector.score("bad")
+        assert not bad.eligible
+        assert "drop rate" in bad.reason
+
+    def test_latency_disqualification(self, pa):
+        selector = ServerSelector(pa, max_p99_us=2000.0)
+        slow = selector.score("slow")
+        assert not slow.eligible
+        assert "P99" in slow.reason
+
+    def test_missing_counters(self, pa):
+        strict = ServerSelector(pa)
+        assert not strict.score("ghost").eligible
+        lenient = ServerSelector(pa, require_counters=False)
+        assert lenient.score("ghost").eligible
+
+    def test_threshold_validation(self, pa):
+        with pytest.raises(ValueError):
+            ServerSelector(pa, max_drop_rate=0)
+
+
+class TestRankingAndPicking:
+    def test_rank_orders_by_drop_then_latency(self, pa):
+        ranked = ServerSelector(pa).rank(["droppy", "slow", "clean", "bad"])
+        assert [s.server_id for s in ranked[:3]] == ["clean", "slow", "droppy"]
+        assert ranked[-1].server_id == "bad"
+        assert not ranked[-1].eligible
+
+    def test_pick_returns_best_n(self, pa):
+        assert ServerSelector(pa).pick(["droppy", "slow", "clean"], n=2) == [
+            "clean",
+            "slow",
+        ]
+
+    def test_pick_excludes_ineligible(self, pa):
+        picked = ServerSelector(pa).pick(["bad", "clean"], n=2)
+        assert picked == ["clean"]
+
+    def test_pick_validation(self, pa):
+        with pytest.raises(ValueError):
+            ServerSelector(pa).pick(["clean"], n=0)
+
+    def test_pick_from_empty_pool(self, pa):
+        assert ServerSelector(pa).pick([], n=3) == []

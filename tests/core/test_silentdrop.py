@@ -1,0 +1,145 @@
+"""Tests for silent-drop detection + traceroute localization (§5.2)."""
+
+import pytest
+
+from repro.autopilot.device_manager import DeviceManager
+from repro.core.dsa.silentdrop import SilentDropDetector
+from repro.netsim.fabric import Fabric
+from repro.netsim.faults import SilentRandomDrop
+from repro.netsim.topology import TopologySpec
+
+
+def _row(src, dst, success=True, rtt_us=250.0, syn_drops=0, src_ps=0, dst_ps=1, dc=0):
+    return {
+        "src": src,
+        "dst": dst,
+        "src_dc": dc,
+        "dst_dc": dc,
+        "src_podset": src_ps,
+        "dst_podset": dst_ps,
+        "success": success,
+        "rtt_us": rtt_us,
+        "syn_drops": syn_drops,
+    }
+
+
+def _healthy_rows(n=500):
+    return [_row(f"s{i % 20}", f"d{i % 17}") for i in range(n)]
+
+
+def _incident_rows(n=500, drop_every=50):
+    """Cross-podset rows with ~2% retransmit signatures, intra fine."""
+    rows = []
+    for i in range(n):
+        if i % drop_every == 0:
+            rows.append(
+                _row(f"s{i % 5}", f"d{i % 4}", rtt_us=3.1e6, syn_drops=1)
+            )
+        else:
+            rows.append(_row(f"s{i % 20}", f"d{i % 17}"))
+    rows += [_row(f"a{i % 10}", f"b{i % 9}", src_ps=0, dst_ps=0) for i in range(200)]
+    return rows
+
+
+class TestDetection:
+    def test_healthy_window_no_incident(self):
+        assert SilentDropDetector().detect(_healthy_rows()) == []
+
+    def test_elevated_drop_rate_detected(self):
+        incidents = SilentDropDetector().detect(_incident_rows(), t=100.0)
+        assert len(incidents) == 1
+        incident = incidents[0]
+        assert incident.measured_drop_rate > 5e-4
+        assert incident.dc == 0
+
+    def test_spine_tier_suspected_when_cross_podset_only(self):
+        incidents = SilentDropDetector().detect(_incident_rows())
+        assert incidents[0].suspected_tier == "spine"
+
+    def test_leaf_tier_suspected_when_intra_podset_affected(self):
+        rows = [
+            _row(f"s{i % 8}", f"d{i % 7}", src_ps=0, dst_ps=0,
+                 rtt_us=3.1e6 if i % 40 == 0 else 250.0,
+                 syn_drops=1 if i % 40 == 0 else 0)
+            for i in range(400)
+        ]
+        incidents = SilentDropDetector().detect(rows)
+        assert incidents
+        assert incidents[0].suspected_tier == "leaf-or-tor"
+
+    def test_affected_pairs_ranked_by_evidence(self):
+        rows = _healthy_rows(100)
+        # "hot" pair shows repeated retransmit signatures.
+        rows += [_row("hot-src", "hot-dst", rtt_us=3.2e6, syn_drops=1)] * 20
+        rows += [_row("warm-src", "warm-dst", success=False, rtt_us=21e6)] * 3
+        incidents = SilentDropDetector(incident_drop_rate=1e-3).detect(rows)
+        assert incidents
+        assert incidents[0].affected_pairs[0] == ("hot-src", "hot-dst")
+
+    def test_per_dc_isolation(self):
+        """'only one data center was affected, and the other data centers
+        were fine.'"""
+        rows = _incident_rows()
+        rows += [_row(f"x{i}", f"y{i}", dc=1) for i in range(300)]
+        incidents = SilentDropDetector().detect(rows)
+        assert [incident.dc for incident in incidents] == [0]
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            SilentDropDetector(incident_drop_rate=0)
+        with pytest.raises(ValueError):
+            SilentDropDetector(max_traceroute_pairs=0)
+
+
+class TestLocalizationEndToEnd:
+    def test_localizes_the_injected_spine(self):
+        """The full §5.2 loop against the simulator."""
+        fabric = Fabric.single_dc(TopologySpec(n_spines=4), seed=11)
+        dc = fabric.topology.dc(0)
+        spine = dc.spines[2]
+        fabric.faults.inject(
+            SilentRandomDrop(switch_id=spine.device_id, drop_prob=0.05)
+        )
+        # Gather probe evidence: cross-podset probes, some crossing spine2.
+        detector = SilentDropDetector(incident_drop_rate=5e-4)
+        rows = []
+        for i in range(60):
+            src = dc.servers_in_podset(0)[i % 16]
+            dst = dc.servers_in_podset(1)[(i * 7) % 16]
+            for _ in range(4):
+                result = fabric.probe(src, dst, t=float(i))
+                rows.append(
+                    {
+                        "src": result.src,
+                        "dst": result.dst,
+                        "src_dc": 0,
+                        "dst_dc": 0,
+                        "src_podset": 0,
+                        "dst_podset": 1,
+                        "success": result.success,
+                        "rtt_us": result.rtt_s * 1e6,
+                        "syn_drops": result.syn_drops,
+                    }
+                )
+        incidents = detector.detect(rows, t=60.0)
+        assert incidents, "the 5% spine dropper must push drop rate over threshold"
+        suspect = detector.localize(incidents[0], fabric)
+        assert suspect == spine.device_id
+
+    def test_rma_filed_after_localization(self):
+        dm = DeviceManager()
+        detector = SilentDropDetector()
+        incidents = detector.detect(_incident_rows(), t=5.0)
+        incident = incidents[0]
+        incident.localized_switch = "dc0/spine1"
+        incident.traceroute_votes = {"dc0/spine1": 6}
+        assert detector.file_rma(incident, dm)
+        assert dm.pending[0].action == "rma_switch"
+        assert "silent random drops" in dm.pending[0].reason
+
+    def test_no_rma_without_localization(self):
+        dm = DeviceManager()
+        detector = SilentDropDetector()
+        incident = detector.detect(_incident_rows(), t=5.0)[0]
+        assert detector.file_rma(incident, dm) is False
+        assert dm.pending == []

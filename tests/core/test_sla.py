@@ -1,0 +1,133 @@
+"""Tests for network SLA tracking at macro and micro scopes."""
+
+import pytest
+
+from repro.core.dsa.sla import (
+    NetworkSla,
+    ServiceDefinition,
+    SlaScope,
+    SlaTracker,
+    compute_sla,
+)
+
+
+def _row(src="dc0/s0", dst="dc0/s1", rtt_us=250.0, success=True, pod=0, podset=0, dc=0):
+    return {
+        "src": src,
+        "dst": dst,
+        "src_dc": dc,
+        "dst_dc": dc,
+        "src_podset": podset,
+        "dst_podset": podset,
+        "src_pod": pod,
+        "dst_pod": pod,
+        "success": success,
+        "rtt_us": rtt_us,
+    }
+
+
+class TestComputeSla:
+    def test_metrics(self):
+        rows = [_row(rtt_us=100.0 + i) for i in range(100)]
+        rows.append(_row(rtt_us=3.1e6))  # one drop signature
+        sla = compute_sla(rows, SlaScope.POD, "dc0/pod0", 0.0, 600.0)
+        assert sla.probe_count == 101
+        assert sla.drop_rate == pytest.approx(1 / 101)
+        assert 100.0 <= sla.p50_us <= 200.0
+        assert sla.p99_us > sla.p50_us
+
+    def test_all_failed_window(self):
+        rows = [_row(success=False, rtt_us=21e6)] * 5
+        sla = compute_sla(rows, SlaScope.SERVER, "s", 0.0, 600.0)
+        assert sla.p50_us is None
+        assert sla.drop_rate == 0.0
+
+    def test_as_row_shape(self):
+        sla = compute_sla([_row()], SlaScope.DATACENTER, "dc0", 0.0, 600.0)
+        row = sla.as_row()
+        assert row["scope"] == "datacenter"
+        assert row["t"] == 600.0
+
+
+class TestScopeTracking:
+    @pytest.fixture()
+    def rows(self):
+        rows = []
+        for pod in range(4):
+            podset = pod // 2
+            for i in range(10):
+                rows.append(
+                    _row(
+                        src=f"dc0/s{pod}-{i}",
+                        pod=pod,
+                        podset=podset,
+                        rtt_us=200.0 + pod * 50,
+                    )
+                )
+        return rows
+
+    def test_pod_scope(self, rows):
+        slas = SlaTracker().track_scope(rows, SlaScope.POD, 0.0, 600.0)
+        assert len(slas) == 4
+        assert {sla.key for sla in slas} == {f"dc0/pod{p}" for p in range(4)}
+
+    def test_podset_scope(self, rows):
+        slas = SlaTracker().track_scope(rows, SlaScope.PODSET, 0.0, 600.0)
+        assert len(slas) == 2
+
+    def test_datacenter_scope(self, rows):
+        slas = SlaTracker().track_scope(rows, SlaScope.DATACENTER, 0.0, 600.0)
+        assert len(slas) == 1
+        assert slas[0].probe_count == 40
+
+    def test_server_scope(self, rows):
+        slas = SlaTracker().track_scope(rows, SlaScope.SERVER, 0.0, 600.0)
+        assert len(slas) == 40
+
+    def test_results_sorted_by_key(self, rows):
+        slas = SlaTracker().track_scope(rows, SlaScope.POD, 0.0, 600.0)
+        assert [sla.key for sla in slas] == sorted(sla.key for sla in slas)
+
+
+class TestServiceTracking:
+    def test_service_mapping(self):
+        """§1: SLAs per service by mapping services to their servers."""
+        search = ServiceDefinition.of("search", ["dc0/a", "dc0/b"])
+        storage = ServiceDefinition.of("storage", ["dc0/c"])
+        tracker = SlaTracker([search, storage])
+        rows = [
+            _row(src="dc0/a", rtt_us=100.0),
+            _row(src="dc0/b", rtt_us=200.0),
+            _row(src="dc0/c", rtt_us=900.0),
+            _row(src="dc0/unmapped", rtt_us=5000.0),
+        ]
+        slas = {sla.key: sla for sla in tracker.track_services(rows, 0.0, 600.0)}
+        assert set(slas) == {"search", "storage"}
+        assert slas["search"].probe_count == 2
+        assert slas["storage"].p50_us == pytest.approx(900.0)
+
+    def test_service_without_traffic_omitted(self):
+        tracker = SlaTracker([ServiceDefinition.of("idle", ["dc0/zz"])])
+        assert tracker.track_services([_row()], 0.0, 600.0) == []
+
+    def test_duplicate_service_rejected(self):
+        tracker = SlaTracker([ServiceDefinition.of("a", ["x"])])
+        with pytest.raises(ValueError):
+            tracker.register_service(ServiceDefinition.of("a", ["y"]))
+
+    def test_empty_service_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceDefinition.of("empty", [])
+
+    def test_track_all_covers_every_scope(self):
+        tracker = SlaTracker([ServiceDefinition.of("svc", ["dc0/s0-0"])])
+        rows = [_row(src="dc0/s0-0")]
+        slas = tracker.track_all(rows, 0.0, 600.0)
+        scopes = {sla.scope for sla in slas}
+        assert scopes == {
+            SlaScope.DATACENTER,
+            SlaScope.PODSET,
+            SlaScope.POD,
+            SlaScope.SERVER,
+            SlaScope.SERVICE,
+        }

@@ -1,0 +1,129 @@
+"""Tests for the bounded-memory result uploader."""
+
+import pytest
+
+from repro.core.agent.uploader import ResultUploader
+from repro.cosmos.store import CosmosStore
+
+
+@pytest.fixture()
+def store():
+    return CosmosStore()
+
+
+def _record(i=0):
+    return {"t": float(i), "src": "a", "dst": "b", "rtt_us": 250.0, "success": True}
+
+
+class TestBuffering:
+    def test_add_and_flush_to_store(self, store):
+        uploader = ResultUploader(store, "srv0")
+        for i in range(5):
+            uploader.add(_record(i))
+        assert uploader.buffered_records == 5
+        assert uploader.flush(t=100.0)
+        assert uploader.buffered_records == 0
+        assert store.stream("pingmesh/latency").record_count == 5
+        assert uploader.stats.records_uploaded == 5
+
+    def test_threshold_trigger(self, store):
+        uploader = ResultUploader(store, "srv0", flush_threshold_records=3)
+        uploader.add(_record())
+        assert not uploader.should_flush
+        uploader.add(_record())
+        uploader.add(_record())
+        assert uploader.should_flush
+
+    def test_buffer_hard_cap_drops_oldest(self, store):
+        uploader = ResultUploader(
+            store, "srv0", flush_threshold_records=2, max_buffer_records=10
+        )
+        for i in range(15):
+            uploader.add(_record(i))
+        assert uploader.buffered_records == 10
+        assert uploader.stats.records_discarded == 5
+
+    def test_empty_flush_is_success(self, store):
+        uploader = ResultUploader(store, "srv0")
+        assert uploader.flush(t=0.0)
+
+    def test_construction_validation(self, store):
+        with pytest.raises(ValueError):
+            ResultUploader(store, "srv0", flush_threshold_records=0)
+        with pytest.raises(ValueError):
+            ResultUploader(
+                store, "srv0", flush_threshold_records=10, max_buffer_records=5
+            )
+        with pytest.raises(ValueError):
+            ResultUploader(store, "srv0", log_cap_bytes=10)
+
+
+class TestRetryAndDiscard:
+    def test_retry_then_discard(self, store):
+        """'it will retry several times.  After that it will stop trying
+        and discard the in-memory data.'"""
+        attempts = []
+
+        def failing_upload(records, t):
+            attempts.append(len(records))
+            raise ConnectionError("cosmos VIP unreachable")
+
+        uploader = ResultUploader(
+            store, "srv0", max_retries=3, upload_fn=failing_upload
+        )
+        for i in range(4):
+            uploader.add(_record(i))
+        assert uploader.flush(t=0.0) is False
+        assert attempts == [4, 4, 4]
+        assert uploader.buffered_records == 0  # discarded, not kept
+        assert uploader.stats.records_discarded == 4
+        assert uploader.stats.upload_failures == 3
+
+    def test_transient_failure_recovers_within_retries(self, store):
+        calls = {"n": 0}
+
+        def flaky_upload(records, t):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ConnectionError("flaky")
+            store.append("pingmesh/latency", records, t=t)
+
+        uploader = ResultUploader(store, "srv0", upload_fn=flaky_upload)
+        uploader.add(_record())
+        assert uploader.flush(t=0.0) is True
+        assert store.stream("pingmesh/latency").record_count == 1
+
+    def test_memory_stays_bounded_under_permanent_failure(self, store):
+        def failing_upload(records, t):
+            raise ConnectionError("down")
+
+        uploader = ResultUploader(
+            store,
+            "srv0",
+            flush_threshold_records=10,
+            max_buffer_records=20,
+            upload_fn=failing_upload,
+        )
+        for i in range(500):
+            uploader.add(_record(i))
+            if uploader.should_flush:
+                uploader.flush(t=float(i))
+        assert uploader.buffered_records <= 20
+
+
+class TestLocalLog:
+    def test_log_lines_written(self, store):
+        uploader = ResultUploader(store, "srv0")
+        uploader.add(_record(1))
+        lines = uploader.local_log_lines()
+        assert len(lines) == 1
+        assert '"src":"a"' in lines[0]
+
+    def test_log_rotates_at_cap(self, store):
+        """'The size of log files is limited to a configurable size.'"""
+        uploader = ResultUploader(store, "srv0", log_cap_bytes=1024)
+        for i in range(200):
+            uploader.add(_record(i))
+        assert uploader.local_log_bytes <= 1024
+        # Oldest entries rotated out; the newest survive.
+        assert f'"t":{float(199)}' in uploader.local_log_lines()[-1]

@@ -1,0 +1,89 @@
+"""Tests for the SCOPE join verb."""
+
+import pytest
+
+from repro.cosmos.scope import RowSet
+
+
+@pytest.fixture()
+def latency():
+    return RowSet(
+        [
+            {"pod": "p0", "p99_us": 900.0},
+            {"pod": "p1", "p99_us": 6000.0},
+            {"pod": "p9", "p99_us": 100.0},  # no metadata match
+        ]
+    )
+
+
+@pytest.fixture()
+def metadata():
+    return RowSet(
+        [
+            {"pod": "p0", "podset": 0, "service": "search"},
+            {"pod": "p1", "podset": 0, "service": "storage"},
+            {"pod": "p2", "podset": 1, "service": "idle"},
+        ]
+    )
+
+
+class TestInnerJoin:
+    def test_matching_rows_joined(self, latency, metadata):
+        out = latency.join(metadata, on=["pod"]).output()
+        assert len(out) == 2
+        row = next(r for r in out if r["pod"] == "p1")
+        assert row["service"] == "storage"
+        assert row["p99_us"] == 6000.0
+
+    def test_unmatched_left_rows_dropped(self, latency, metadata):
+        out = latency.join(metadata, on=["pod"]).output()
+        assert all(row["pod"] != "p9" for row in out)
+
+    def test_one_to_many(self, latency):
+        many = RowSet(
+            [
+                {"pod": "p0", "alert": "a1"},
+                {"pod": "p0", "alert": "a2"},
+            ]
+        )
+        out = latency.join(many, on=["pod"]).output()
+        assert len(out) == 2
+        assert {row["alert"] for row in out} == {"a1", "a2"}
+
+    def test_multi_key_join(self):
+        left = RowSet([{"dc": 0, "pod": 1, "x": 10}])
+        right = RowSet(
+            [{"dc": 0, "pod": 1, "y": 20}, {"dc": 1, "pod": 1, "y": 99}]
+        )
+        out = left.join(right, on=["dc", "pod"]).output()
+        assert out == [{"dc": 0, "pod": 1, "x": 10, "y": 20}]
+
+    def test_column_collision_gets_suffix(self):
+        left = RowSet([{"k": 1, "v": "left"}])
+        right = RowSet([{"k": 1, "v": "right"}])
+        out = left.join(right, on=["k"]).output()
+        assert out == [{"k": 1, "v": "left", "v_right": "right"}]
+
+
+class TestLeftJoin:
+    def test_unmatched_left_rows_kept_with_nones(self, latency, metadata):
+        out = latency.join(metadata, on=["pod"], how="left").output()
+        assert len(out) == 3
+        orphan = next(r for r in out if r["pod"] == "p9")
+        assert orphan["service"] is None
+        assert orphan["podset"] is None
+
+
+class TestValidation:
+    def test_empty_keys_rejected(self, latency, metadata):
+        with pytest.raises(ValueError):
+            latency.join(metadata, on=[])
+
+    def test_unknown_join_type_rejected(self, latency, metadata):
+        with pytest.raises(ValueError):
+            latency.join(metadata, on=["pod"], how="outer")
+
+    def test_join_is_pure(self, latency, metadata):
+        latency.join(metadata, on=["pod"])
+        assert len(latency) == 3
+        assert "service" not in latency.output()[0]

@@ -1,0 +1,113 @@
+"""A full operational day, replayed: quiet → black-hole → power blip → quiet.
+
+The showcase integration test: 24 simulated hours on a small deployment
+with a scripted incident timeline, verifying the DSA record reflects the
+day as it actually happened.
+"""
+
+import pytest
+
+from repro.core.agent.agent import AgentConfig
+from repro.core.dsa.pipeline import DsaConfig
+from repro.core.dsa.queries import DsaQueries
+from repro.core.dsa.reports import ReportBuilder
+from repro.core.system import PingmeshSystem, PingmeshSystemConfig
+from repro.netsim.faultschedule import FaultSchedule
+from repro.netsim.simclock import SECONDS_PER_DAY
+from repro.netsim.topology import TopologySpec
+
+SMALL = TopologySpec(n_podsets=2, pods_per_podset=2, servers_per_pod=4)
+
+BLACKHOLE_START = 6 * 3600.0
+PODSET_BLIP_START = 15 * 3600.0
+PODSET_BLIP_END = 16 * 3600.0
+
+
+@pytest.fixture(scope="module")
+def day():
+    system = PingmeshSystem(
+        PingmeshSystemConfig(
+            specs=(SMALL,),
+            seed=99,
+            dsa=DsaConfig(
+                ingestion_delay_s=0.0,
+                near_real_time_period_s=600.0,
+                hourly_period_s=3600.0,
+                daily_period_s=SECONDS_PER_DAY / 4,  # detector runs 4x/day
+            ),
+            agent=AgentConfig(upload_period_s=300.0),
+        )
+    )
+    system.start()
+    schedule = FaultSchedule(system.fabric, system.queue)
+    # 06:00 — a ToR develops a black-hole; auto-repair should clear it.
+    schedule.add("tor-blackhole", BLACKHOLE_START, end_t=None, pod=1)
+    # 15:00-16:00 — a podset loses power for an hour.
+    schedule.add(
+        "podset-down", PODSET_BLIP_START, end_t=PODSET_BLIP_END, podset=1
+    )
+    system.run_for(SECONDS_PER_DAY)
+    return system, schedule
+
+
+class TestTheDay:
+    def test_the_day_completed_without_pipeline_failures(self, day):
+        system, _schedule = day
+        assert system.clock.now == SECONDS_PER_DAY
+        assert system.job_manager.failure_count() == 0
+
+    def test_probing_ran_all_day(self, day):
+        system, _schedule = day
+        assert system.total_probes_sent() > 50_000
+
+    def test_blackhole_was_detected_and_repaired(self, day):
+        system, schedule = day
+        tor = system.topology.dc(0).tors[1]
+        assert tor.reload_count >= 1
+        assert system.fabric.faults.faults_on(tor.device_id) == []
+        # And the repair is in the DM history with a black-hole reason.
+        repairs = [
+            r
+            for r in system.env.device_manager.history
+            if r.device_id == tor.device_id and r.action == "reload_switch"
+        ]
+        assert repairs
+        assert "black-hole" in repairs[0].reason
+
+    def test_power_blip_visible_in_pattern_history(self, day):
+        system, _schedule = day
+        history = DsaQueries(system.database).pattern_history(0, limit=200)
+        patterns_during_blip = {
+            row["pattern"]
+            for row in history
+            if PODSET_BLIP_START + 600 < row["t"] <= PODSET_BLIP_END + 600
+        }
+        assert "podset-down" in patterns_during_blip
+
+    def test_network_healthy_again_by_midnight(self, day):
+        system, _schedule = day
+        latest = DsaQueries(system.database).pattern_history(0, limit=1)[0]
+        assert latest["pattern"] == "normal"
+        assert system.is_network_issue() is False
+
+    def test_daily_report_tells_the_story(self, day):
+        system, _schedule = day
+        report = ReportBuilder(system.database).daily_sla_report(
+            t=SECONDS_PER_DAY
+        )
+        assert "dc0" in report.text
+        # The black-hole detector's work shows up in the detector section.
+        assert "black-holed ToR(s)" in report.text
+
+    def test_ground_truth_bookkeeping(self, day):
+        _system, schedule = day
+        # At noon the black-hole was active, the podset was still up.
+        active_noon = {i.scenario_name for i in schedule.active_at(12 * 3600.0)}
+        assert active_noon == {"tor-blackhole"}
+        active_blip = {i.scenario_name for i in schedule.active_at(15.5 * 3600.0)}
+        assert "podset-down" in active_blip
+        # The power came back.
+        blip = next(
+            i for i in schedule.incidents if i.scenario_name == "podset-down"
+        )
+        assert blip.ended

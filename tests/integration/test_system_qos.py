@@ -1,0 +1,88 @@
+"""End-to-end QoS monitoring (§6.2).
+
+"network QoS was introduced into our data center which differentiates high
+priority and low priority packets based on DSCP ... we extended the
+Pingmesh Generator to generate pinglists for both high and low priority
+classes.  In this case, we did need a simple configuration change of the
+Pingmesh Agent to let it listen to an additional TCP port."
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.agent.agent import AgentConfig
+from repro.core.controller.generator import GeneratorConfig
+from repro.core.dsa.pipeline import DsaConfig
+from repro.core.system import PingmeshSystem, PingmeshSystemConfig
+from repro.cosmos.scope import RowSet, agg
+from repro.netsim.faults import CongestionFault
+from repro.netsim.topology import TopologySpec
+
+LOW_PRIORITY_PORT = 82  # PingParameters.tcp_port_low default
+
+
+@pytest.fixture()
+def system():
+    return PingmeshSystem(
+        PingmeshSystemConfig(
+            specs=(TopologySpec(),),
+            seed=6,
+            generator=GeneratorConfig(enable_qos_low=True),
+            dsa=DsaConfig(ingestion_delay_s=0.0, near_real_time_period_s=300.0),
+            agent=AgentConfig(upload_period_s=120.0),
+        )
+    )
+
+
+def _qos_p99(system, since_t=0.0):
+    rows = RowSet(
+        row
+        for row in system.store.read("pingmesh/latency")
+        if row["success"] and row["purpose"] == "tor-level" and row["t"] >= since_t
+    )
+    out = (
+        rows.group_by("qos")
+        .aggregate(p99_us=agg.percentile("rtt_us", 99), n=agg.count())
+        .output()
+    )
+    return {row["qos"]: row for row in out}
+
+
+class TestQosMonitoring:
+    def test_both_classes_probed(self, system):
+        system.run_for(300.0)
+        stats = _qos_p99(system)
+        assert set(stats) == {"high", "low"}
+        assert stats["low"]["n"] > 0
+
+    def test_classes_agree_on_healthy_network(self, system):
+        system.run_for(300.0)
+        stats = _qos_p99(system)
+        assert stats["low"]["p99_us"] == pytest.approx(
+            stats["high"]["p99_us"], rel=0.5
+        )
+
+    def test_low_class_suffers_first_under_congestion(self, system):
+        """QoS-aware congestion: the low-priority probes see it, the
+        high-priority ones barely do — the signal QoS monitoring exists
+        to provide."""
+        system.run_for(200.0)
+        for spine in system.topology.dc(0).spines:
+            system.fabric.faults.inject(
+                CongestionFault(
+                    switch_id=spine.device_id,
+                    drop_prob=0.0,
+                    extra_queue_s=400e-6,
+                    low_priority_port=LOW_PRIORITY_PORT,
+                    low_priority_multiplier=10.0,
+                )
+            )
+        system.run_for(400.0)
+        stats = _qos_p99(system, since_t=200.0)
+        assert stats["low"]["p99_us"] > 1.5 * stats["high"]["p99_us"]
+
+    def test_low_class_uses_the_low_port(self, system):
+        pinglist = system.controller.get_pinglist("dc0/ps0/pod0/srv0")
+        assert pinglist.parameters.port_for("low") == LOW_PRIORITY_PORT
+        low_entries = [e for e in pinglist.entries if e.qos == "low"]
+        assert low_entries

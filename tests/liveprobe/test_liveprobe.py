@@ -1,0 +1,167 @@
+"""Tests for the real-socket probe library, over loopback."""
+
+import asyncio
+
+import pytest
+
+from repro.liveprobe.client import http_ping, tcp_ping, tcp_ping_sync
+from repro.liveprobe.prober import LiveProber, PeerSpec
+from repro.liveprobe.server import MAX_PAYLOAD, ProbeServer
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestTcpPing:
+    def test_syn_style_ping(self):
+        async def scenario():
+            async with ProbeServer() as server:
+                return await tcp_ping("127.0.0.1", server.port), server
+
+        result, server = run(scenario())
+        assert result.success
+        assert 0 < result.rtt_s < 1.0
+        assert result.payload_rtt_s is None
+        assert server.connections_served == 1
+
+    def test_payload_echo_ping(self):
+        async def scenario():
+            async with ProbeServer() as server:
+                return await tcp_ping(
+                    "127.0.0.1", server.port, payload=b"x" * 1000
+                ), server
+
+        result, server = run(scenario())
+        assert result.success
+        assert result.payload_rtt_s is not None
+        assert result.payload_rtt_s > 0
+        assert server.payloads_echoed == 1
+
+    def test_each_probe_is_a_new_connection(self):
+        async def scenario():
+            async with ProbeServer() as server:
+                for _ in range(5):
+                    await tcp_ping("127.0.0.1", server.port)
+                return server
+
+        server = run(scenario())
+        assert server.connections_served == 5
+
+    def test_connect_refused_is_a_clean_failure(self):
+        # Nothing listens on this port (we bind then close to find one).
+        async def scenario():
+            async with ProbeServer() as server:
+                dead_port = server.port
+            return await tcp_ping("127.0.0.1", dead_port, timeout_s=2.0)
+
+        result = run(scenario())
+        assert not result.success
+        assert result.error.startswith("connect")
+
+    def test_over_cap_payload_rejected_client_side(self):
+        with pytest.raises(ValueError):
+            tcp_ping_sync("127.0.0.1", 1, payload=b"x" * (MAX_PAYLOAD + 1))
+
+    def test_sync_wrapper(self):
+        async def get_port():
+            server = ProbeServer()
+            await server.start()
+            return server
+
+        # Run server in a dedicated loop thread-free way: use one loop for
+        # both by doing the whole flow in async; the sync wrapper is
+        # exercised against a dead port (failure path, no loop conflict).
+        result = tcp_ping_sync("127.0.0.1", 9, timeout_s=0.5)
+        assert not result.success
+
+
+class TestHttpPing:
+    def test_http_ping_200(self):
+        async def scenario():
+            async with ProbeServer() as server:
+                return await http_ping("127.0.0.1", server.port), server
+
+        result, server = run(scenario())
+        assert result.success
+        assert server.http_requests == 1
+
+    def test_http_ping_dead_port(self):
+        async def scenario():
+            async with ProbeServer() as server:
+                dead_port = server.port
+            return await http_ping("127.0.0.1", dead_port, timeout_s=2.0)
+
+        assert not run(scenario()).success
+
+
+class TestServerLifecycle:
+    def test_double_start_rejected(self):
+        async def scenario():
+            server = ProbeServer()
+            await server.start()
+            try:
+                with pytest.raises(RuntimeError):
+                    await server.start()
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_port_before_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            ProbeServer().port
+
+    def test_stop_is_idempotent(self):
+        async def scenario():
+            server = ProbeServer()
+            await server.start()
+            await server.stop()
+            await server.stop()
+
+        run(scenario())
+
+
+class TestLiveProber:
+    def test_round_against_two_servers(self):
+        async def scenario():
+            async with ProbeServer() as a, ProbeServer() as b:
+                prober = LiveProber(
+                    [
+                        PeerSpec("127.0.0.1", a.port),
+                        PeerSpec("127.0.0.1", b.port, payload_bytes=500),
+                        PeerSpec("127.0.0.1", a.port, protocol="http"),
+                    ]
+                )
+                results = await prober.run_round()
+                return prober, results
+
+        prober, results = run(scenario())
+        assert len(results) == 3
+        assert all(result.success for result in results)
+        snapshot = prober.snapshot()
+        assert snapshot["probes_total"] == 3.0
+        assert snapshot["latency_p50_us"] > 0
+
+    def test_failures_feed_counters(self):
+        async def scenario():
+            async with ProbeServer() as server:
+                dead_port = server.port
+            prober = LiveProber(
+                [PeerSpec("127.0.0.1", dead_port)], timeout_s=1.0
+            )
+            await prober.run_round()
+            return prober
+
+        prober = run(scenario())
+        assert prober.counters.probes_failed == 1
+
+    def test_peer_spec_validation(self):
+        with pytest.raises(ValueError):
+            PeerSpec("h", 80, protocol="udp")
+        with pytest.raises(ValueError):
+            PeerSpec("h", 0)
+        with pytest.raises(ValueError):
+            PeerSpec("h", 80, payload_bytes=-1)
+        with pytest.raises(ValueError):
+            LiveProber([], max_concurrency=0)

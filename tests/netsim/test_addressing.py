@@ -1,0 +1,134 @@
+"""Tests for IPv4 addressing, five-tuples and port allocation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netsim.addressing import (
+    EPHEMERAL_PORT_MAX,
+    EPHEMERAL_PORT_MIN,
+    PROTO_TCP,
+    PROTO_UDP,
+    EphemeralPortAllocator,
+    FiveTuple,
+    IPv4Address,
+)
+
+
+class TestIPv4Address:
+    def test_from_octets(self):
+        ip = IPv4Address.from_octets(10, 1, 2, 3)
+        assert str(ip) == "10.1.2.3"
+
+    def test_parse(self):
+        assert IPv4Address.parse("192.168.0.1").octets == (192, 168, 0, 1)
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("10.0.0", "10.0.0.0.0", "a.b.c.d", "256.0.0.1", ""):
+            with pytest.raises(ValueError):
+                IPv4Address.parse(bad)
+
+    def test_value_bounds(self):
+        with pytest.raises(ValueError):
+            IPv4Address(-1)
+        with pytest.raises(ValueError):
+            IPv4Address(2**32)
+        assert IPv4Address(0xFFFFFFFF).octets == (255, 255, 255, 255)
+
+    def test_octet_bounds(self):
+        with pytest.raises(ValueError):
+            IPv4Address.from_octets(10, 0, 0, 300)
+
+    def test_hashable_and_ordered(self):
+        a = IPv4Address.from_octets(10, 0, 0, 1)
+        b = IPv4Address.from_octets(10, 0, 0, 2)
+        assert a < b
+        assert len({a, b, IPv4Address.from_octets(10, 0, 0, 1)}) == 2
+
+    def test_int_conversion(self):
+        assert int(IPv4Address.from_octets(0, 0, 1, 0)) == 256
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_str_parse_roundtrip(self, value):
+        ip = IPv4Address(value)
+        assert IPv4Address.parse(str(ip)) == ip
+
+
+def _tuple(src_port=50_000, dst_port=80, proto=PROTO_TCP):
+    return FiveTuple(
+        src_ip=IPv4Address.parse("10.0.0.1"),
+        src_port=src_port,
+        dst_ip=IPv4Address.parse("10.0.0.2"),
+        dst_port=dst_port,
+        protocol=proto,
+    )
+
+
+class TestFiveTuple:
+    def test_reversed_swaps_endpoints(self):
+        flow = _tuple()
+        back = flow.reversed()
+        assert back.src_ip == flow.dst_ip
+        assert back.dst_ip == flow.src_ip
+        assert back.src_port == flow.dst_port
+        assert back.dst_port == flow.src_port
+        assert back.protocol == flow.protocol
+
+    def test_double_reverse_is_identity(self):
+        flow = _tuple()
+        assert flow.reversed().reversed() == flow
+
+    def test_rejects_bad_ports(self):
+        with pytest.raises(ValueError):
+            _tuple(src_port=0)
+        with pytest.raises(ValueError):
+            _tuple(dst_port=70_000)
+
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(ValueError):
+            _tuple(proto=1)  # ICMP is deliberately unsupported (§3.4.1)
+
+    def test_udp_allowed(self):
+        assert _tuple(proto=PROTO_UDP).protocol == PROTO_UDP
+
+    def test_ecmp_hash_is_deterministic(self):
+        assert _tuple().ecmp_hash() == _tuple().ecmp_hash()
+
+    def test_ecmp_hash_varies_with_salt(self):
+        flow = _tuple()
+        hashes = {flow.ecmp_hash(salt) for salt in range(16)}
+        assert len(hashes) > 8
+
+    def test_ecmp_hash_varies_with_source_port(self):
+        hashes = {_tuple(src_port=p).ecmp_hash() for p in range(50_000, 50_064)}
+        assert len(hashes) > 48  # near-perfect dispersion over 64 ports
+
+    def test_str_format(self):
+        assert str(_tuple()) == "10.0.0.1:50000->10.0.0.2:80/tcp"
+
+    @given(
+        st.integers(min_value=1, max_value=65_535),
+        st.integers(min_value=1, max_value=65_535),
+    )
+    def test_hash_depends_on_both_ports(self, sport, dport):
+        base = _tuple(src_port=sport, dst_port=dport).ecmp_hash()
+        other_sport = sport % 65_535 + 1
+        if other_sport != sport:
+            assert _tuple(src_port=other_sport, dst_port=dport).ecmp_hash() != base
+
+
+class TestEphemeralPortAllocator:
+    def test_allocates_distinct_ports(self):
+        allocator = EphemeralPortAllocator()
+        ports = [allocator.allocate() for _ in range(1000)]
+        assert len(set(ports)) == 1000
+        assert all(EPHEMERAL_PORT_MIN <= p <= EPHEMERAL_PORT_MAX for p in ports)
+
+    def test_wraps_around_at_range_end(self):
+        allocator = EphemeralPortAllocator(start=EPHEMERAL_PORT_MAX)
+        assert allocator.allocate() == EPHEMERAL_PORT_MAX
+        assert allocator.allocate() == EPHEMERAL_PORT_MIN
+
+    def test_rejects_start_outside_range(self):
+        with pytest.raises(ValueError):
+            EphemeralPortAllocator(start=80)

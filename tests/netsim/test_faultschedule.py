@@ -1,0 +1,89 @@
+"""Tests for scheduled fault injection."""
+
+import pytest
+
+from repro.netsim.fabric import Fabric
+from repro.netsim.faultschedule import FaultSchedule, ScheduledIncident
+from repro.netsim.simclock import EventQueue, SimClock
+from repro.netsim.topology import TopologySpec
+
+
+@pytest.fixture()
+def world():
+    fabric = Fabric.single_dc(TopologySpec(), seed=5)
+    queue = EventQueue(SimClock())
+    return fabric, queue, FaultSchedule(fabric, queue)
+
+
+class TestScheduling:
+    def test_incident_starts_at_time(self, world):
+        fabric, queue, schedule = world
+        incident = schedule.add("silent-spine", start_t=100.0)
+        queue.run_until(99.0)
+        assert not incident.started
+        assert not fabric.faults.has_faults()
+        queue.run_until(100.0)
+        assert incident.started
+        assert fabric.faults.has_faults()
+
+    def test_incident_ends_at_time(self, world):
+        fabric, queue, schedule = world
+        incident = schedule.add("silent-spine", start_t=100.0, end_t=200.0)
+        queue.run_until(150.0)
+        assert fabric.faults.has_faults()
+        queue.run_until(200.0)
+        assert incident.ended
+        assert not fabric.faults.has_faults()
+
+    def test_open_ended_incident_persists(self, world):
+        fabric, queue, schedule = world
+        schedule.add("tor-blackhole", start_t=10.0)
+        queue.run_until(10_000.0)
+        assert fabric.faults.has_faults()
+
+    def test_kwargs_forwarded_to_scenario(self, world):
+        fabric, queue, schedule = world
+        incident = schedule.add("tor-blackhole", start_t=1.0, pod=3)
+        queue.run_until(1.0)
+        assert incident.applied.ground_truth_devices == [
+            fabric.topology.dc(0).tors[3].device_id
+        ]
+
+    def test_podset_scenario_reverts_power(self, world):
+        fabric, queue, schedule = world
+        schedule.add("podset-down", start_t=5.0, end_t=10.0, podset=1)
+        queue.run_until(7.0)
+        dc = fabric.topology.dc(0)
+        assert all(not s.is_up for s in dc.servers_in_podset(1))
+        queue.run_until(10.0)
+        assert all(s.is_up for s in dc.servers_in_podset(1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScheduledIncident("x", start_t=-1.0, end_t=None)
+        with pytest.raises(ValueError):
+            ScheduledIncident("x", start_t=10.0, end_t=10.0)
+
+
+class TestBookkeeping:
+    def test_active_at(self, world):
+        fabric, queue, schedule = world
+        schedule.add("silent-spine", start_t=100.0, end_t=200.0)
+        schedule.add("tor-blackhole", start_t=150.0)
+        assert schedule.active_at(50.0) == []
+        assert len(schedule.active_at(150.0)) == 2
+        assert [i.scenario_name for i in schedule.active_at(250.0)] == [
+            "tor-blackhole"
+        ]
+
+    def test_ground_truth_devices(self, world):
+        fabric, queue, schedule = world
+        schedule.add("silent-spine", start_t=10.0, spine=2)
+        queue.run_until(10.0)
+        devices = schedule.ground_truth_devices(t=20.0)
+        assert devices == {fabric.topology.dc(0).spines[2].device_id}
+
+    def test_ground_truth_empty_before_start(self, world):
+        fabric, queue, schedule = world
+        schedule.add("silent-spine", start_t=100.0)
+        assert schedule.ground_truth_devices(t=5.0) == set()

@@ -1,0 +1,117 @@
+"""Tests for the RTT latency model."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.latency import LatencyModel
+from repro.netsim.workload import profile_for
+
+
+@pytest.fixture(scope="module")
+def model():
+    return LatencyModel(profile_for("throughput"))
+
+
+def _sample(model, n_hops, n=20_000, seed=1, **kwargs):
+    rng = np.random.default_rng(seed)
+    return model.sample(rng, n_hops, n=n, **kwargs)
+
+
+class TestBasicProperties:
+    def test_all_samples_positive(self, model):
+        assert (_sample(model, 5) > 0).all()
+
+    def test_deterministic_given_seed(self, model):
+        a = _sample(model, 5, n=100, seed=7)
+        b = _sample(model, 5, n=100, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_sample_one_matches_vector_path(self, model):
+        rng_a = np.random.default_rng(3)
+        rng_b = np.random.default_rng(3)
+        scalar = model.sample_one(rng_a, 5, t=10.0)
+        vector = model.sample(rng_b, 5, t=10.0, n=1)[0]
+        assert scalar == vector
+
+    def test_rejects_bad_arguments(self, model):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            model.sample(rng, 5, n=0)
+        with pytest.raises(ValueError):
+            model.sample(rng, -1)
+
+
+class TestShape:
+    def test_more_hops_means_higher_median(self, model):
+        p50_1 = np.median(_sample(model, 1))
+        p50_5 = np.median(_sample(model, 5))
+        assert p50_5 > p50_1
+        # The gap is tens of microseconds, not milliseconds (§4.1).
+        assert 10e-6 < p50_5 - p50_1 < 200e-6
+
+    def test_intra_pod_median_near_paper_value(self, model):
+        # Paper: DC1 intra-pod P50 = 216 us.  Allow a generous band.
+        p50 = np.median(_sample(model, 1, n=50_000))
+        assert 150e-6 < p50 < 320e-6
+
+    def test_p99_in_milliseconds_band(self, model):
+        # Paper: inter-pod P99 = 1.34 ms for DC1.
+        p99 = np.percentile(_sample(model, 5, n=200_000), 99)
+        assert 0.5e-3 < p99 < 4e-3
+
+    def test_heavy_tail_exists(self, model):
+        rtts = _sample(model, 5, n=400_000)
+        p999 = np.percentile(rtts, 99.9)
+        p50 = np.median(rtts)
+        # P99.9 is tens of ms while P50 is hundreds of us: ratio >> 10.
+        assert p999 / p50 > 10
+
+    def test_wan_rtt_shifts_distribution(self, model):
+        base = np.median(_sample(model, 8))
+        wan = np.median(_sample(model, 8, wan_rtt=0.04))
+        assert wan == pytest.approx(base + 0.04, rel=0.2)
+
+    def test_payload_adds_latency(self, model):
+        plain = np.median(_sample(model, 5, n=50_000))
+        payload = np.median(_sample(model, 5, n=50_000, payload_bytes=1000))
+        assert payload > plain
+        # Figure 4(d): P50 gap is ~58 us; stay in the tens-of-us ballpark.
+        assert 20e-6 < payload - plain < 300e-6
+
+    def test_payload_widens_the_p99_gap(self, model):
+        plain = _sample(model, 5, n=200_000)
+        payload = _sample(model, 5, n=200_000, payload_bytes=1000, seed=2)
+        gap_p50 = np.median(payload) - np.median(plain)
+        gap_p99 = np.percentile(payload, 99) - np.percentile(plain, 99)
+        assert gap_p99 > gap_p50
+
+    def test_zero_hops_is_host_only(self, model):
+        rtts = _sample(model, 0, n=10_000)
+        assert np.median(rtts) == pytest.approx(
+            model.profile.host_median_s, rel=0.25
+        )
+
+
+class TestProfileContrast:
+    def test_throughput_dc_has_heavier_tail_than_interactive(self):
+        # Figure 4(b): DC1 >> DC2 at P99.9.
+        rng = np.random.default_rng(11)
+        dc1 = LatencyModel(profile_for("throughput")).sample(rng, 5, n=500_000)
+        dc2 = LatencyModel(profile_for("interactive")).sample(rng, 5, n=500_000)
+        assert np.percentile(dc1, 99.9) > 1.4 * np.percentile(dc2, 99.9)
+
+    def test_profiles_similar_at_median(self):
+        # Figure 4(a): below P90 the two DCs look alike.
+        rng = np.random.default_rng(12)
+        dc1 = LatencyModel(profile_for("throughput")).sample(rng, 5, n=100_000)
+        dc2 = LatencyModel(profile_for("interactive")).sample(rng, 5, n=100_000)
+        assert np.median(dc1) == pytest.approx(np.median(dc2), rel=0.3)
+
+    def test_sync_window_raises_burst_latency(self):
+        profile = profile_for("service-sync")
+        model = LatencyModel(profile)
+        rng = np.random.default_rng(13)
+        # t=0 is inside the sync window; pick a quiet t outside it.
+        in_sync = model.sample(rng, 5, t=60.0, n=200_000)
+        quiet = model.sample(rng, 5, t=profile.sync_duration_s + 3600.0, n=200_000)
+        assert np.percentile(in_sync, 99) > np.percentile(quiet, 99)

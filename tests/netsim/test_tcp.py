@@ -1,0 +1,87 @@
+"""Tests for TCP handshake/exchange retransmission semantics."""
+
+import pytest
+
+from repro.netsim.tcp import (
+    DATA_RETRIES,
+    SYN_RETRIES,
+    SYN_TIMEOUT_S,
+    run_data_exchange,
+    run_syn_handshake,
+    syn_rtt_signature,
+)
+
+
+def _attempts(pattern):
+    """Build an attempt callable from a list of booleans (True=delivered)."""
+    remaining = list(pattern)
+
+    def attempt():
+        return remaining.pop(0), 0.0
+
+    return attempt
+
+
+class TestSynHandshake:
+    def test_clean_connect_waits_nothing(self):
+        outcome = run_syn_handshake(_attempts([True]))
+        assert outcome.success
+        assert outcome.attempts == 1
+        assert outcome.drops == 0
+        assert outcome.waited_s == 0.0
+
+    def test_one_drop_shows_3s_signature(self):
+        outcome = run_syn_handshake(_attempts([False, True]))
+        assert outcome.success
+        assert outcome.drops == 1
+        assert outcome.waited_s == pytest.approx(3.0)
+
+    def test_two_drops_show_9s_signature(self):
+        outcome = run_syn_handshake(_attempts([False, False, True]))
+        assert outcome.success
+        assert outcome.drops == 2
+        assert outcome.waited_s == pytest.approx(9.0)
+
+    def test_three_drops_fail_the_probe(self):
+        outcome = run_syn_handshake(_attempts([False, False, False]))
+        assert not outcome.success
+        assert outcome.attempts == 1 + SYN_RETRIES
+        assert outcome.waited_s == pytest.approx(21.0)  # 3 + 6 + 12
+
+    def test_extra_latency_propagated_from_successful_attempt(self):
+        def attempt():
+            return True, 0.005
+
+        outcome = run_syn_handshake(attempt)
+        assert outcome.extra_latency_s == 0.005
+
+    def test_signature_helper_agrees_with_handshake(self):
+        assert syn_rtt_signature(0) == 0.0
+        assert syn_rtt_signature(1) == pytest.approx(3.0)
+        assert syn_rtt_signature(2) == pytest.approx(9.0)
+        assert syn_rtt_signature(3) == pytest.approx(21.0)
+
+    def test_timeout_doubles_from_initial(self):
+        assert syn_rtt_signature(1) == SYN_TIMEOUT_S
+        assert syn_rtt_signature(2) == SYN_TIMEOUT_S * 3
+
+
+class TestDataExchange:
+    def test_clean_exchange(self):
+        outcome = run_data_exchange(_attempts([True]))
+        assert outcome.success
+        assert outcome.waited_s == 0.0
+
+    def test_data_retransmit_uses_short_rto(self):
+        outcome = run_data_exchange(_attempts([False, True]))
+        assert outcome.success
+        assert outcome.waited_s == pytest.approx(0.3)
+
+    def test_data_gives_up_after_retries(self):
+        outcome = run_data_exchange(_attempts([False] * (1 + DATA_RETRIES)))
+        assert not outcome.success
+        assert outcome.attempts == 1 + DATA_RETRIES
+
+    def test_data_rto_doubles(self):
+        outcome = run_data_exchange(_attempts([False, False, False, True]))
+        assert outcome.waited_s == pytest.approx(0.3 + 0.6 + 1.2)

@@ -1,0 +1,95 @@
+"""Tests for multi-RTT transfer probes (the §6.4 extension)."""
+
+import pytest
+
+from repro.netsim.fabric import Fabric
+from repro.netsim.topology import MultiDCTopology, TopologySpec
+from repro.netsim.transfer import (
+    MSS_BYTES,
+    transfer_probe,
+    transfer_rounds,
+)
+
+
+class TestTransferRounds:
+    def test_zero_payload_zero_rounds(self):
+        assert transfer_rounds(0, icw_segments=16) == 0
+
+    def test_single_segment_one_round(self):
+        assert transfer_rounds(100, icw_segments=16) == 1
+
+    def test_fits_in_initial_window(self):
+        # 16 segments fit in ICW=16: one round trip.
+        assert transfer_rounds(16 * MSS_BYTES, icw_segments=16) == 1
+
+    def test_slow_start_doubling(self):
+        # ICW=4 delivers 4, 8, 16... segments per round: 28 segs in 3 rounds.
+        assert transfer_rounds(28 * MSS_BYTES, icw_segments=4) == 3
+        assert transfer_rounds(29 * MSS_BYTES, icw_segments=4) == 4
+
+    def test_icw_16_vs_4_round_gap(self):
+        """The §6.4 incident: the same payload needs more rounds at ICW=4."""
+        payload = 45 * MSS_BYTES  # ~64 KB
+        assert transfer_rounds(payload, icw_segments=16) == 2
+        assert transfer_rounds(payload, icw_segments=4) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            transfer_rounds(-1, icw_segments=16)
+        with pytest.raises(ValueError):
+            transfer_rounds(100, icw_segments=0)
+
+
+class TestTransferProbe:
+    @pytest.fixture(scope="class")
+    def wan_fabric(self):
+        return Fabric(
+            MultiDCTopology(
+                [
+                    TopologySpec(name="w", region="us-west"),
+                    TopologySpec(name="e", region="europe"),
+                ]
+            ),
+            seed=7,
+        )
+
+    def test_local_transfer_completes(self):
+        fabric = Fabric.single_dc(TopologySpec(), seed=1)
+        dc = fabric.topology.dc(0)
+        result = transfer_probe(fabric, dc.servers[0], dc.servers[30], 64_000)
+        assert result.success
+        assert result.data_round_trips >= 2
+        assert result.completion_s > result.handshake_rtt_s
+
+    def test_icw_regression_visible_on_long_distance(self, wan_fabric):
+        """Transfer probes catch what single-RTT pings miss: the ICW=4
+        misconfiguration adds WAN round trips."""
+        a = wan_fabric.topology.dc(0).servers[0]
+        b = wan_fabric.topology.dc(1).servers[0]
+        wan_rtt = wan_fabric.topology.wan_rtt[(0, 1)]
+        tuned = transfer_probe(wan_fabric, a, b, 64_000, icw_segments=16)
+        broken = transfer_probe(wan_fabric, a, b, 64_000, icw_segments=4)
+        assert broken.data_round_trips > tuned.data_round_trips
+        # "the session finish time increased by several hundreds of
+        # milliseconds" — at least one extra WAN round trip.
+        assert broken.completion_s - tuned.completion_s > 0.8 * wan_rtt
+
+    def test_single_rtt_ping_blind_to_icw(self, wan_fabric):
+        """And the regular probe is indeed blind to the ICW (§6.4)."""
+        a = wan_fabric.topology.dc(0).servers[1]
+        b = wan_fabric.topology.dc(1).servers[1]
+        # The handshake RTT distribution has no ICW dependence at all:
+        # transfer_probe's handshake leg is the plain probe.
+        tuned = transfer_probe(wan_fabric, a, b, 0, icw_segments=16)
+        broken = transfer_probe(wan_fabric, a, b, 0, icw_segments=4)
+        assert tuned.data_round_trips == broken.data_round_trips == 0
+
+    def test_failed_handshake_propagates(self):
+        fabric = Fabric.single_dc(TopologySpec(), seed=2)
+        dc = fabric.topology.dc(0)
+        victim = dc.servers[5]
+        victim.bring_down()
+        result = transfer_probe(fabric, dc.servers[0], victim, 10_000)
+        assert not result.success
+        assert result.error == "timeout"
+        assert result.data_round_trips == 0

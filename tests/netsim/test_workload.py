@@ -1,0 +1,95 @@
+"""Tests for workload profiles."""
+
+import pytest
+
+from repro.netsim.workload import PROFILES, WorkloadProfile, profile_for
+
+
+class TestProfileRegistry:
+    def test_table1_profiles_present(self):
+        for name in (
+            "dc1-us-west",
+            "dc2-us-central",
+            "dc3-us-east",
+            "dc4-europe",
+            "dc5-asia",
+        ):
+            assert name in PROFILES
+
+    def test_profile_for_unknown_raises(self):
+        with pytest.raises(KeyError):
+            profile_for("nope")
+
+    def test_table1_targets_match_paper(self):
+        # Table 1 of the paper, verbatim.
+        expectations = {
+            "dc1-us-west": (1.31e-5, 7.55e-5),
+            "dc2-us-central": (2.10e-5, 7.63e-5),
+            "dc3-us-east": (9.58e-6, 4.00e-5),
+            "dc4-europe": (1.52e-5, 5.32e-5),
+            "dc5-asia": (9.82e-6, 1.54e-5),
+        }
+        for name, (intra, inter) in expectations.items():
+            profile = profile_for(name)
+            assert profile.intra_pod_drop == pytest.approx(intra)
+            assert profile.inter_pod_drop == pytest.approx(inter)
+
+
+class TestValidation:
+    def _base_kwargs(self):
+        base = profile_for("throughput")
+        return {
+            field: getattr(base, field)
+            for field in base.__dataclass_fields__
+        }
+
+    def test_rejects_inter_below_intra(self):
+        kwargs = self._base_kwargs()
+        kwargs.update(intra_pod_drop=1e-4, inter_pod_drop=1e-5)
+        with pytest.raises(ValueError):
+            WorkloadProfile(**kwargs)
+
+    def test_rejects_full_utilization(self):
+        kwargs = self._base_kwargs()
+        kwargs.update(base_utilization=1.0)
+        with pytest.raises(ValueError):
+            WorkloadProfile(**kwargs)
+
+    def test_rejects_implausible_drop_rate(self):
+        kwargs = self._base_kwargs()
+        kwargs.update(intra_pod_drop=0.5, inter_pod_drop=0.6)
+        with pytest.raises(ValueError):
+            WorkloadProfile(**kwargs)
+
+
+class TestBehaviour:
+    def test_utilization_diurnal_and_bounded(self):
+        profile = profile_for("throughput")
+        values = [profile.utilization(t * 3600.0) for t in range(48)]
+        assert all(0.0 <= v <= 0.98 for v in values)
+        assert max(values) > min(values)  # the sinusoid actually moves
+
+    def test_sync_window_detection(self):
+        profile = profile_for("service-sync")
+        assert profile.in_sync_window(0.0)
+        assert profile.in_sync_window(profile.sync_duration_s - 1)
+        assert not profile.in_sync_window(profile.sync_duration_s + 1)
+        # Next period wraps around.
+        assert profile.in_sync_window(profile.sync_period_s + 1)
+
+    def test_no_sync_window_when_disabled(self):
+        profile = profile_for("throughput")
+        assert not any(profile.in_sync_window(t * 60.0) for t in range(1440))
+
+    def test_sync_boosts_burst_probability(self):
+        profile = profile_for("service-sync")
+        in_sync = profile.burst_probability(60.0)
+        outside = profile.burst_probability(profile.sync_duration_s + 3600.0)
+        assert in_sync > outside
+
+    def test_with_drop_targets_copies(self):
+        base = profile_for("throughput")
+        derived = base.with_drop_targets(1e-6, 1e-5)
+        assert derived.intra_pod_drop == 1e-6
+        assert base.intra_pod_drop == 1.31e-5  # original untouched
+        assert derived.host_median_s == base.host_median_s
