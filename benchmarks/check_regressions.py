@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Run the tier-1 DSA benches and snapshot their timings.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/check_regressions.py [--output BENCH_dsa.json]
+
+Runs ``bench_engine_throughput``, ``bench_dsa_pipeline`` and
+``bench_scope_columnar`` under pytest-benchmark, collects the per-bench
+mean/min timings into one snapshot file, and exits non-zero if any bench
+fails (each bench file carries its own hard assertions — e.g. the columnar
+path's ≥10× speedup gate).  Commit the snapshot to make timing drift
+reviewable alongside the change that caused it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+TIER1_BENCHES = [
+    "bench_engine_throughput.py",
+    "bench_dsa_pipeline.py",
+    "bench_scope_columnar.py",
+]
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = Path(__file__).resolve().parent
+
+
+def run_benches(output: Path) -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        raw = Path(tmp) / "benchmarks.json"
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            "-q",
+            "-p",
+            "no:cacheprovider",
+            f"--benchmark-json={raw}",
+            *[str(BENCH_DIR / name) for name in TIER1_BENCHES],
+        ]
+        proc = subprocess.run(cmd, cwd=REPO_ROOT)
+        if not raw.exists():
+            print("no benchmark output produced", file=sys.stderr)
+            return proc.returncode or 1
+        report = json.loads(raw.read_text())
+
+    snapshot = {
+        "machine": report.get("machine_info", {}).get("cpu", {}).get("brand_raw"),
+        "python": report.get("machine_info", {}).get("python_version"),
+        "benches": {
+            bench["name"]: {
+                "mean_s": bench["stats"]["mean"],
+                "min_s": bench["stats"]["min"],
+                "rounds": bench["stats"]["rounds"],
+            }
+            for bench in sorted(report.get("benchmarks", []), key=lambda b: b["name"])
+        },
+    }
+    output.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output} ({len(snapshot['benches'])} benches)")
+    return proc.returncode
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_dsa.json",
+        help="snapshot path (default: BENCH_dsa.json at the repo root)",
+    )
+    args = parser.parse_args()
+    # Validate the destination up front: the benches take minutes, and a
+    # typo'd path should not cost a full run before failing.
+    try:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.touch()
+    except OSError as err:
+        print(f"cannot write {args.output}: {err}", file=sys.stderr)
+        return 2
+    return run_benches(args.output)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,11 @@ The pipeline lands results in the :class:`ResultsDatabase`, drives the alert
 engine, builds the per-DC heatmaps + pattern classifications, runs the
 silent-drop detector near-real-time and the black-hole detector daily, and
 applies the two-month retention policy.
+
+Each job tick EXTRACTs its time window from the store exactly once: a small
+window cache (keyed on window bounds and the store's data version) shares
+the rowset between the SCOPE jobs, the SLA tracker, the detectors and the
+heatmaps of a tick, and across coinciding ticks of different cadences.
 """
 
 from __future__ import annotations
@@ -93,6 +98,9 @@ class DsaPipeline:
         # Baseline-relative anomaly detection on the hourly SLA series —
         # the "data mining" layer on top of the fixed thresholds (§4.3).
         self.anomaly_tracker = SeriesAnomalyTracker()
+        # (start, end, store.version) -> extracted RowSet.  Bounded: ticks
+        # at different cadences overlap within a burst, not across history.
+        self._window_cache: dict[tuple[float, float, int], object] = {}
 
     # -- registration -----------------------------------------------------------
 
@@ -114,6 +122,21 @@ class DsaPipeline:
         start = max(0.0, end - period)
         return start, end
 
+    def _window_rowset(self, start: float, end: float):
+        """EXTRACT one window, at most once per (window, store version).
+
+        Every consumer of a tick — and coinciding ticks of other cadences —
+        shares the same rowset; the cache key includes the store's data
+        version, so any append/expiry invalidates naturally.
+        """
+        key = (start, end, getattr(self.store, "version", 0))
+        rows = self._window_cache.get(key)
+        if rows is None:
+            if len(self._window_cache) >= 8:
+                self._window_cache.clear()
+            rows = self._window_cache[key] = window_rows(self.store, start, end)
+        return rows
+
     # -- the jobs -----------------------------------------------------------------
 
     def run_10min_job(self, t: float) -> list[dict]:
@@ -121,14 +144,16 @@ class DsaPipeline:
         start, end = self._window(t, self.config.near_real_time_period_s)
         if end <= start:
             return []
-        podpair = job_podpair_latency(self.store, start, end)
+        window = self._window_rowset(start, end)
+        podpair = job_podpair_latency(self.store, start, end, rows=window)
         self.database.insert("podpair_10min", podpair)
         if len(self.topology.dcs) > 1:
             self.database.insert(
-                "interdc_10min", job_interdc_latency(self.store, start, end)
+                "interdc_10min",
+                job_interdc_latency(self.store, start, end, rows=window),
             )
 
-        rows = window_rows(self.store, start, end).output()
+        rows = window.output()
         pattern_rows = []
         for dc in self.topology.dcs:
             heatmap = LatencyHeatmap.from_records(
@@ -183,21 +208,23 @@ class DsaPipeline:
         start, end = self._window(t, self.config.hourly_period_s)
         if end <= start:
             return []
-        rows = window_rows(self.store, start, end).output()
+        rows = self._window_rowset(start, end).output()
         slas = self.sla_tracker.track_all(rows, start, end)
         sla_rows = [sla.as_row() for sla in slas]
         self.database.insert("sla_hourly", sla_rows)
         # Alert on macro scopes only: single-server P99 windows are too
         # small-sample to hold the 5 ms threshold without false alarms.
+        # Reuse the rows already materialized above — as_row once per SLA.
+        macro_scopes = (SlaScope.DATACENTER, SlaScope.PODSET, SlaScope.SERVICE)
         macro = [
-            sla
-            for sla in slas
-            if sla.scope in (SlaScope.DATACENTER, SlaScope.PODSET, SlaScope.SERVICE)
+            (sla, row)
+            for sla, row in zip(slas, sla_rows)
+            if sla.scope in macro_scopes
         ]
-        alerts = self.alert_engine.evaluate(macro)
+        alerts = self.alert_engine.evaluate([sla for sla, _row in macro])
         self.database.insert("alerts", [alert.as_row() for alert in alerts])
         anomalies = self.anomaly_tracker.observe_sla_rows(
-            [sla.as_row() for sla in macro]
+            [row for _sla, row in macro]
         )
         self.database.insert("anomalies", anomalies)
         return sla_rows
@@ -207,10 +234,11 @@ class DsaPipeline:
         start, end = self._window(t, self.config.daily_period_s)
         if end <= start:
             return []
-        drop_rows = job_scope_drop_rates(self.store, start, end)
+        window = self._window_rowset(start, end)
+        drop_rows = job_scope_drop_rates(self.store, start, end, rows=window)
         self.database.insert("drop_daily", drop_rows)
 
-        rows = window_rows(self.store, start, end).output()
+        rows = window.output()
         report = self.blackhole_detector.detect(rows, t=end)
         self.blackhole_reports.append(report)
         self.database.insert(
@@ -248,7 +276,7 @@ class DsaPipeline:
     def latest_heatmap(self, dc: int, t: float) -> LatencyHeatmap:
         """Rebuild the newest heatmap of one DC on demand."""
         start, end = self._window(t, self.config.near_real_time_period_s)
-        rows = window_rows(self.store, start, end).output()
+        rows = self._window_rowset(start, end).output()
         dc_topo = self.topology.dc(dc)
         return LatencyHeatmap.from_records(
             rows, dc_topo.spec.n_pods, dc_topo.spec.pods_per_podset, dc=dc

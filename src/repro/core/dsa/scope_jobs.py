@@ -5,24 +5,45 @@ Each job is a pure function of (store, window) returning result rows; the
 :class:`~repro.core.dsa.pipeline.DsaPipeline` schedules them at the paper's
 cadences (10 minutes, 1 hour, 1 day) and lands the rows in the results
 database.
+
+Filters and computed columns are written with the ``col``/``lit``
+expression language, so on column-backed extents the whole job executes
+vectorized (masks + segmented reductions) and degrades transparently to
+the per-row path otherwise.  Every job takes an optional precomputed
+``rows`` rowset: the pipeline extracts each time window from the store
+once and shares it across the jobs of a tick.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
-from repro.core.dsa.drop_inference import estimate_drop_rate
 from repro.core.dsa.records import LATENCY_STREAM
-from repro.cosmos.scope import RowSet, agg, extract
+from repro.cosmos.scope import Aggregator, RowSet, agg, col, extract, lit
+from repro.netsim import tcp
 
 __all__ = [
     "window_rows",
     "job_podpair_latency",
+    "job_interdc_latency",
     "job_scope_drop_rates",
     "job_dc_drop_table",
 ]
 
 Row = dict[str, Any]
+
+# One SYN retransmission signature (~3 s), in microseconds: the §4.2 drop
+# heuristic's numerator counts every successful probe at or above it once.
+_DROP_SIGNATURE_US = tcp.syn_rtt_signature(1) * 1e6
+
+
+def _drop_rate_aggregate() -> Aggregator:
+    """The §4.2 heuristic as an aggregate; numerically identical to
+    :func:`repro.core.dsa.drop_inference.estimate_drop_rate`."""
+    return agg.ratio(
+        numerator=col("success") & (col("rtt_us") >= _DROP_SIGNATURE_US),
+        denominator=col("success"),
+    )
 
 
 def window_rows(store, window_start: float, window_end: float) -> RowSet:
@@ -36,38 +57,48 @@ def window_rows(store, window_start: float, window_end: float) -> RowSet:
     return extract(
         store,
         LATENCY_STREAM,
-        lambda row: window_start <= row["t"] < window_end,
+        (col("t") >= window_start) & (col("t") < window_end),
         appended_since=window_start,
     )
 
 
+def _base_rows(
+    store, window_start: float, window_end: float, rows: RowSet | None
+) -> RowSet:
+    return rows if rows is not None else window_rows(store, window_start, window_end)
+
+
 def job_podpair_latency(
-    store, window_start: float, window_end: float, dc: int | None = None
+    store,
+    window_start: float,
+    window_end: float,
+    dc: int | None = None,
+    rows: RowSet | None = None,
 ) -> list[Row]:
     """Per pod-pair: probe count, P50/P99 latency, inferred drop rate.
 
     Feeds the visualization heatmap (§6.3) and the near-real-time
     dashboard.  One row per (src_dc, src_pod, dst_pod).
     """
-    rows = window_rows(store, window_start, window_end)
+    base = _base_rows(store, window_start, window_end, rows)
     if dc is not None:
-        rows = rows.where(lambda r: r["src_dc"] == dc and r["dst_dc"] == dc)
+        base = base.where((col("src_dc") == dc) & (col("dst_dc") == dc))
     else:
-        rows = rows.where(lambda r: r["src_dc"] == r["dst_dc"])
+        base = base.where(col("src_dc") == col("dst_dc"))
     # VIP availability probes carry no destination pod coordinates.
-    rows = rows.where(lambda r: r["src_pod"] >= 0 and r["dst_pod"] >= 0)
-    if not rows:
+    base = base.where((col("src_pod") >= 0) & (col("dst_pod") >= 0))
+    if not base:
         return []
     return (
-        rows.group_by("src_dc", "src_pod", "dst_pod")
+        base.group_by("src_dc", "src_pod", "dst_pod")
         .aggregate(
             probe_count=agg.count(),
-            success_count=agg.count_if(lambda r: r["success"]),
+            success_count=agg.count_if(col("success")),
             p50_us=agg.percentile("rtt_us", 50),
             p99_us=agg.percentile("rtt_us", 99),
             drop_rate=agg.ratio(
-                numerator=lambda r: r["success"] and r["rtt_us"] >= 2.5e6,
-                denominator=lambda r: r["success"],
+                numerator=col("success") & (col("rtt_us") >= 2.5e6),
+                denominator=col("success"),
             ),
         )
         .select(
@@ -79,36 +110,39 @@ def job_podpair_latency(
             "p50_us",
             "p99_us",
             "drop_rate",
-            t=lambda r: window_end,
+            t=lit(window_end),
         )
-        .order_by("src_pod")
+        .order_by("src_pod", "dst_pod", "src_dc")
         .output()
     )
 
 
 def job_interdc_latency(
-    store, window_start: float, window_end: float
+    store,
+    window_start: float,
+    window_end: float,
+    rows: RowSet | None = None,
 ) -> list[Row]:
     """Per DC-pair latency/drop aggregates — the inter-DC pipeline (§6.2).
 
     "We did add a new inter-DC data processing pipeline" — one row per
     ordered (src_dc, dst_dc) pair with cross-WAN traffic in the window.
     """
-    rows = window_rows(store, window_start, window_end).where(
-        lambda r: r["src_dc"] != r["dst_dc"]
+    base = _base_rows(store, window_start, window_end, rows).where(
+        col("src_dc") != col("dst_dc")
     )
-    if not rows:
+    if not base:
         return []
     return (
-        rows.group_by("src_dc", "dst_dc")
+        base.group_by("src_dc", "dst_dc")
         .aggregate(
             probe_count=agg.count(),
-            success_count=agg.count_if(lambda r: r["success"]),
+            success_count=agg.count_if(col("success")),
             p50_us=agg.percentile("rtt_us", 50),
             p99_us=agg.percentile("rtt_us", 99),
             drop_rate=agg.ratio(
-                numerator=lambda r: r["success"] and r["rtt_us"] >= 2.5e6,
-                denominator=lambda r: r["success"],
+                numerator=col("success") & (col("rtt_us") >= 2.5e6),
+                denominator=col("success"),
             ),
         )
         .select(
@@ -119,38 +153,54 @@ def job_interdc_latency(
             "p50_us",
             "p99_us",
             "drop_rate",
-            t=lambda r: window_end,
+            t=lit(window_end),
         )
-        .order_by("src_dc")
+        .order_by("src_dc", "dst_dc")
         .output()
     )
 
 
 def job_scope_drop_rates(
-    store, window_start: float, window_end: float
+    store,
+    window_start: float,
+    window_end: float,
+    rows: RowSet | None = None,
 ) -> list[Row]:
-    """Intra-pod vs inter-pod drop rate per data center — the Table 1 job."""
-    rows = window_rows(store, window_start, window_end).where(
-        lambda r: r["src_dc"] == r["dst_dc"]
+    """Intra-pod vs inter-pod drop rate per data center — the Table 1 job.
+
+    Fully vectorized on columnar windows: two grouped segmented reductions
+    (intra-pod and inter-pod) instead of per-DC python list splits.
+    """
+    base = _base_rows(store, window_start, window_end, rows).where(
+        col("src_dc") == col("dst_dc")
     )
-    if not rows:
+    if not base:
         return []
-    out: list[Row] = []
-    for dc in sorted({row["src_dc"] for row in rows}):
-        dc_rows = rows.where(lambda r, dc=dc: r["src_dc"] == dc)
-        intra = [row for row in dc_rows if row["src_pod"] == row["dst_pod"]]
-        inter = [row for row in dc_rows if row["src_pod"] != row["dst_pod"]]
-        out.append(
-            {
-                "t": window_end,
-                "dc": dc,
-                "intra_pod_drop_rate": estimate_drop_rate(intra).rate,
-                "inter_pod_drop_rate": estimate_drop_rate(inter).rate,
-                "intra_pod_probes": len(intra),
-                "inter_pod_probes": len(inter),
-            }
+
+    def _per_dc(subset: RowSet) -> dict[int, Row]:
+        if not subset:
+            return {}
+        grouped = (
+            subset.group_by("src_dc")
+            .aggregate(rate=_drop_rate_aggregate(), probes=agg.count())
+            .output()
         )
-    return out
+        return {row["src_dc"]: row for row in grouped}
+
+    intra = _per_dc(base.where(col("src_pod") == col("dst_pod")))
+    inter = _per_dc(base.where(col("src_pod") != col("dst_pod")))
+    empty = {"rate": 0.0, "probes": 0}
+    return [
+        {
+            "t": window_end,
+            "dc": dc,
+            "intra_pod_drop_rate": intra.get(dc, empty)["rate"],
+            "inter_pod_drop_rate": inter.get(dc, empty)["rate"],
+            "intra_pod_probes": intra.get(dc, empty)["probes"],
+            "inter_pod_probes": inter.get(dc, empty)["probes"],
+        }
+        for dc in sorted(intra.keys() | inter.keys())
+    ]
 
 
 def job_dc_drop_table(

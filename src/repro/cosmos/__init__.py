@@ -8,20 +8,29 @@ This package provides both:
   extents, with ingestion accounting and retention,
 * :mod:`repro.cosmos.scope` — a rowset query engine with SCOPE's verbs
   (``extract``, ``where``, ``select``, ``group_by``/``aggregate``,
-  ``order_by``, ``output``),
+  ``order_by``, ``output``), executing columnar (vectorized) whenever the
+  data and the query allow, row-at-a-time otherwise,
+* :mod:`repro.cosmos.columnar` — the column-major extent packing
+  (:class:`~repro.cosmos.columnar.ColumnBlock`) and the ``col``/``lit``
+  expression language both paths share,
 * :mod:`repro.cosmos.jobs` — the Job Manager that submits recurring SCOPE
   jobs "automatically and periodically ... without user intervention".
 """
 
+from repro.cosmos.columnar import ColumnBlock, Expr, col, lit
 from repro.cosmos.jobs import JobManager, JobStatus, ScopeJob
 from repro.cosmos.scope import RowSet, extract
 from repro.cosmos.store import CosmosStore
 
 __all__ = [
+    "ColumnBlock",
     "CosmosStore",
+    "Expr",
     "JobManager",
     "JobStatus",
     "RowSet",
     "ScopeJob",
+    "col",
     "extract",
+    "lit",
 ]

@@ -1,0 +1,312 @@
+"""Columnar extents for the Cosmos store and the SCOPE fast path.
+
+The paper's DSA layer digests "more than 200 billion probes" and "24
+terabytes" per day (§2.3, §3.5); per-record Python processing cannot keep
+that shape even at simulator scale.  This module provides the two pieces
+the analytics half needs to go vectorized:
+
+* :class:`ColumnBlock` — the column-major twin of an extent's row tuple: a
+  dict of numpy arrays (one per record field) packed at append time.  The
+  SCOPE engine concatenates blocks into a column-backed
+  :class:`~repro.cosmos.scope.RowSet` and runs filters and aggregations as
+  array operations instead of per-dict loops.
+* :func:`col` / :func:`lit` — a tiny expression language for predicates and
+  computed columns.  An :class:`Expr` evaluates *both* ways: called with a
+  row dict it behaves like the plain lambdas SCOPE scripts always used;
+  handed a column dict it evaluates vectorized.  This is what lets one
+  query text drive either execution path.
+
+Packing is type-strict: a column becomes a typed array only when every
+value is of one homogeneous scalar type (bool / int / float / str —
+int+float mixes promote to float).  Anything else (``None``, lists, mixed
+types) becomes an ``object`` array, and such columns are excluded from
+vectorized aggregation so results stay bit-compatible with the row path.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["ColumnBlock", "Expr", "col", "concat_blocks", "lit"]
+
+Record = dict[str, Any]
+
+# Scalar types allowed in typed (non-object) columns.  Exact-type checks:
+# bool is an int subclass, so set membership (not isinstance) is deliberate.
+_BOOL_TYPES = (bool, np.bool_)
+_INT_TYPES = (int, np.integer)
+_FLOAT_TYPES = (float, np.floating)
+_STR_TYPES = (str, np.str_)
+
+
+def _pack_values(values: list[Any]) -> np.ndarray:
+    """One column as the narrowest safe numpy array.
+
+    Never lets numpy coerce across kinds (``np.asarray([1, "a"])`` would
+    silently stringify the int): mixed-kind columns become object arrays.
+    """
+    saw_bool = saw_int = saw_float = saw_str = saw_other = False
+    for value in values:
+        if isinstance(value, _BOOL_TYPES):
+            saw_bool = True
+        elif isinstance(value, _INT_TYPES):
+            saw_int = True
+        elif isinstance(value, _FLOAT_TYPES):
+            saw_float = True
+        elif isinstance(value, _STR_TYPES):
+            saw_str = True
+        else:
+            saw_other = True
+            break
+    if saw_other or (saw_bool and (saw_int or saw_float or saw_str)) or (
+        saw_str and (saw_int or saw_float)
+    ):
+        arr = np.empty(len(values), dtype=object)
+        arr[:] = values
+        return arr
+    if saw_bool:
+        return np.array(values, dtype=bool)
+    if saw_float:
+        return np.array(values, dtype=np.float64)
+    if saw_int:
+        return np.array(values, dtype=np.int64)
+    if saw_str:
+        return np.array(values)  # fixed-width unicode
+    # Empty column (no values): typed as float, nothing to aggregate anyway.
+    return np.array(values, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class ColumnBlock:
+    """Column-major view of one extent: ``{column -> array of length n}``.
+
+    Immutable by convention (arrays are shared, never written); the store
+    and the SCOPE engine both treat blocks as read-only.
+    """
+
+    columns: dict[str, np.ndarray]
+    n: int
+
+    @classmethod
+    def from_records(cls, records: Sequence[Record]) -> "ColumnBlock | None":
+        """Pack homogeneous records; ``None`` when rows differ in schema.
+
+        Heterogeneous chunks (differing key sets) stay row-only — the SCOPE
+        layer falls back to the per-dict path for them.
+        """
+        if not records:
+            return None
+        first_keys = list(records[0])
+        key_set = set(first_keys)
+        if len(first_keys) != len(key_set):
+            return None
+        for record in records:
+            if record.keys() != key_set:
+                return None
+        columns = {
+            name: _pack_values([record[name] for record in records])
+            for name in first_keys
+        }
+        return cls(columns=columns, n=len(records))
+
+    # -- size accounting ---------------------------------------------------
+
+    def size_bytes(self) -> int:
+        """Approximate JSON-serialized size, computed per column.
+
+        Replaces the store's old per-record ``json.dumps`` sizing: typed
+        columns are measured with array arithmetic, object columns with a
+        single ``json.dumps`` of the column.  Approximate is fine — the
+        store's contract has always been "approximate serialized size".
+        """
+        if self.n == 0:
+            return 0
+        # Per record: braces + (ncols - 1) commas; per column: '"key":'.
+        total = self.n * (2 + max(len(self.columns) - 1, 0))
+        for name, arr in self.columns.items():
+            total += self.n * (len(name) + 3)
+            total += _column_value_bytes(arr)
+        return total
+
+    # -- row materialization ------------------------------------------------
+
+    def to_rows(self) -> list[Record]:
+        """Materialize python-scalar row dicts (tolist denumpyfies)."""
+        lists = [arr.tolist() for arr in self.columns.values()]
+        names = list(self.columns)
+        return [dict(zip(names, values)) for values in zip(*lists)]
+
+
+def _column_value_bytes(arr: np.ndarray) -> int:
+    """Vectorized serialized-size estimate of one column's values."""
+    kind = arr.dtype.kind
+    if kind == "b":
+        # "true" / "false"
+        return int(np.where(arr, 4, 5).sum())
+    if kind in ("i", "u"):
+        vals = arr.astype(np.int64, copy=False)
+        magnitude = np.maximum(np.abs(vals), 1)
+        digits = np.floor(np.log10(magnitude)).astype(np.int64) + 1
+        return int((digits + (vals < 0)).sum())
+    if kind == "f":
+        # str() of float64 equals repr, which tracks json's output closely.
+        return int(np.char.str_len(arr.astype("U32")).sum())
+    if kind == "U":
+        return int((np.char.str_len(arr) + 2).sum())
+    # Object column: one dumps for the whole column, minus list syntax.
+    payload = json.dumps(arr.tolist(), default=str, separators=(",", ":"))
+    return len(payload) - 2 - max(len(arr) - 1, 0)
+
+
+def concat_blocks(blocks: Sequence[ColumnBlock]) -> "ColumnBlock | None":
+    """Concatenate blocks sharing one schema; ``None`` on schema drift.
+
+    Columns whose dtypes disagree across blocks degrade to object arrays
+    only when numpy cannot promote them safely (bool/str vs numeric);
+    int/float mixes promote to float as in packing.
+    """
+    if not blocks:
+        return None
+    names = list(blocks[0].columns)
+    name_set = set(names)
+    for block in blocks:
+        if set(block.columns) != name_set:
+            return None
+    columns: dict[str, np.ndarray] = {}
+    for name in names:
+        parts = [block.columns[name] for block in blocks]
+        kinds = {part.dtype.kind for part in parts}
+        if len(kinds) == 1 or kinds <= {"i", "u", "f"}:
+            columns[name] = np.concatenate(parts)
+        else:
+            merged = np.empty(sum(len(part) for part in parts), dtype=object)
+            offset = 0
+            for part in parts:
+                merged[offset : offset + len(part)] = part
+                offset += len(part)
+            columns[name] = merged
+    return ColumnBlock(columns=columns, n=sum(block.n for block in blocks))
+
+
+# -- the expression language -------------------------------------------------
+
+
+class Expr:
+    """A column expression usable on both execution paths.
+
+    Calling an :class:`Expr` with a row dict evaluates it per-row (it is a
+    drop-in replacement for the lambdas SCOPE scripts pass to ``where`` /
+    ``count_if`` / ``ratio``); :meth:`eval_columns` evaluates it against a
+    ``{name -> ndarray}`` mapping, vectorized.
+
+    Combine with ``== != < <= > >= + - * / & | ~`` and :meth:`isin`.  Use
+    ``&``/``|``/``~`` (not ``and``/``or``/``not``) so both paths agree.
+    """
+
+    __slots__ = ("_row_fn", "_col_fn", "columns")
+
+    def __init__(
+        self,
+        row_fn: Callable[[Record], Any],
+        col_fn: Callable[[Mapping[str, np.ndarray]], Any],
+        columns: frozenset[str],
+    ) -> None:
+        self._row_fn = row_fn
+        self._col_fn = col_fn
+        self.columns = columns
+
+    def __call__(self, row: Record) -> Any:
+        return self._row_fn(row)
+
+    def eval_columns(self, columns: Mapping[str, np.ndarray]) -> Any:
+        return self._col_fn(columns)
+
+    # -- combinators -------------------------------------------------------
+
+    def _binary(self, other: Any, op: Callable[[Any, Any], Any]) -> "Expr":
+        other = _as_expr(other)
+        return Expr(
+            lambda row, a=self._row_fn, b=other._row_fn: op(a(row), b(row)),
+            lambda cols, a=self._col_fn, b=other._col_fn: op(a(cols), b(cols)),
+            self.columns | other.columns,
+        )
+
+    def __eq__(self, other: Any) -> "Expr":  # type: ignore[override]
+        return self._binary(other, lambda a, b: a == b)
+
+    def __ne__(self, other: Any) -> "Expr":  # type: ignore[override]
+        return self._binary(other, lambda a, b: a != b)
+
+    def __lt__(self, other: Any) -> "Expr":
+        return self._binary(other, lambda a, b: a < b)
+
+    def __le__(self, other: Any) -> "Expr":
+        return self._binary(other, lambda a, b: a <= b)
+
+    def __gt__(self, other: Any) -> "Expr":
+        return self._binary(other, lambda a, b: a > b)
+
+    def __ge__(self, other: Any) -> "Expr":
+        return self._binary(other, lambda a, b: a >= b)
+
+    def __add__(self, other: Any) -> "Expr":
+        return self._binary(other, lambda a, b: a + b)
+
+    def __sub__(self, other: Any) -> "Expr":
+        return self._binary(other, lambda a, b: a - b)
+
+    def __mul__(self, other: Any) -> "Expr":
+        return self._binary(other, lambda a, b: a * b)
+
+    def __truediv__(self, other: Any) -> "Expr":
+        return self._binary(other, lambda a, b: a / b)
+
+    def __and__(self, other: Any) -> "Expr":
+        return self._binary(other, lambda a, b: np.logical_and(a, b))
+
+    def __or__(self, other: Any) -> "Expr":
+        return self._binary(other, lambda a, b: np.logical_or(a, b))
+
+    def __invert__(self) -> "Expr":
+        return Expr(
+            lambda row, f=self._row_fn: not f(row),
+            lambda cols, f=self._col_fn: np.logical_not(f(cols)),
+            self.columns,
+        )
+
+    def isin(self, values: Iterable[Any]) -> "Expr":
+        allowed = set(values)
+        allowed_arr = np.array(sorted(allowed, key=repr), dtype=object)
+        return Expr(
+            lambda row, f=self._row_fn: f(row) in allowed,
+            lambda cols, f=self._col_fn: np.isin(f(cols), allowed_arr),
+            self.columns,
+        )
+
+    def __hash__(self) -> int:  # __eq__ is overloaded, keep Exprs usable in sets
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"Expr(columns={sorted(self.columns)})"
+
+
+def _as_expr(value: Any) -> Expr:
+    return value if isinstance(value, Expr) else lit(value)
+
+
+def col(name: str) -> Expr:
+    """Reference a column: ``col("rtt_us") >= 2.5e6``."""
+    return Expr(
+        lambda row: row[name],
+        lambda cols: cols[name],
+        frozenset((name,)),
+    )
+
+
+def lit(value: Any) -> Expr:
+    """A constant expression (e.g. ``select(t=lit(window_end))``)."""
+    return Expr(lambda row: value, lambda cols: value, frozenset())

@@ -19,6 +19,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
+from repro.cosmos.columnar import ColumnBlock
+
 __all__ = ["CosmosStore", "Extent", "Stream", "ExtentUnavailableError"]
 
 Record = dict[str, Any]
@@ -28,20 +30,34 @@ class ExtentUnavailableError(Exception):
     """All replicas of an extent are on failed storage nodes."""
 
 
-def _record_size(record: Record) -> int:
-    """Approximate serialized size of a record in bytes."""
-    return len(json.dumps(record, default=str, separators=(",", ":")))
+def _chunk_size(chunk: tuple[Record, ...], block: ColumnBlock | None) -> int:
+    """Approximate serialized size of an extent's records in bytes.
+
+    Columnar chunks are sized with vectorized per-column arithmetic;
+    heterogeneous chunks fall back to one ``json.dumps`` of the whole chunk
+    (minus the list syntax) — either way, no per-record serialization.
+    """
+    if block is not None:
+        return block.size_bytes()
+    payload = json.dumps(list(chunk), default=str, separators=(",", ":"))
+    return len(payload) - 2 - max(len(chunk) - 1, 0)
 
 
 @dataclass(frozen=True)
 class Extent:
-    """An immutable chunk of a stream, replicated across nodes."""
+    """An immutable chunk of a stream, replicated across nodes.
+
+    ``columns`` is the column-major twin of ``records`` (packed at append
+    time when the chunk is schema-homogeneous, ``None`` otherwise); the
+    SCOPE engine reads it for vectorized execution.
+    """
 
     extent_id: int
     records: tuple[Record, ...]
     replicas: tuple[int, ...]
     size_bytes: int
     appended_at: float
+    columns: ColumnBlock | None = None
 
 
 @dataclass
@@ -96,6 +112,13 @@ class CosmosStore:
         self._down_nodes: set[int] = set()
         self.bytes_ingested = 0
         self.records_ingested = 0
+        # Monotone data-version counter: bumped by any mutation that can
+        # change what a read returns (append, expiry, node state).  Cache
+        # keys built on (window, version) stay correct across mutations.
+        self.version = 0
+        # Stream scans started (read/read_where/extents each count one);
+        # lets tests assert how often a consumer really hits the store.
+        self.read_count = 0
 
     # -- stream management ---------------------------------------------------
 
@@ -133,7 +156,8 @@ class CosmosStore:
         extents_written = 0
         for start in range(0, len(records), self.extent_max_records):
             chunk = tuple(dict(record) for record in records[start : start + self.extent_max_records])
-            size = sum(_record_size(record) for record in chunk)
+            block = ColumnBlock.from_records(chunk)
+            size = _chunk_size(chunk, block)
             replicas = self._place_replicas()
             stream.extents.append(
                 Extent(
@@ -142,11 +166,13 @@ class CosmosStore:
                     replicas=replicas,
                     size_bytes=size,
                     appended_at=t,
+                    columns=block,
                 )
             )
             self.bytes_ingested += size
             self.records_ingested += len(chunk)
             extents_written += 1
+        self.version += 1
         return extents_written
 
     def _place_replicas(self) -> tuple[int, ...]:
@@ -158,24 +184,31 @@ class CosmosStore:
             for offset in range(self.replication)
         )
 
-    def read(self, name: str) -> Iterator[Record]:
+    def read(self, name: str, copy: bool = True) -> Iterator[Record]:
         """Iterate all records of a stream, oldest first.
+
+        ``copy=True`` (the default) yields defensive per-record dict copies
+        so callers may mutate what they receive.  Extents are immutable, so
+        read-only consumers — the SCOPE layer never mutates rows it
+        extracts — may pass ``copy=False`` to skip the copies; they must
+        then treat every yielded dict as frozen.
 
         Raises :class:`ExtentUnavailableError` if any extent has lost all
         replicas to node failures.
         """
-        for extent in self.stream(name).extents:
-            if all(node in self._down_nodes for node in extent.replicas):
-                raise ExtentUnavailableError(
-                    f"extent {extent.extent_id} of {name!r} has no live replica"
-                )
-            yield from (dict(record) for record in extent.records)
+        self.read_count += 1
+        for extent in self._live_extents(name):
+            if copy:
+                yield from (dict(record) for record in extent.records)
+            else:
+                yield from extent.records
 
     def read_where(
         self,
         name: str,
         predicate: Callable[[Record], bool],
         appended_since: float | None = None,
+        copy: bool = True,
     ) -> Iterator[Record]:
         """Filtered read; predicate pushdown for the SCOPE layer.
 
@@ -183,7 +216,32 @@ class CosmosStore:
         safe for time-window queries over measurement data because a record
         generated at time t can only be uploaded at or after t: extents
         appended before the window start cannot contain in-window records.
+
+        ``copy`` follows the :meth:`read` contract: ``False`` skips the
+        defensive copies for read-only consumers.
         """
+        self.read_count += 1
+        for extent in self._live_extents(name, appended_since):
+            for record in extent.records:
+                if predicate(record):
+                    yield dict(record) if copy else record
+
+    def extents(
+        self, name: str, appended_since: float | None = None
+    ) -> Iterator[Extent]:
+        """Iterate a stream's live extents, oldest first (one scan).
+
+        The SCOPE engine's columnar path reads whole extents (their
+        :class:`~repro.cosmos.columnar.ColumnBlock` twins) instead of
+        per-record streams.  Pruning and availability checks match
+        :meth:`read_where`.
+        """
+        self.read_count += 1
+        yield from self._live_extents(name, appended_since)
+
+    def _live_extents(
+        self, name: str, appended_since: float | None = None
+    ) -> Iterator[Extent]:
         for extent in self.stream(name).extents:
             if appended_since is not None and extent.appended_at < appended_since:
                 continue
@@ -191,9 +249,7 @@ class CosmosStore:
                 raise ExtentUnavailableError(
                     f"extent {extent.extent_id} of {name!r} has no live replica"
                 )
-            for record in extent.records:
-                if predicate(record):
-                    yield dict(record)
+            yield extent
 
     # -- failures and retention --------------------------------------------------
 
@@ -201,9 +257,11 @@ class CosmosStore:
         if not 0 <= node < self.n_storage_nodes:
             raise ValueError(f"no such storage node: {node}")
         self._down_nodes.add(node)
+        self.version += 1
 
     def recover_node(self, node: int) -> None:
         self._down_nodes.discard(node)
+        self.version += 1
 
     @property
     def down_nodes(self) -> set[int]:
@@ -220,7 +278,10 @@ class CosmosStore:
         stream.extents = [
             extent for extent in stream.extents if extent.appended_at >= cutoff_t
         ]
-        return before - len(stream.extents)
+        removed = before - len(stream.extents)
+        if removed:
+            self.version += 1
+        return removed
 
     # -- accounting ----------------------------------------------------------------
 

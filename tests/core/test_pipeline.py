@@ -156,6 +156,52 @@ class TestPatternsAndQueries:
         assert store.stream(LATENCY_STREAM).record_count == 0
 
 
+class TestSingleExtraction:
+    def test_10min_tick_scans_store_once(self, world):
+        clock, queue, store, db, pipeline = world
+        _seed_records(store, 600.0)
+        before = store.read_count
+        pipeline.run_10min_job(600.0)
+        # One EXTRACT shared by podpair job, heatmaps, SLA and silent-drop.
+        assert store.read_count == before + 1
+
+    def test_hourly_tick_scans_store_once(self, world):
+        clock, queue, store, db, pipeline = world
+        _seed_records(store, 3600.0)
+        before = store.read_count
+        pipeline.run_hourly_job(3600.0)
+        assert store.read_count == before + 1
+
+    def test_daily_tick_scans_store_once(self, world):
+        clock, queue, store, db, pipeline = world
+        _seed_records(store, 600.0)
+        before = store.read_count
+        pipeline.run_daily_job(86_400.0)
+        assert store.read_count == before + 1
+
+    def test_coinciding_ticks_share_no_window(self, world):
+        # 10-min and hourly windows differ, but each is extracted once even
+        # when both cadences fire back to back at the same t.
+        clock, queue, store, db, pipeline = world
+        _seed_records(store, 3600.0)
+        before = store.read_count
+        pipeline.run_10min_job(3600.0)
+        pipeline.run_hourly_job(3600.0)
+        assert store.read_count == before + 2
+        # Re-running an identical window hits the cache: no extra scan.
+        pipeline.run_10min_job(3600.0)
+        assert store.read_count == before + 2
+
+    def test_append_invalidates_window_cache(self, world):
+        clock, queue, store, db, pipeline = world
+        _seed_records(store, 600.0)
+        pipeline.run_10min_job(600.0)
+        before = store.read_count
+        store.append(LATENCY_STREAM, [_record(599.0)], t=600.0)
+        pipeline.run_10min_job(600.0)
+        assert store.read_count == before + 1  # fresh data, fresh extract
+
+
 class TestConfigValidation:
     def test_bad_config_rejected(self):
         with pytest.raises(ValueError):
