@@ -1,0 +1,92 @@
+"""Engineering benchmark: the invariant checker's event-throughput cost.
+
+The chaos harness only earns always-on status if watching the system is
+nearly free: the probe-path hook does O(1) dict work per probe, and the
+full catalogue runs only at phase boundaries.  This bench drives identical
+900-simulated-second runs with and without the checker attached and gates
+the median slowdown at <10% — the budget ISSUE 2 allots the harness.
+
+Run under pytest-benchmark (see ``check_regressions.py --suite chaos``).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.chaos import InvariantChecker
+from repro.core.agent.agent import AgentConfig
+from repro.core.dsa.pipeline import DsaConfig
+from repro.core.system import PingmeshSystem, PingmeshSystemConfig
+from repro.netsim.topology import TopologySpec
+
+SIM_SECONDS = 900.0
+MAX_OVERHEAD_RATIO = 1.10
+_PAIRS = 5
+
+
+def _build_system(seed: int = 0) -> PingmeshSystem:
+    return PingmeshSystem(
+        PingmeshSystemConfig(
+            specs=(TopologySpec(n_podsets=2, pods_per_podset=2, servers_per_pod=4),),
+            seed=seed,
+            dsa=DsaConfig(
+                ingestion_delay_s=0.0,
+                near_real_time_period_s=300.0,
+                hourly_period_s=900.0,
+                daily_period_s=900.0,
+            ),
+            agent=AgentConfig(pinglist_refresh_s=200.0, upload_period_s=120.0),
+        )
+    )
+
+
+def _run_once(checked: bool) -> float:
+    """Wall seconds for one system driven SIM_SECONDS, optionally checked."""
+    system = _build_system()
+    system.start()
+    checker = InvariantChecker(system)
+    if checked:
+        checker.attach()
+    start = time.perf_counter()
+    system.run_for(SIM_SECONDS)
+    elapsed = time.perf_counter() - start
+    if checked:
+        checker.check_phase()
+        checker.detach()
+        assert checker.clean
+        assert checker.probes_observed > 0
+    return elapsed
+
+
+def bench_stepping_unchecked(benchmark):
+    """Baseline: the simulated fleet with no checker attached."""
+    benchmark.pedantic(lambda: _run_once(checked=False), rounds=3, iterations=1)
+
+
+def bench_stepping_checked(benchmark):
+    """The same fleet with the full invariant catalogue attached."""
+    benchmark.pedantic(lambda: _run_once(checked=True), rounds=3, iterations=1)
+
+
+def bench_checker_overhead_gate(benchmark):
+    """Median checked/unchecked ratio, interleaved to cancel drift."""
+
+    def measure() -> float:
+        _run_once(checked=False)  # warm both paths before timing
+        _run_once(checked=True)
+        ratios = []
+        for _ in range(_PAIRS):
+            bare = _run_once(checked=False)
+            checked = _run_once(checked=True)
+            ratios.append(checked / bare)
+        return statistics.median(ratios)
+
+    ratio = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["overhead_ratio"] = ratio
+    print(f"\ninvariant-checker overhead: {100 * (ratio - 1):+.2f}% "
+          f"(gate {100 * (MAX_OVERHEAD_RATIO - 1):.0f}%)")
+    assert ratio < MAX_OVERHEAD_RATIO, (
+        f"invariant checking costs {100 * (ratio - 1):.1f}% event throughput "
+        f"(budget {100 * (MAX_OVERHEAD_RATIO - 1):.0f}%)"
+    )

@@ -1,16 +1,21 @@
 #!/usr/bin/env python
-"""Run the tier-1 DSA benches and snapshot their timings.
+"""Run the regression bench suites and snapshot their timings.
 
 Usage (from the repo root)::
 
-    PYTHONPATH=src python benchmarks/check_regressions.py [--output BENCH_dsa.json]
+    PYTHONPATH=src python benchmarks/check_regressions.py [--suite dsa|chaos|all]
 
-Runs ``bench_engine_throughput``, ``bench_dsa_pipeline`` and
-``bench_scope_columnar`` under pytest-benchmark, collects the per-bench
-mean/min timings into one snapshot file, and exits non-zero if any bench
-fails (each bench file carries its own hard assertions — e.g. the columnar
-path's ≥10× speedup gate).  Commit the snapshot to make timing drift
-reviewable alongside the change that caused it.
+The ``dsa`` suite (the default) runs ``bench_engine_throughput``,
+``bench_dsa_pipeline`` and ``bench_scope_columnar`` and writes
+``BENCH_dsa.json``.  The ``chaos`` suite first runs the chaos drill tier
+(``tests/integration/test_chaos_drills.py`` — every canned fault campaign
+must finish with zero invariant violations), then ``bench_chaos_overhead``
+(the <10% checker-overhead gate), and writes ``BENCH_chaos.json``.
+
+Each bench file carries its own hard assertions (e.g. the columnar path's
+≥10× speedup gate), so the exit code is a pass/fail verdict, not just a
+timing dump.  Commit the snapshots to make timing drift reviewable
+alongside the change that caused it.
 """
 
 from __future__ import annotations
@@ -27,12 +32,34 @@ TIER1_BENCHES = [
     "bench_dsa_pipeline.py",
     "bench_scope_columnar.py",
 ]
+CHAOS_BENCHES = [
+    "bench_chaos_overhead.py",
+]
+CHAOS_DRILL_TIER = "tests/integration/test_chaos_drills.py"
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_DIR = Path(__file__).resolve().parent
+SUITES = {
+    "dsa": (TIER1_BENCHES, "BENCH_dsa.json"),
+    "chaos": (CHAOS_BENCHES, "BENCH_chaos.json"),
+}
 
 
-def run_benches(output: Path) -> int:
+def run_drill_tier() -> int:
+    """The chaos campaigns themselves are a gate, not a timing."""
+    cmd = [
+        sys.executable,
+        "-m",
+        "pytest",
+        "-q",
+        "-p",
+        "no:cacheprovider",
+        str(REPO_ROOT / CHAOS_DRILL_TIER),
+    ]
+    return subprocess.run(cmd, cwd=REPO_ROOT).returncode
+
+
+def run_benches(benches: list[str], output: Path) -> int:
     with tempfile.TemporaryDirectory() as tmp:
         raw = Path(tmp) / "benchmarks.json"
         cmd = [
@@ -43,7 +70,7 @@ def run_benches(output: Path) -> int:
             "-p",
             "no:cacheprovider",
             f"--benchmark-json={raw}",
-            *[str(BENCH_DIR / name) for name in TIER1_BENCHES],
+            *[str(BENCH_DIR / name) for name in benches],
         ]
         proc = subprocess.run(cmd, cwd=REPO_ROOT)
         if not raw.exists():
@@ -59,6 +86,11 @@ def run_benches(output: Path) -> int:
                 "mean_s": bench["stats"]["mean"],
                 "min_s": bench["stats"]["min"],
                 "rounds": bench["stats"]["rounds"],
+                **(
+                    {"extra_info": bench["extra_info"]}
+                    if bench.get("extra_info")
+                    else {}
+                ),
             }
             for bench in sorted(report.get("benchmarks", []), key=lambda b: b["name"])
         },
@@ -68,24 +100,50 @@ def run_benches(output: Path) -> int:
     return proc.returncode
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--output",
-        type=Path,
-        default=REPO_ROOT / "BENCH_dsa.json",
-        help="snapshot path (default: BENCH_dsa.json at the repo root)",
-    )
-    args = parser.parse_args()
+def run_suite(suite: str, output: Path | None) -> int:
+    benches, default_output = SUITES[suite]
+    destination = output or REPO_ROOT / default_output
     # Validate the destination up front: the benches take minutes, and a
     # typo'd path should not cost a full run before failing.
     try:
-        args.output.parent.mkdir(parents=True, exist_ok=True)
-        args.output.touch()
+        destination.parent.mkdir(parents=True, exist_ok=True)
+        destination.touch()
     except OSError as err:
-        print(f"cannot write {args.output}: {err}", file=sys.stderr)
+        print(f"cannot write {destination}: {err}", file=sys.stderr)
         return 2
-    return run_benches(args.output)
+    if suite == "chaos":
+        drill_rc = run_drill_tier()
+        if drill_rc != 0:
+            print("chaos drill tier failed; skipping benches", file=sys.stderr)
+            return drill_rc
+    return run_benches(benches, destination)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--suite",
+        choices=(*SUITES, "all"),
+        default="dsa",
+        help="which bench suite to run (default: dsa)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="snapshot path (default: BENCH_<suite>.json at the repo root; "
+        "only valid for a single suite)",
+    )
+    args = parser.parse_args()
+    if args.suite == "all":
+        if args.output is not None:
+            print("--output is ambiguous with --suite all", file=sys.stderr)
+            return 2
+        rc = 0
+        for suite in SUITES:
+            rc = run_suite(suite, None) or rc
+        return rc
+    return run_suite(args.suite, args.output)
 
 
 if __name__ == "__main__":

@@ -51,6 +51,8 @@ class PerfcounterAggregator:
         self._producers: dict[str, Callable[[float], dict[str, float]]] = {}
         self._series: dict[tuple[str, str], list[CounterSample]] = {}
         self.collections_run = 0
+        self.collection_errors = 0
+        self.last_collection_error: str | None = None
         self._started = False
 
     def register_producer(
@@ -80,7 +82,11 @@ class PerfcounterAggregator:
         for server_id, producer in list(self._producers.items()):
             try:
                 counters = producer(t)
-            except Exception:  # noqa: BLE001 - one bad producer must not stop PA
+            except Exception as exc:  # noqa: BLE001 - one bad producer must not stop PA
+                # ... but a swallowed exception with no trace is a silent
+                # stall: account it so watchdogs and drills can see it.
+                self.collection_errors += 1
+                self.last_collection_error = f"{server_id}: {exc!r}"
                 continue
             for counter, value in counters.items():
                 sample = CounterSample(t, server_id, counter, float(value))

@@ -1,0 +1,56 @@
+"""Chaos drills: scripted fault campaigns with always-on invariants.
+
+Pingmesh's core safety claims (§3.4.2, §3.5) are *behaviour under failure*:
+agents fail closed, the hard traffic caps hold no matter what the
+controller says, watchdogs catch silent stalls, uploads stay memory-bounded
+even when Cosmos is dark.  The only way to trust those claims is to drive a
+running :class:`~repro.core.system.PingmeshSystem` through scripted fault
+timelines while *continuously* checking system-wide invariants — the ACME
+methodology applied to this reproduction.
+
+* :class:`~repro.chaos.actions.ChaosAction` and friends — timed faults
+  (controller flaps, kill switch, Cosmos blackouts, podset power loss,
+  memory squeezes, any `netsim.scenarios` scenario).
+* :class:`~repro.chaos.invariants.InvariantChecker` — the invariant
+  catalogue, hooked into the probe path and evaluated per event-queue step
+  or per campaign phase.
+* :class:`~repro.chaos.campaign.ChaosCampaign` — composes timed actions
+  against one system and produces a :class:`~repro.chaos.campaign.CampaignReport`.
+* :mod:`repro.chaos.campaigns` — the canned drills behind
+  ``python -m repro chaos`` and the integration drill tier.
+"""
+
+from repro.chaos.actions import (
+    ChaosAction,
+    ControllerBlackout,
+    CosmosBlackout,
+    MemorySqueeze,
+    PinglistKillSwitch,
+    PodsetPowerLoss,
+    ReplicaFlap,
+    ScenarioAction,
+    VipBlackout,
+)
+from repro.chaos.campaign import CampaignReport, ChaosCampaign, PhaseReport
+from repro.chaos.campaigns import CAMPAIGNS, build_campaign, run_campaign
+from repro.chaos.invariants import InvariantChecker, Violation
+
+__all__ = [
+    "ChaosAction",
+    "ControllerBlackout",
+    "CosmosBlackout",
+    "MemorySqueeze",
+    "PinglistKillSwitch",
+    "PodsetPowerLoss",
+    "ReplicaFlap",
+    "ScenarioAction",
+    "VipBlackout",
+    "CampaignReport",
+    "ChaosCampaign",
+    "PhaseReport",
+    "CAMPAIGNS",
+    "build_campaign",
+    "run_campaign",
+    "InvariantChecker",
+    "Violation",
+]

@@ -1,0 +1,235 @@
+"""The canned chaos drills: each one targets a specific paper claim.
+
+=====================  ====================================================
+campaign               claim under test
+=====================  ====================================================
+``healthy-baseline``   §4.3 — an unfaulted network must *measure* healthy:
+                       macro SLA rows inside thresholds, explain finds no
+                       fault culprits, every safety limit holds.
+``controller-flap``    §3.3.2 — replicas flap, agents ride through on the
+                       SLB; a full controller blackout must trip the
+                       ``pinglists-generated`` watchdog within its bound,
+                       and recovered replicas serve fresh-stamped files.
+``kill-switch``        §3.4.2 — removing every pinglist file stops all
+                       probing (agents fail closed, zero probes) and
+                       regeneration restores it, no restarts needed.
+``cosmos-blackout``    §3.4.2 — uploads fail for a window: bounded memory,
+                       retries then discards, discards accounted in
+                       UploadStats and visible as PA counters.
+``podset-blackout``    Figure 8(b) — a powered-off podset produces *no*
+                       data (never fabricated data), survivors keep
+                       reporting, and nothing innocent gets repaired.
+``memory-squeeze``     §3.4.2/§2.3 — OS kills over-cap agents fail-closed,
+                       the watchdog catches it, the Service Manager
+                       restarts within budget once memory recovers.
+``blackhole-vip-dark`` §5.1/§6.2/§4.2 — a ToR black-hole plus a dark-VIP
+                       window: VIP failures are measured (not suppressed),
+                       black-holed windows never report a clean drop rate,
+                       and any repair filed targets an implicated device.
+=====================  ====================================================
+
+Every campaign builds its own small deterministic system; drive them via
+:func:`run_campaign` (tests, ``python -m repro chaos``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.chaos.actions import (
+    ControllerBlackout,
+    CosmosBlackout,
+    MemorySqueeze,
+    PinglistKillSwitch,
+    PodsetPowerLoss,
+    ReplicaFlap,
+    ScenarioAction,
+    VipBlackout,
+)
+from repro.chaos.campaign import CampaignReport, ChaosCampaign
+from repro.core.agent.agent import AgentConfig
+from repro.core.dsa.pipeline import DsaConfig
+from repro.core.system import PingmeshSystem, PingmeshSystemConfig
+from repro.netsim.topology import TopologySpec
+
+__all__ = ["CannedCampaign", "CAMPAIGNS", "build_campaign", "run_campaign"]
+
+# Small but structurally complete: 2 podsets x 2 pods x 4 servers exercises
+# every probe class while keeping a full drill tier fast.
+_SPEC = TopologySpec(n_podsets=2, pods_per_podset=2, servers_per_pod=4)
+_FAST_DSA = DsaConfig(
+    ingestion_delay_s=0.0,
+    near_real_time_period_s=300.0,
+    hourly_period_s=900.0,
+    daily_period_s=900.0,
+)
+
+
+def _system(
+    seed: int,
+    refresh_s: float = 200.0,
+    upload_s: float = 120.0,
+    vips: dict | None = None,
+) -> PingmeshSystem:
+    return PingmeshSystem(
+        PingmeshSystemConfig(
+            specs=(_SPEC,),
+            seed=seed,
+            dsa=_FAST_DSA,
+            agent=AgentConfig(
+                pinglist_refresh_s=refresh_s, upload_period_s=upload_s
+            ),
+            vips=vips or {},
+        )
+    )
+
+
+@dataclass(frozen=True)
+class CannedCampaign:
+    """A named, fully scripted drill."""
+
+    name: str
+    description: str
+    build: Callable[[int, str], tuple[PingmeshSystem, ChaosCampaign]]
+    duration_s: float
+    phase_s: float | None = None
+
+
+def _healthy_baseline(seed: int, check_mode: str):
+    system = _system(seed)
+    campaign = ChaosCampaign(system, name="healthy-baseline", check_mode=check_mode)
+    return system, campaign
+
+
+def _controller_flap(seed: int, check_mode: str):
+    system = _system(seed)
+    campaign = ChaosCampaign(system, name="controller-flap", check_mode=check_mode)
+    campaign.add(ReplicaFlap("controller0"), start_t=60.0, end_t=240.0)
+    campaign.add(ControllerBlackout(), start_t=400.0, end_t=520.0)
+    return system, campaign
+
+
+def _kill_switch(seed: int, check_mode: str):
+    system = _system(seed, refresh_s=120.0)
+    campaign = ChaosCampaign(system, name="kill-switch", check_mode=check_mode)
+    # End at 620s, off the 120s refresh grid: the fleet stays fail-closed
+    # until its next refresh (720s), so the silent plateau is observable at
+    # the 630s checkpoint.
+    campaign.add(PinglistKillSwitch(), start_t=180.0, end_t=620.0)
+    return system, campaign
+
+
+def _cosmos_blackout(seed: int, check_mode: str):
+    system = _system(seed)
+    campaign = ChaosCampaign(system, name="cosmos-blackout", check_mode=check_mode)
+    campaign.add(CosmosBlackout(), start_t=150.0, end_t=510.0)
+    return system, campaign
+
+
+def _podset_blackout(seed: int, check_mode: str):
+    system = _system(seed)
+    campaign = ChaosCampaign(system, name="podset-blackout", check_mode=check_mode)
+    campaign.add(PodsetPowerLoss(dc=0, podset=1), start_t=120.0, end_t=540.0)
+    return system, campaign
+
+
+def _memory_squeeze(seed: int, check_mode: str):
+    system = _system(seed)
+    dc = system.topology.dc(0)
+    victims = [server.device_id for server in dc.servers_in_podset(0)[:2]]
+    action = MemorySqueeze(victims, cap_mb=1.0)
+    # Kill happens at the victims' next probe round, detection at the next
+    # watchdog sweep: allow a round interval + sweep period + slack.
+    action.watchdog_within_s = 300.0
+    campaign = ChaosCampaign(system, name="memory-squeeze", check_mode=check_mode)
+    campaign.add(action, start_t=120.0, end_t=330.0)
+    return system, campaign
+
+
+def _blackhole_vip_dark(seed: int, check_mode: str):
+    # DIP ids must exist up front: build a probe system to read them off the
+    # deterministic topology, then build the real system with the VIP wired.
+    dips = tuple(
+        server.device_id
+        for server in _system(seed).topology.dc(0).servers_in_podset(0)[:2]
+    )
+    system = _system(seed, vips={"search.vip": dips})
+    # pod 2 is the first pod of podset 1 (2 pods per podset).
+    campaign = ChaosCampaign(system, name="blackhole-vip-dark", check_mode=check_mode)
+    campaign.add(ScenarioAction("tor-blackhole", pod=2), start_t=120.0, end_t=660.0)
+    campaign.add(VipBlackout("search.vip"), start_t=300.0, end_t=540.0)
+    return system, campaign
+
+
+CAMPAIGNS: dict[str, CannedCampaign] = {
+    canned.name: canned
+    for canned in (
+        CannedCampaign(
+            name="healthy-baseline",
+            description="no faults: the system must measure a healthy network",
+            build=_healthy_baseline,
+            duration_s=1000.0,
+            phase_s=250.0,
+        ),
+        CannedCampaign(
+            name="controller-flap",
+            description="replica flap, then full controller blackout + recovery",
+            build=_controller_flap,
+            duration_s=720.0,
+        ),
+        CannedCampaign(
+            name="kill-switch",
+            description="remove all pinglists: agents fail closed, then resume",
+            build=_kill_switch,
+            duration_s=840.0,
+            phase_s=210.0,
+        ),
+        CannedCampaign(
+            name="cosmos-blackout",
+            description="uploads fail: bounded memory, accounted discards",
+            build=_cosmos_blackout,
+            duration_s=720.0,
+        ),
+        CannedCampaign(
+            name="podset-blackout",
+            description="podset power loss: silence, survival, recovery",
+            build=_podset_blackout,
+            duration_s=780.0,
+        ),
+        CannedCampaign(
+            name="memory-squeeze",
+            description="agents killed over memory cap, restarted within budget",
+            build=_memory_squeeze,
+            duration_s=780.0,
+        ),
+        CannedCampaign(
+            name="blackhole-vip-dark",
+            description="ToR black-hole + dark VIP window, honest drop rates",
+            build=_blackhole_vip_dark,
+            duration_s=780.0,
+        ),
+    )
+}
+
+
+def build_campaign(
+    name: str, seed: int = 0, check_mode: str = "phase"
+) -> tuple[PingmeshSystem, ChaosCampaign, CannedCampaign]:
+    """Instantiate one canned campaign (system + script), ready to run."""
+    try:
+        canned = CAMPAIGNS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown campaign {name!r}; known: {sorted(CAMPAIGNS)}"
+        ) from None
+    system, campaign = canned.build(seed, check_mode)
+    return system, campaign, canned
+
+
+def run_campaign(
+    name: str, seed: int = 0, check_mode: str = "phase"
+) -> CampaignReport:
+    """Build and run one canned campaign; returns its report."""
+    _system_, campaign, canned = build_campaign(name, seed, check_mode)
+    return campaign.run(canned.duration_s, phase_s=canned.phase_s)

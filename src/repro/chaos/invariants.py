@@ -1,0 +1,372 @@
+"""The invariant catalogue: what must hold *while* the system is failing.
+
+Each invariant maps to a paper claim:
+
+===========================  ==============================================
+invariant                    claim
+===========================  ==============================================
+``probe-spacing-floor``      §3.4.2 — no source-destination pair probed
+                             more often than once per 10 s, ever.
+``payload-cap``              §3.4.2 — no probe payload above 64 KB, ever.
+``fail-closed-silent``       §3.4.2 — an agent that fell closed (controller
+                             unreachable 3×, or 404) sends zero probes.
+``dead-agent-silent``        a terminated or powered-off agent sends zero
+                             probes (Figure 8(b)'s white cross is *absence*
+                             of data, never fabricated data).
+``uploader-bounded``         §3.4.2 — the upload buffer and local log stay
+                             within their configured caps.
+``uploader-accounting``      §3.4.2 — every record added is uploaded,
+                             discarded, or still buffered; discards are
+                             visible in :class:`UploadStats`, never silent.
+``drop-rate-honest``         §4.2 — a window with failed probes never
+                             reports a 0.0 drop rate (the black-holed-
+                             server-looks-perfect bug class).
+``watchdog-latency``         §3.5 — each injected fault that a watchdog
+                             covers reaches ERROR within a bounded delay.
+``repair-ground-truth``      §5 — every repair the system files targets a
+                             device actually implicated by an injected
+                             fault (checked against the fault schedule and
+                             ``netsim.explain`` culprits — no scapegoats).
+``sla-ground-truth``         §4.3 — on a network with no injected fault,
+                             macro SLA rows stay inside alert thresholds.
+===========================  ==============================================
+
+The checker is hooked into the live probe path (it wraps ``fabric.probe``)
+so the per-probe limits are enforced on *every* probe, O(1) each; the full
+catalogue runs at phase boundaries (or per event-queue step in step mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.autopilot.watchdog import HealthStatus
+from repro.core.agent.safety import MAX_PAYLOAD_BYTES, MIN_PROBE_INTERVAL_S
+from repro.netsim.explain import explain_probe
+
+__all__ = ["Violation", "InvariantChecker"]
+
+# A pair may be probed exactly at the floor; only genuinely faster is a
+# violation.  The epsilon absorbs float scheduling jitter.
+_SPACING_EPSILON_S = 1e-6
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach observed at one simulated instant."""
+
+    t: float
+    invariant: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[t={self.t:.1f}s] {self.invariant}: {self.detail}"
+
+
+@dataclass
+class _WatchdogExpectation:
+    name: str
+    start_t: float
+    deadline: float
+    resolved: bool = False
+
+
+class InvariantChecker:
+    """Continuously checks system-wide invariants on a running deployment."""
+
+    def __init__(
+        self,
+        system,
+        watchdog_grace_s: float | None = None,
+        explain_sample_pairs: int = 4,
+    ) -> None:
+        self.system = system
+        # Default bound: two watchdog sweeps plus slack — a fault must be
+        # caught by the next sweep, the slack forgives boundary alignment.
+        self.watchdog_grace_s = (
+            watchdog_grace_s
+            if watchdog_grace_s is not None
+            else 2 * system.env.watchdogs.check_period_s + 10.0
+        )
+        self.explain_sample_pairs = explain_sample_pairs
+        self.violations: list[Violation] = []
+        self.probes_observed = 0
+        self.checks_run = 0
+        self._last_probe_t: dict[tuple[str, str, int, bool], float] = {}
+        self._dirty_agents: set[str] = set()
+        self._expectations: list[_WatchdogExpectation] = []
+        self._implicated: set[str] = set()  # union over the whole campaign
+        self._ever_faulted = False
+        self._repairs_checked = 0
+        self._attached = False
+        self._orig_probe = None
+
+    # -- probe-path hook ---------------------------------------------------
+
+    def attach(self) -> None:
+        """Wrap ``fabric.probe`` so every probe is checked inline."""
+        if self._attached:
+            return
+        self._attached = True
+        fabric = self.system.fabric
+        self._orig_probe = fabric.probe
+
+        def probe(src, dst, t=0.0, payload_bytes=0, dst_port=-1, **kwargs):
+            self._on_probe(src, dst, t, payload_bytes, dst_port)
+            if dst_port >= 0:
+                kwargs["dst_port"] = dst_port
+            return self._orig_probe(
+                src, dst, t=t, payload_bytes=payload_bytes, **kwargs
+            )
+
+        fabric.probe = probe
+
+    def detach(self) -> None:
+        if not self._attached:
+            return
+        # The wrapper shadows the class method via an instance attribute;
+        # deleting it restores Fabric.probe exactly.
+        try:
+            del self.system.fabric.probe
+        except AttributeError:
+            pass
+        self._orig_probe = None
+        self._attached = False
+
+    def _on_probe(
+        self, src, dst, t: float, payload_bytes: int, dst_port: int
+    ) -> None:
+        src_id = src if isinstance(src, str) else src.device_id
+        dst_id = dst if isinstance(dst, str) else dst.device_id
+        self.probes_observed += 1
+
+        if payload_bytes > MAX_PAYLOAD_BYTES:
+            self._violate(
+                t,
+                "payload-cap",
+                f"{src_id} sent {payload_bytes} B to {dst_id} "
+                f"(cap {MAX_PAYLOAD_BYTES} B)",
+            )
+
+        # One peer can legitimately carry up to three probe classes per
+        # round (high QoS, low QoS, payload ping) — the 10 s floor binds
+        # per (pair, probe class), matching what the generator emits.
+        key = (src_id, dst_id, dst_port, payload_bytes > 0)
+        last = self._last_probe_t.get(key)
+        if last is not None and (t - last) < MIN_PROBE_INTERVAL_S - _SPACING_EPSILON_S:
+            self._violate(
+                t,
+                "probe-spacing-floor",
+                f"{src_id} -> {dst_id} probed {t - last:.3f}s after the "
+                f"previous probe (floor {MIN_PROBE_INTERVAL_S:.0f}s)",
+            )
+        self._last_probe_t[key] = t
+
+        agent = self.system.agents.get(src_id)
+        if agent is not None:
+            self._dirty_agents.add(src_id)
+            if agent.safety.fail_closed:
+                self._violate(
+                    t,
+                    "fail-closed-silent",
+                    f"fail-closed agent {src_id} sent a probe "
+                    f"({agent.safety.fail_closed_reason})",
+                )
+            if not agent.running:
+                self._violate(
+                    t, "dead-agent-silent", f"terminated agent {src_id} sent a probe"
+                )
+            elif not self.system.topology.server(src_id).is_up:
+                self._violate(
+                    t, "dead-agent-silent", f"powered-off server {src_id} sent a probe"
+                )
+
+    # -- campaign bookkeeping ----------------------------------------------
+
+    def note_ground_truth(self, devices: set[str]) -> None:
+        """Record devices implicated by a fault that just started."""
+        self._implicated.update(devices)
+
+    def note_fault_started(self) -> None:
+        self._ever_faulted = True
+
+    def expect_watchdog_error(
+        self, name: str, start_t: float, within_s: float | None = None
+    ) -> None:
+        """A fault just started that watchdog ``name`` must catch."""
+        grace = within_s if within_s is not None else self.watchdog_grace_s
+        self._expectations.append(
+            _WatchdogExpectation(name=name, start_t=start_t, deadline=start_t + grace)
+        )
+
+    # -- per-step (cheap) checks -------------------------------------------
+
+    def after_step(self) -> None:
+        """O(touched agents) checks after one event-queue step."""
+        if not self._dirty_agents:
+            return
+        now = self.system.clock.now
+        for server_id in self._dirty_agents:
+            agent = self.system.agents.get(server_id)
+            if agent is not None:
+                self._check_agent(agent, now)
+        self._dirty_agents.clear()
+
+    def _check_agent(self, agent, now: float) -> None:
+        uploader = agent.uploader
+        if uploader.buffered_records > uploader.max_buffer_records:
+            self._violate(
+                now,
+                "uploader-bounded",
+                f"{agent.server_id} buffers {uploader.buffered_records} records "
+                f"(cap {uploader.max_buffer_records})",
+            )
+        if uploader.local_log_bytes > uploader.log_cap_bytes:
+            self._violate(
+                now,
+                "uploader-bounded",
+                f"{agent.server_id} local log at {uploader.local_log_bytes} B "
+                f"(cap {uploader.log_cap_bytes} B)",
+            )
+        stats = uploader.stats
+        accounted = (
+            stats.records_uploaded + stats.records_discarded + uploader.buffered_records
+        )
+        if accounted != stats.records_added:
+            self._violate(
+                now,
+                "uploader-accounting",
+                f"{agent.server_id}: {stats.records_added} added but "
+                f"{stats.records_uploaded} uploaded + {stats.records_discarded} "
+                f"discarded + {uploader.buffered_records} buffered = {accounted}",
+            )
+        counters = agent.counters
+        if counters.probes_failed > 0 and counters.drop_rate() <= 0.0:
+            self._violate(
+                now,
+                "drop-rate-honest",
+                f"{agent.server_id}: {counters.probes_failed} failed probes in "
+                f"window but drop rate {counters.drop_rate()}",
+            )
+
+    # -- phase (full-catalogue) checks -------------------------------------
+
+    def check_phase(self) -> list[Violation]:
+        """Run the full catalogue.  Returns violations found *this* check."""
+        before = len(self.violations)
+        now = self.system.clock.now
+        self.checks_run += 1
+        self.after_step()
+        for agent in self.system.agents.values():
+            self._check_agent(agent, now)
+        self._check_watchdog_latency(now)
+        self._check_repair_ground_truth(now)
+        self._check_sla_ground_truth(now)
+        return self.violations[before:]
+
+    def _check_watchdog_latency(self, now: float) -> None:
+        history = self.system.env.watchdogs.error_history
+        for expectation in self._expectations:
+            if expectation.resolved:
+                continue
+            caught = any(
+                report.name == expectation.name and report.t >= expectation.start_t
+                for report in history
+            )
+            if caught:
+                expectation.resolved = True
+            elif now > expectation.deadline:
+                expectation.resolved = True
+                self._violate(
+                    now,
+                    "watchdog-latency",
+                    f"watchdog {expectation.name!r} never reached ERROR within "
+                    f"{expectation.deadline - expectation.start_t:.0f}s of the "
+                    f"fault at t={expectation.start_t:.1f}s",
+                )
+
+    def _check_repair_ground_truth(self, now: float) -> None:
+        """Every repair filed must target an implicated device (§5).
+
+        When nothing was ever implicated (e.g. a pure power-loss drill with
+        no guilty switch) any repair at all is a scapegoat.
+        """
+        device_manager = self.system.env.device_manager
+        requests = list(device_manager.pending) + list(device_manager.history)
+        for request in requests[self._repairs_checked :]:
+            if request.device_id not in self._implicated:
+                detail = f"repair filed against innocent {request.device_id}"
+                if self._implicated:
+                    detail += f"; guilty set: {sorted(self._implicated)}"
+                self._violate(now, "repair-ground-truth", detail)
+        self._repairs_checked = len(requests)
+
+    def _check_sla_ground_truth(self, now: float) -> None:
+        """A network that was never faulted must measure healthy (§4.3),
+        and the probe engine must agree with ``netsim.explain``."""
+        if self._ever_faulted:
+            return
+        rows = self.system.database.query("sla_hourly")
+        if rows:
+            newest_t = max(row["t"] for row in rows)
+            thresholds = self.system.alert_engine.thresholds
+            for row in rows:
+                if row["t"] != newest_t:
+                    continue
+                if row["scope"] not in ("datacenter", "podset", "service"):
+                    continue
+                if row["probe_count"] < thresholds.min_probe_count:
+                    continue
+                if row["drop_rate"] > thresholds.max_drop_rate:
+                    self._violate(
+                        now,
+                        "sla-ground-truth",
+                        f"healthy network but {row['scope']}={row['key']} SLA "
+                        f"drop rate {row['drop_rate']:.4f} over threshold",
+                    )
+        # Ground truth from the explainer: with no fault injected, no
+        # sampled probe may be eaten by a fault.
+        for src_id, dst_id in self._sample_pairs():
+            explanation = explain_probe(
+                self.system.fabric, src_id, dst_id, t=now, attempts=1
+            )
+            fault_drops = [
+                decision
+                for attempt in explanation.attempts
+                for decision in attempt
+                if decision.action == "dropped-fault"
+            ]
+            if fault_drops:
+                self._violate(
+                    now,
+                    "sla-ground-truth",
+                    f"no fault injected but explain({src_id}->{dst_id}) blames "
+                    f"{fault_drops[0].device_id}",
+                )
+
+    def _sample_pairs(self) -> list[tuple[str, str]]:
+        """A deterministic cross-podset pair sample for explain checks."""
+        dc = self.system.topology.dc(0)
+        if dc.spec.n_podsets < 2:
+            return []
+        sources = dc.servers_in_podset(0)
+        targets = dc.servers_in_podset(1)
+        n = min(self.explain_sample_pairs, len(sources), len(targets))
+        return [
+            (sources[i].device_id, targets[i].device_id) for i in range(n)
+        ]
+
+    # -- reporting -----------------------------------------------------------
+
+    def _violate(self, t: float, invariant: str, detail: str) -> None:
+        self.violations.append(Violation(t=t, invariant=invariant, detail=detail))
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def watchdog_errors(self) -> list:
+        return list(self.system.env.watchdogs.error_history)
+
+    def overall_watchdog_status(self) -> HealthStatus:
+        return self.system.env.watchdogs.overall_status()

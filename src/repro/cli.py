@@ -8,6 +8,8 @@ Commands:
 * ``scenarios`` — list the canned incident scenarios.
 * ``probe`` — real-socket TCP/HTTP ping against a host:port (liveprobe).
 * ``serve`` — run a probe responder so a remote ``probe`` has a target.
+* ``chaos`` — run canned chaos drills (scripted fault campaigns with
+  always-on invariants); exits nonzero if any invariant was violated.
 """
 
 from __future__ import annotations
@@ -59,6 +61,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser("serve", help="run a probe responder")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=0)
+
+    chaos = sub.add_parser(
+        "chaos", help="run canned chaos drills with invariant checking"
+    )
+    chaos.add_argument(
+        "campaigns",
+        nargs="*",
+        metavar="CAMPAIGN",
+        help="campaign names to run (default: all)",
+    )
+    chaos.add_argument("--list", action="store_true", help="list canned campaigns")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--mode",
+        choices=("phase", "step"),
+        default="phase",
+        help="invariant cadence: at phase boundaries, or after every event",
+    )
 
     return parser
 
@@ -178,6 +198,31 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.chaos import CAMPAIGNS, run_campaign
+
+    if args.list:
+        for name in sorted(CAMPAIGNS):
+            print(f"{name:20s} {CAMPAIGNS[name].description}")
+        return 0
+
+    names = args.campaigns or sorted(CAMPAIGNS)
+    unknown = [name for name in names if name not in CAMPAIGNS]
+    if unknown:
+        print(f"unknown campaign(s): {', '.join(unknown)}; known: {sorted(CAMPAIGNS)}")
+        return 2
+
+    dirty = 0
+    for name in names:
+        report = run_campaign(name, seed=args.seed, check_mode=args.mode)
+        print(report.summary())
+        print()
+        if not report.clean:
+            dirty += 1
+    print(f"{len(names) - dirty}/{len(names)} campaigns clean")
+    return 0 if dirty == 0 else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -185,6 +230,7 @@ def main(argv: list[str] | None = None) -> int:
         "scenarios": _cmd_scenarios,
         "probe": _cmd_probe,
         "serve": _cmd_serve,
+        "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)
 

@@ -171,7 +171,7 @@ class PingmeshAgent(SharedService):
                     launched += 1
                     continue
             payload = self.safety.clamp_payload(entry.payload_bytes)
-            dst_port = self.pinglist.parameters.port_for(entry.qos)
+            dst_port = self.pinglist.parameters.port_for(entry.qos, entry.purpose)
             result = self.fabric.probe(
                 self.server_id, peer_id, t=t, payload_bytes=payload, dst_port=dst_port
             )
@@ -236,7 +236,14 @@ class PingmeshAgent(SharedService):
     # -- upload ---------------------------------------------------------------
 
     def maybe_upload(self, t: float) -> bool:
-        """Flush results when the timer fires or the threshold is crossed."""
+        """Flush results when the timer fires or the threshold is crossed.
+
+        Returns True only when the data actually reached the store: a flush
+        that retried out and discarded its batch reports False, and the
+        discard stays visible in ``uploader.stats`` (and the PA counters) —
+        the window is reset either way, so a later recovering store never
+        re-counts data that was already given up on.
+        """
         if not self.running:
             return False
         if not self.fabric.topology.server(self.server_id).is_up:
@@ -244,10 +251,10 @@ class PingmeshAgent(SharedService):
         timer_due = (t - self.last_upload_t) >= self.config.upload_period_s
         if not timer_due and not self.uploader.should_flush:
             return False
-        self.uploader.flush(t)
+        uploaded = self.uploader.flush(t)
         self.last_upload_t = t
         self.counters.reset_window()
-        return True
+        return uploaded
 
     # -- PA counters ------------------------------------------------------------
 
@@ -257,4 +264,8 @@ class PingmeshAgent(SharedService):
         counters["probes_sent_total"] = float(self.probes_sent)
         counters["peer_count"] = float(len(self.pinglist) if self.pinglist else 0)
         counters["fail_closed"] = 1.0 if self.safety.fail_closed else 0.0
+        stats = self.uploader.stats
+        counters["upload_records_uploaded"] = float(stats.records_uploaded)
+        counters["upload_records_discarded"] = float(stats.records_discarded)
+        counters["upload_failures"] = float(stats.upload_failures)
         return counters

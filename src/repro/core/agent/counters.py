@@ -77,10 +77,19 @@ class LatencyCounters:
 
     def drop_rate(self) -> float:
         """The §4.2 heuristic.  One drop counted per 9 s probe, not two —
-        "successive packet drops within a connection are not independent"."""
-        if self.probes_success == 0:
+        "successive packet drops within a connection are not independent".
+
+        Connect failures (all SYN retransmissions lost) count as one dropped
+        connection each: a fully black-holed server must report a drop rate
+        of 1.0, not a perfect 0.0 (the denominator used to be successful
+        probes only, so a window with zero successes divided away into a
+        clean bill of health).
+        """
+        attempts = self.probes_success + self.probes_failed
+        if attempts == 0:
             return 0.0
-        return (self.probes_one_drop + self.probes_two_drops) / self.probes_success
+        dropped = self.probes_one_drop + self.probes_two_drops + self.probes_failed
+        return dropped / attempts
 
     def percentile_us(self, q: float) -> float | None:
         """Latency percentile over the window, in microseconds."""
@@ -93,16 +102,24 @@ class LatencyCounters:
     def snapshot(self) -> dict[str, float]:
         """The PA counter set (§6.2: "The Pingmesh Agent exposes two PA
         counters for every server: the 99th latency and the packet drop
-        rate" — plus supporting detail)."""
-        p50 = self.percentile_us(50)
-        p99 = self.percentile_us(99)
-        return {
+        rate" — plus supporting detail).
+
+        Latency percentiles are *omitted* when the window holds no
+        successful probe: a 0.0 sentinel is indistinguishable from a genuine
+        0 µs reading downstream, and a black-holed server must not look
+        infinitely fast on a dashboard.  The PA simply records no sample for
+        the counter that sweep.
+        """
+        snapshot = {
             "probes_total": float(self.probes_total),
             "probes_failed": float(self.probes_failed),
             "packet_drop_rate": self.drop_rate(),
-            "latency_p50_us": p50 if p50 is not None else 0.0,
-            "latency_p99_us": p99 if p99 is not None else 0.0,
         }
+        p50 = self.percentile_us(50)
+        if p50 is not None:
+            snapshot["latency_p50_us"] = p50
+            snapshot["latency_p99_us"] = self.percentile_us(99)
+        return snapshot
 
     @property
     def memory_samples(self) -> int:

@@ -23,14 +23,21 @@ Record = dict[str, Any]
 
 
 class UploadStats:
-    """Counters describing the uploader's history."""
+    """Counters describing the uploader's history.
+
+    Conservation law (checked by the chaos invariant catalogue): every
+    record ever added is uploaded, discarded, or still buffered —
+    ``records_added == records_uploaded + records_discarded + buffered``.
+    """
 
     def __init__(self) -> None:
+        self.records_added = 0
         self.records_uploaded = 0
         self.records_discarded = 0
         self.upload_attempts = 0
         self.upload_failures = 0
         self.flushes = 0
+        self.failed_flushes = 0
 
 
 class ResultUploader:
@@ -75,10 +82,18 @@ class ResultUploader:
     def _default_upload(self, records: list[Record], t: float) -> None:
         self.store.append(self.stream, records, t=t)
 
+    def set_upload_fn(
+        self, upload_fn: Callable[[list[Record], float], None] | None
+    ) -> None:
+        """Swap the upload transport (``None`` restores the default store
+        append).  Failure drills use this to black out Cosmos mid-run."""
+        self._upload_fn = upload_fn or self._default_upload
+
     # -- buffering --------------------------------------------------------
 
     def add(self, record: Record) -> None:
         """Buffer one record (and append it to the size-capped local log)."""
+        self.stats.records_added += 1
         self._buffer.append(record)
         self._append_log(record)
         if len(self._buffer) > self.max_buffer_records:
@@ -126,6 +141,7 @@ class ResultUploader:
             self.stats.records_uploaded += len(batch)
             return True
         self.stats.records_discarded += len(batch)
+        self.stats.failed_flushes += 1
         return False
 
     # -- local log ------------------------------------------------------------

@@ -42,17 +42,22 @@ class PingParameters:
     timeout_s: float = 9.0
     tcp_port_high: int = 81
     tcp_port_low: int = 82
+    # §6.2: a VIP is probed on its service port, not the mesh probe ports —
+    # the point is reachability of the *service* behind the SLB.
+    vip_service_port: int = 80
 
     def __post_init__(self) -> None:
         if self.probe_interval_s <= 0:
             raise ValueError(f"probe interval must be positive: {self.probe_interval_s}")
         if self.payload_bytes < 0:
             raise ValueError(f"payload must be >= 0: {self.payload_bytes}")
-        for port in (self.tcp_port_high, self.tcp_port_low):
+        for port in (self.tcp_port_high, self.tcp_port_low, self.vip_service_port):
             if not 0 < port <= 65_535:
                 raise ValueError(f"port out of range: {port}")
 
-    def port_for(self, qos: str) -> int:
+    def port_for(self, qos: str, purpose: str = "tor-level") -> int:
+        if purpose == "vip":
+            return self.vip_service_port
         if qos == "high":
             return self.tcp_port_high
         if qos == "low":
@@ -116,6 +121,9 @@ class Pinglist:
         ET.SubElement(params, "TimeoutSeconds").text = repr(self.parameters.timeout_s)
         ET.SubElement(params, "TcpPortHigh").text = str(self.parameters.tcp_port_high)
         ET.SubElement(params, "TcpPortLow").text = str(self.parameters.tcp_port_low)
+        ET.SubElement(params, "VipServicePort").text = str(
+            self.parameters.vip_service_port
+        )
         peers = ET.SubElement(root, "Peers")
         for entry in self.entries:
             ET.SubElement(
@@ -149,6 +157,8 @@ class Pinglist:
                 timeout_s=float(params_el.findtext("TimeoutSeconds")),
                 tcp_port_high=int(params_el.findtext("TcpPortHigh")),
                 tcp_port_low=int(params_el.findtext("TcpPortLow")),
+                # Absent in pinglists from older controllers: keep the default.
+                vip_service_port=int(params_el.findtext("VipServicePort") or 80),
             )
             entries = [
                 PinglistEntry(

@@ -85,6 +85,7 @@ class PingmeshControllerService:
             health_check=lambda dip: self.replicas[dip].up,
         )
         self.generation = 0
+        self.last_generated_t = 0.0
 
     # -- generation ------------------------------------------------------------
 
@@ -96,6 +97,7 @@ class PingmeshControllerService:
         generation number.
         """
         self.generation += 1
+        self.last_generated_t = t
         pinglists = self.generator.generate_all(generation=self.generation, t=t)
         files = {
             server_id: pinglist.to_xml() for server_id, pinglist in pinglists.items()
@@ -156,12 +158,22 @@ class PingmeshControllerService:
     def fail_replica(self, dip: str) -> None:
         self.replicas[dip].up = False
 
-    def recover_replica(self, dip: str) -> None:
+    def recover_replica(self, dip: str, t: float | None = None) -> None:
+        """Bring a replica back and rebuild its file cache.
+
+        ``t`` stamps the regenerated files; it defaults to the time of the
+        fleet's last generation so a recovered replica serves byte-identical
+        files — it must never re-stamp the current generation with a stale
+        t=0.0 (agents would see "new" files that are actually old).
+        """
         replica = self.replicas[dip]
         replica.up = True
         # A recovering stateless replica regenerates its file cache from
         # the same deterministic algorithm.
-        pinglists = self.generator.generate_all(generation=self.generation)
+        stamp = self.last_generated_t if t is None else t
+        pinglists = self.generator.generate_all(
+            generation=self.generation, t=stamp
+        )
         replica.files = {
             server_id: pinglist.to_xml() for server_id, pinglist in pinglists.items()
         }

@@ -124,24 +124,21 @@ class PingmeshSystem:
 
     # -- startup -----------------------------------------------------------
 
-    def start(self) -> None:
-        """Deploy agents fleet-wide, start DSA jobs, PA and watchdogs."""
-        if self._started:
-            raise RuntimeError("system already started")
-        self._started = True
+    def _resolve_vip(self, vip: str) -> str | None:
+        """VIP -> a live DIP server id, or None when the VIP is dark."""
+        slb = self.vip_slbs.get(vip)
+        if slb is None:
+            return None
+        slb.run_health_checks()
+        try:
+            return slb.pick()
+        except NoHealthyBackendError:
+            return None
 
-        def resolve_vip(vip: str) -> str | None:
-            """VIP -> a live DIP server id, or None when the VIP is dark."""
-            slb = self.vip_slbs.get(vip)
-            if slb is None:
-                return None
-            slb.run_health_checks()
-            try:
-                return slb.pick()
-            except NoHealthyBackendError:
-                return None
-
-        vip_resolver = resolve_vip if self.vip_slbs else None
+    def _agent_factory(self):
+        """The one agent factory: every deployment path (initial rollout,
+        podset growth) must build agents identically, VIP resolver included."""
+        vip_resolver = self._resolve_vip if self.vip_slbs else None
 
         def factory(server_id: str) -> PingmeshAgent:
             uploader = ResultUploader(
@@ -158,7 +155,15 @@ class PingmeshSystem:
                 vip_resolver=vip_resolver,
             )
 
-        for agent in self.env.deploy_shared_service(factory):
+        return factory
+
+    def start(self) -> None:
+        """Deploy agents fleet-wide, start DSA jobs, PA and watchdogs."""
+        if self._started:
+            raise RuntimeError("system already started")
+        self._started = True
+
+        for agent in self.env.deploy_shared_service(self._agent_factory()):
             self.agents[agent.server_id] = agent
 
         # The Service Manager supervises the fleet: a memory-cap kill is
@@ -308,22 +313,10 @@ class PingmeshSystem:
         new_servers = self.topology.dc(dc).add_podset()
         self.controller.regenerate(t=self.clock.now)
 
-        def factory(server_id: str) -> PingmeshAgent:
-            uploader = ResultUploader(
-                self.store,
-                server_id,
-                flush_threshold_records=self.config.agent.upload_threshold_records,
-            )
-            return PingmeshAgent(
-                server_id,
-                self.fabric,
-                self.controller,
-                uploader,
-                config=self.config.agent,
-            )
-
         new_ids = [server.device_id for server in new_servers]
-        agents = self.env.deploy_shared_service(factory, servers=new_ids)
+        agents = self.env.deploy_shared_service(
+            self._agent_factory(), servers=new_ids
+        )
         self.service_manager.supervise_all(agents)
         interval = self._round_interval()
         for index, agent in enumerate(agents):

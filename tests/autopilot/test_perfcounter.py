@@ -113,3 +113,30 @@ class TestAggregation:
 
     def test_missing_counter_returns_none(self, populated):
         assert populated.aggregate_latest("nothing") is None
+
+
+class TestCollectionErrorAccounting:
+    """A swallowed producer exception must leave a visible trace."""
+
+    def test_broken_producer_increments_collection_errors(self, queue):
+        pa = PerfcounterAggregator(queue, collection_period_s=100.0)
+
+        def broken(t):
+            raise RuntimeError("producer crashed")
+
+        pa.register_producer("bad", broken)
+        pa.register_producer("good", _static_producer({"x": 1.0}))
+        pa.start()
+        queue.run_for(300.0)
+        assert pa.collections_run == 3
+        assert pa.collection_errors == 3
+        assert "bad" in pa.last_collection_error
+        assert "producer crashed" in pa.last_collection_error
+
+    def test_healthy_sweeps_record_no_errors(self, queue):
+        pa = PerfcounterAggregator(queue, collection_period_s=100.0)
+        pa.register_producer("good", _static_producer({"x": 1.0}))
+        pa.start()
+        queue.run_for(300.0)
+        assert pa.collection_errors == 0
+        assert pa.last_collection_error is None

@@ -1,0 +1,34 @@
+"""Shared fixtures for the chaos unit tests: one tiny running system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.agent.agent import AgentConfig
+from repro.core.dsa.pipeline import DsaConfig
+from repro.core.system import PingmeshSystem, PingmeshSystemConfig
+from repro.netsim.topology import TopologySpec
+
+
+def make_system(seed: int = 0, vips: dict | None = None) -> PingmeshSystem:
+    return PingmeshSystem(
+        PingmeshSystemConfig(
+            specs=(TopologySpec(n_podsets=2, pods_per_podset=2, servers_per_pod=2),),
+            seed=seed,
+            dsa=DsaConfig(
+                ingestion_delay_s=0.0,
+                near_real_time_period_s=300.0,
+                hourly_period_s=900.0,
+                daily_period_s=900.0,
+            ),
+            agent=AgentConfig(pinglist_refresh_s=200.0, upload_period_s=120.0),
+            vips=vips or {},
+        )
+    )
+
+
+@pytest.fixture
+def system() -> PingmeshSystem:
+    sys_ = make_system()
+    sys_.start()
+    return sys_

@@ -224,3 +224,65 @@ class TestConditionalRefresh:
         controller.regenerate()
         agent.refresh_pinglist(t=100.0)
         assert agent.pinglist.generation == old_generation + 1
+
+
+class TestUploadFailurePath:
+    """maybe_upload must propagate the flush outcome, not assume success."""
+
+    def test_failed_upload_reports_false_and_accounts_discard(self, world):
+        fabric, controller, store = world
+        agent = _agent(world, config=AgentConfig(upload_period_s=600.0))
+
+        def refuse(records, t):
+            raise ConnectionError("cosmos dark")
+
+        agent.uploader.set_upload_fn(refuse)
+        agent.refresh_pinglist(t=0.0)
+        agent.run_probe_round(t=10.0)
+        assert agent.maybe_upload(t=700.0) is False
+        assert not store.has_stream("pingmesh/latency")
+        assert agent.uploader.stats.records_discarded > 0
+        # The discard is published through the PA counter surface (§2.3).
+        counters = agent.perf_counters(now=700.0)
+        assert counters["upload_records_discarded"] > 0
+        assert counters["upload_failures"] > 0
+
+    def test_recovering_store_does_not_double_count(self, world):
+        fabric, controller, store = world
+        agent = _agent(world, config=AgentConfig(upload_period_s=600.0))
+
+        def refuse(records, t):
+            raise ConnectionError("cosmos dark")
+
+        agent.uploader.set_upload_fn(refuse)
+        agent.refresh_pinglist(t=0.0)
+        agent.run_probe_round(t=10.0)
+        first_round_records = agent.uploader.buffered_records
+        assert agent.maybe_upload(t=700.0) is False
+
+        # Cosmos comes back; only the NEW round's data may land.
+        agent.uploader.set_upload_fn(None)
+        agent.run_probe_round(t=710.0)
+        assert agent.maybe_upload(t=1400.0) is True
+        landed = store.stream("pingmesh/latency").record_count
+        assert landed == agent.uploader.stats.records_uploaded
+        assert landed + agent.uploader.stats.records_discarded == (
+            agent.uploader.stats.records_added
+        )
+        assert agent.uploader.stats.records_discarded == first_round_records
+
+    def test_failed_upload_still_resets_the_window(self, world):
+        agent = _agent(world, config=AgentConfig(upload_period_s=600.0))
+
+        def refuse(records, t):
+            raise ConnectionError("cosmos dark")
+
+        agent.uploader.set_upload_fn(refuse)
+        agent.refresh_pinglist(t=0.0)
+        agent.run_probe_round(t=10.0)
+        agent.maybe_upload(t=700.0)
+        # The counters window rolled over even though the flush failed:
+        # the next window's snapshot starts clean rather than replaying
+        # the lost window into a later (recovered) upload.
+        assert agent.counters.probes_total == 0
+        assert agent.last_upload_t == 700.0

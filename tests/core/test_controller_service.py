@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.controller.generator import GeneratorConfig
+from repro.core.controller.pinglist import Pinglist
 from repro.core.controller.service import (
     ControllerUnavailableError,
     PinglistNotFoundError,
@@ -155,3 +156,41 @@ class TestTopologyGrowthConsistency:
             for entry in old.peers_by_purpose("tor-level")
         }
         assert new_pods & tor_level_pods
+
+
+class TestReplicaRecoveryStamps:
+    """recover_replica must rebuild with the fleet's generation stamp.
+
+    The old code regenerated with the default t=0.0, so a recovered
+    replica served files whose generatedAt disagreed with its siblings —
+    byte-different XML for the "identical file set" the paper promises.
+    """
+
+    def test_recovered_files_match_siblings_bytewise(self, service):
+        service.regenerate(t=500.0)
+        service.fail_replica("controller0")
+        service.regenerate(t=900.0)
+        service.recover_replica("controller0")
+        assert (
+            service.replicas["controller0"].files
+            == service.replicas["controller1"].files
+        )
+
+    def test_recovered_stamp_is_the_fleet_generation_time(self, service):
+        service.regenerate(t=900.0)
+        service.fail_replica("controller0")
+        service.recover_replica("controller0")
+        xml = service.replicas["controller0"].serve("dc0/ps0/pod0/srv0")
+        assert Pinglist.from_xml(xml).generated_at == 900.0
+
+    def test_explicit_recovery_stamp_wins(self, service):
+        service.regenerate(t=900.0)
+        service.fail_replica("controller0")
+        service.recover_replica("controller0", t=1200.0)
+        xml = service.replicas["controller0"].serve("dc0/ps0/pod0/srv0")
+        assert Pinglist.from_xml(xml).generated_at == 1200.0
+
+    def test_last_generated_t_tracks_regeneration(self, service):
+        assert service.last_generated_t == 0.0
+        service.regenerate(t=777.0)
+        assert service.last_generated_t == 777.0

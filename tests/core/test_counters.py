@@ -32,11 +32,27 @@ class TestIngestion:
             counters.add(True, 250e-6)
         counters.add(True, 3.1)
         counters.add(True, 9.2)
-        counters.add(False, 21.0)  # failed probes excluded entirely
-        assert counters.drop_rate() == pytest.approx(2 / 99)
+        counters.add(False, 21.0)  # a failed connect is one dropped connection
+        assert counters.drop_rate() == pytest.approx(3 / 100)
 
     def test_drop_rate_empty_window(self):
         assert LatencyCounters().drop_rate() == 0.0
+
+    def test_fully_failed_window_is_not_a_perfect_drop_rate(self):
+        """Regression: a fully black-holed server used to report 0.0 (the
+        denominator was successful probes only)."""
+        counters = LatencyCounters()
+        for _ in range(10):
+            counters.add(False, 21.0)
+        assert counters.drop_rate() == 1.0
+
+    def test_mixed_failures_and_successes(self):
+        counters = LatencyCounters()
+        counters.add(True, 250e-6)
+        counters.add(False, 21.0)
+        counters.add(False, 21.0)
+        counters.add(True, 3.2)  # one-drop signature
+        assert counters.drop_rate() == pytest.approx(3 / 4)
 
     def test_nine_second_probe_counts_one_drop(self):
         """'we only count one packet drop instead of two for every
@@ -105,10 +121,22 @@ class TestWindows:
         }
         assert snapshot["latency_p50_us"] == pytest.approx(500.0)
 
-    def test_snapshot_zero_defaults_when_empty(self):
+    def test_snapshot_omits_latency_when_no_data(self):
+        """Regression: an empty window used to report a 0.0 µs sentinel,
+        indistinguishable from a genuinely instant network."""
         snapshot = LatencyCounters().snapshot()
-        assert snapshot["latency_p50_us"] == 0.0
+        assert "latency_p50_us" not in snapshot
+        assert "latency_p99_us" not in snapshot
         assert snapshot["packet_drop_rate"] == 0.0
+
+    def test_snapshot_omits_latency_when_all_probes_failed(self):
+        counters = LatencyCounters()
+        for _ in range(5):
+            counters.add(False, 21.0)
+        snapshot = counters.snapshot()
+        assert "latency_p50_us" not in snapshot
+        assert "latency_p99_us" not in snapshot
+        assert snapshot["packet_drop_rate"] == 1.0
 
     @given(st.lists(st.floats(min_value=1e-5, max_value=1.0), max_size=200))
     def test_drop_rate_bounded(self, rtts):

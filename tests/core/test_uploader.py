@@ -127,3 +127,72 @@ class TestLocalLog:
         assert uploader.local_log_bytes <= 1024
         # Oldest entries rotated out; the newest survive.
         assert f'"t":{float(199)}' in uploader.local_log_lines()[-1]
+
+
+class TestAccountingConservation:
+    """added == uploaded + discarded + buffered, at every point in time."""
+
+    def _balanced(self, uploader):
+        s = uploader.stats
+        return s.records_added == (
+            s.records_uploaded + s.records_discarded + uploader.buffered_records
+        )
+
+    def test_conservation_through_success(self, store):
+        uploader = ResultUploader(store, "srv0")
+        for i in range(7):
+            uploader.add(_record(i))
+            assert self._balanced(uploader)
+        uploader.flush(t=1.0)
+        assert self._balanced(uploader)
+        assert uploader.stats.records_added == 7
+
+    def test_conservation_through_discard(self, store):
+        def failing_upload(records, t):
+            raise ConnectionError("down")
+
+        uploader = ResultUploader(store, "srv0", upload_fn=failing_upload)
+        for i in range(4):
+            uploader.add(_record(i))
+        uploader.flush(t=1.0)
+        assert self._balanced(uploader)
+        assert uploader.stats.failed_flushes == 1
+
+    def test_conservation_through_overflow(self, store):
+        uploader = ResultUploader(
+            store, "srv0", flush_threshold_records=2, max_buffer_records=10
+        )
+        for i in range(25):
+            uploader.add(_record(i))
+            assert self._balanced(uploader)
+
+
+class TestUploadFnSwap:
+    def test_set_upload_fn_blacks_out_and_restores(self, store):
+        uploader = ResultUploader(store, "srv0")
+
+        def refuse(records, t):
+            raise ConnectionError("blackout")
+
+        uploader.set_upload_fn(refuse)
+        uploader.add(_record(0))
+        assert uploader.flush(t=1.0) is False
+        assert not store.has_stream("pingmesh/latency")
+
+        uploader.set_upload_fn(None)  # back to the default store append
+        uploader.add(_record(1))
+        assert uploader.flush(t=2.0) is True
+        assert store.stream("pingmesh/latency").record_count == 1
+
+    def test_failed_flushes_counts_discard_events_not_attempts(self, store):
+        def failing_upload(records, t):
+            raise ConnectionError("down")
+
+        uploader = ResultUploader(
+            store, "srv0", max_retries=3, upload_fn=failing_upload
+        )
+        uploader.add(_record())
+        uploader.flush(t=1.0)
+        assert uploader.stats.upload_failures == 3  # one per retry
+        assert uploader.stats.failed_flushes == 1  # one per discarded batch
+        assert uploader.stats.flushes == 1

@@ -116,3 +116,34 @@ class TestVipDuringIncidents:
         rows = system.database.query("podpair_10min")
         assert rows
         assert all(row["dst_pod"] >= 0 for row in rows)
+
+
+class TestVipAfterGrowth:
+    """add_podset must wire new agents identically to start() — including
+    the VIP resolver (the growth path used to silently drop it, so agents
+    on new podsets skipped every vip-purpose entry forever)."""
+
+    def test_new_agents_get_the_vip_resolver(self, system):
+        system.run_for(120.0)
+        new_ids = system.add_podset()
+        for server_id in new_ids:
+            assert system.agents[server_id].vip_resolver is not None
+
+    def test_new_agents_actually_probe_the_vip(self, system):
+        system.run_for(120.0)
+        new_ids = system.add_podset()
+        system.run_for(600.0)
+        new_set = set(new_ids)
+        vip_rows = [
+            row
+            for row in system.store.read("pingmesh/latency")
+            if row["purpose"] == "vip" and row["src"] in new_set
+        ]
+        assert vip_rows, "agents on the grown podset must measure the VIP"
+
+    def test_growth_without_vips_still_omits_resolver(self):
+        system = _build({})
+        system.start()
+        new_ids = system.add_podset()
+        for server_id in new_ids:
+            assert system.agents[server_id].vip_resolver is None

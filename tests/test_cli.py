@@ -95,3 +95,44 @@ class TestProbeCommand:
         assert code == 1
         out = capsys.readouterr().out
         assert "0/2 succeeded" in out
+
+
+class TestChaosCommand:
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.campaigns == []
+        assert args.seed == 0
+        assert args.mode == "phase"
+        assert args.list is False
+
+    def test_list_names_every_campaign(self, capsys):
+        from repro.chaos import CAMPAIGNS
+
+        assert main(["chaos", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in CAMPAIGNS:
+            assert name in out
+
+    def test_unknown_campaign_is_an_error(self, capsys):
+        assert main(["chaos", "nope"]) == 2
+        assert "unknown campaign" in capsys.readouterr().out
+
+    def test_clean_campaign_exits_zero(self, capsys):
+        assert main(["chaos", "controller-flap", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "all invariants held" in out
+        assert "1/1 campaigns clean" in out
+
+    def test_violations_exit_nonzero(self, capsys, monkeypatch):
+        from repro.chaos import CampaignReport, Violation
+        import repro.chaos
+
+        def dirty_run(name, seed=0, check_mode="phase"):
+            return CampaignReport(
+                name=name,
+                violations=[Violation(t=1.0, invariant="payload-cap", detail="x")],
+            )
+
+        monkeypatch.setattr(repro.chaos, "run_campaign", dirty_run)
+        assert main(["chaos", "controller-flap"]) == 1
+        assert "0/1 campaigns clean" in capsys.readouterr().out
