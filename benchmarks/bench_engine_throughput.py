@@ -43,6 +43,37 @@ def bench_batch_probe_100k(benchmark, fabric, cross_pair):
     assert batch.n == 100_000
 
 
+def bench_router_path_cold(benchmark, fabric, cross_pair):
+    """Path computation with the cache invalidated every iteration."""
+    from repro.netsim.addressing import FiveTuple
+
+    a, b = cross_pair
+    flow = FiveTuple(a.ip, 50_000, b.ip, 81)
+    router = fabric.router
+    version = fabric.topology.state_version
+
+    def cold():
+        version.bump()  # forces a full rebuild: live lists + path
+        return router.path(a, b, flow)
+
+    path = benchmark(cold)
+    assert path.n_hops == 5
+
+
+def bench_router_path_cached(benchmark, fabric, cross_pair):
+    """Path lookup when the generation is stable: bucket hash + dict hit."""
+    from repro.netsim.addressing import FiveTuple
+
+    a, b = cross_pair
+    flow = FiveTuple(a.ip, 50_000, b.ip, 81)
+    router = fabric.router
+    router.path(a, b, flow)  # warm
+    hits = router.cache_hits
+    path = benchmark(lambda: router.path(a, b, flow))
+    assert path.n_hops == 5
+    assert router.cache_hits > hits
+
+
 def bench_batch_vs_scalar_speedup(benchmark, fabric, cross_pair):
     """The batch path must stay orders of magnitude faster per probe."""
     import time

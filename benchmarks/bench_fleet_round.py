@@ -1,0 +1,102 @@
+"""Engineering benchmark: the fleet probe round, fast path vs scalar.
+
+One simulated tick of the whole fleet is every agent running one probe
+round.  The fast path (``Fabric.probe_many`` + generation-stamped path
+cache + bulk counter/uploader feeds) must deliver **at least 5×** the
+scalar engine on the 256-server ``bench_scale`` configuration — that
+gate is asserted here, so ``check_regressions.py --suite fleet`` fails
+loudly if the fast path decays.
+"""
+
+import time
+
+import pytest
+
+from repro.core.agent.agent import AgentConfig
+from repro.core.dsa.pipeline import DsaConfig
+from repro.core.system import PingmeshSystem, PingmeshSystemConfig
+from repro.netsim.topology import TopologySpec
+
+# The 256-server configuration from bench_scale.
+SPEC = TopologySpec(n_podsets=4, pods_per_podset=4, servers_per_pod=16, n_spines=8)
+
+SPEEDUP_FLOOR = 5.0
+
+
+def _fleet(use_fast_path: bool) -> PingmeshSystem:
+    system = PingmeshSystem(
+        PingmeshSystemConfig(
+            specs=(SPEC,),
+            seed=1,
+            dsa=DsaConfig(ingestion_delay_s=0.0, near_real_time_period_s=300.0),
+            agent=AgentConfig(upload_period_s=300.0, use_fast_path=use_fast_path),
+        )
+    )
+    system.start()
+    return system
+
+
+def _fleet_round(system: PingmeshSystem, t: float) -> int:
+    return sum(agent.run_probe_round(t) for agent in system.agents.values())
+
+
+@pytest.fixture(scope="module")
+def fast_fleet():
+    return _fleet(use_fast_path=True)
+
+
+@pytest.fixture(scope="module")
+def scalar_fleet():
+    return _fleet(use_fast_path=False)
+
+
+def bench_fleet_round_fast(benchmark, fast_fleet):
+    """All 256 agents, one probe round each, via ``probe_many``."""
+    ticks = iter(range(10_000))
+
+    def one_round():
+        return _fleet_round(fast_fleet, 60.0 * next(ticks))
+
+    probes = benchmark.pedantic(one_round, rounds=5, iterations=1, warmup_rounds=1)
+    assert probes > 0
+
+
+def bench_fleet_round_scalar(benchmark, scalar_fleet):
+    """The same fleet round through the scalar reference engine."""
+    ticks = iter(range(10_000))
+
+    def one_round():
+        return _fleet_round(scalar_fleet, 60.0 * next(ticks))
+
+    probes = benchmark.pedantic(one_round, rounds=2, iterations=1)
+    assert probes > 0
+
+
+def _timed_round(system: PingmeshSystem, t: float) -> float:
+    """Per-probe seconds for one fleet round."""
+    start = time.perf_counter()
+    probes = _fleet_round(system, t)
+    return (time.perf_counter() - start) / probes
+
+
+def bench_fleet_round_speedup(benchmark):
+    """The ≥5× gate: fast fleet rounds vs scalar fleet rounds.
+
+    Best-of-N per-probe timings on each side: min-of-N discards scheduler
+    noise, which otherwise makes a one-shot ratio flap around the gate.
+    """
+    fast = _fleet(use_fast_path=True)
+    scalar = _fleet(use_fast_path=False)
+
+    def measure():
+        _fleet_round(fast, 0.0)  # warm the pair/path caches
+        fast_best = min(_timed_round(fast, 60.0 * (1 + i)) for i in range(5))
+        scalar_best = min(_timed_round(scalar, 60.0 * (1 + i)) for i in range(3))
+        return scalar_best / fast_best
+
+    speedup = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"fleet fast path only {speedup:.1f}x over scalar "
+        f"(gate {SPEEDUP_FLOOR:.0f}x)"
+    )

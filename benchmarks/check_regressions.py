@@ -10,7 +10,11 @@ The ``dsa`` suite (the default) runs ``bench_engine_throughput``,
 ``BENCH_dsa.json``.  The ``chaos`` suite first runs the chaos drill tier
 (``tests/integration/test_chaos_drills.py`` — every canned fault campaign
 must finish with zero invariant violations), then ``bench_chaos_overhead``
-(the <10% checker-overhead gate), and writes ``BENCH_chaos.json``.
+(the <10% checker-overhead gate), and writes ``BENCH_chaos.json``.  The
+``fleet`` suite first runs the fast-path correctness tier (the path-cache
+property tests and the fast/scalar parity tests), then
+``bench_fleet_round`` (the ≥5× fleet-round speedup gate), and writes
+``BENCH_fleet.json``.
 
 Each bench file carries its own hard assertions (e.g. the columnar path's
 ≥10× speedup gate), so the exit code is a pass/fail verdict, not just a
@@ -35,18 +39,28 @@ TIER1_BENCHES = [
 CHAOS_BENCHES = [
     "bench_chaos_overhead.py",
 ]
-CHAOS_DRILL_TIER = "tests/integration/test_chaos_drills.py"
+FLEET_BENCHES = [
+    "bench_fleet_round.py",
+]
+CHAOS_DRILL_TIER = ["tests/integration/test_chaos_drills.py"]
+# Correctness before speed: the fleet suite's bench numbers mean nothing
+# unless cached paths equal fresh paths and fast rounds match scalar rounds.
+FLEET_CORRECTNESS_TIER = [
+    "tests/netsim/test_path_cache.py",
+    "tests/core/test_fast_path_parity.py",
+]
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_DIR = Path(__file__).resolve().parent
 SUITES = {
     "dsa": (TIER1_BENCHES, "BENCH_dsa.json"),
     "chaos": (CHAOS_BENCHES, "BENCH_chaos.json"),
+    "fleet": (FLEET_BENCHES, "BENCH_fleet.json"),
 }
 
 
-def run_drill_tier() -> int:
-    """The chaos campaigns themselves are a gate, not a timing."""
+def run_test_tier(paths: list[str]) -> int:
+    """A suite's test tier is a gate, not a timing."""
     cmd = [
         sys.executable,
         "-m",
@@ -54,7 +68,7 @@ def run_drill_tier() -> int:
         "-q",
         "-p",
         "no:cacheprovider",
-        str(REPO_ROOT / CHAOS_DRILL_TIER),
+        *[str(REPO_ROOT / path) for path in paths],
     ]
     return subprocess.run(cmd, cwd=REPO_ROOT).returncode
 
@@ -111,11 +125,13 @@ def run_suite(suite: str, output: Path | None) -> int:
     except OSError as err:
         print(f"cannot write {destination}: {err}", file=sys.stderr)
         return 2
-    if suite == "chaos":
-        drill_rc = run_drill_tier()
-        if drill_rc != 0:
-            print("chaos drill tier failed; skipping benches", file=sys.stderr)
-            return drill_rc
+    gate_tiers = {"chaos": CHAOS_DRILL_TIER, "fleet": FLEET_CORRECTNESS_TIER}
+    tier = gate_tiers.get(suite)
+    if tier is not None:
+        tier_rc = run_test_tier(tier)
+        if tier_rc != 0:
+            print(f"{suite} test tier failed; skipping benches", file=sys.stderr)
+            return tier_rc
     return run_benches(benches, destination)
 
 

@@ -29,10 +29,16 @@ invariant                    claim
                              ``netsim.explain`` culprits — no scapegoats).
 ``sla-ground-truth``         §4.3 — on a network with no injected fault,
                              macro SLA rows stay inside alert thresholds.
+``probe-conservation``       every probe the fabric counted (carried or
+                             refused, minus the unobserved batch path) was
+                             seen by the per-probe observers — neither the
+                             scalar engine nor the ``probe_many`` fast path
+                             may lose or invent probes.
 ===========================  ==============================================
 
-The checker is hooked into the live probe path (it wraps ``fabric.probe``)
-so the per-probe limits are enforced on *every* probe, O(1) each; the full
+The checker registers on ``fabric.probe_observers`` — the fabric reports
+every probe on both the scalar path and the ``probe_many`` fast path — so
+the per-probe limits are enforced on *every* probe, O(1) each; the full
 catalogue runs at phase boundaries (or per event-queue step in step mode).
 """
 
@@ -99,38 +105,37 @@ class InvariantChecker:
         self._ever_faulted = False
         self._repairs_checked = 0
         self._attached = False
-        self._orig_probe = None
+        self._ledger_baseline = (0, 0, 0, 0)
 
     # -- probe-path hook ---------------------------------------------------
 
     def attach(self) -> None:
-        """Wrap ``fabric.probe`` so every probe is checked inline."""
+        """Register as a fabric probe observer; every probe is checked inline.
+
+        The fabric notifies observers from both the scalar ``probe`` path
+        and the ``probe_many`` fast path, so the checker sees the whole
+        probe stream regardless of which engine carried it.  The ledger
+        baseline anchors the probe-conservation invariant to attach time.
+        """
         if self._attached:
             return
         self._attached = True
         fabric = self.system.fabric
-        self._orig_probe = fabric.probe
-
-        def probe(src, dst, t=0.0, payload_bytes=0, dst_port=-1, **kwargs):
-            self._on_probe(src, dst, t, payload_bytes, dst_port)
-            if dst_port >= 0:
-                kwargs["dst_port"] = dst_port
-            return self._orig_probe(
-                src, dst, t=t, payload_bytes=payload_bytes, **kwargs
-            )
-
-        fabric.probe = probe
+        fabric.probe_observers.append(self._on_probe)
+        self._ledger_baseline = (
+            fabric.probes_carried,
+            fabric.probes_refused,
+            fabric.probes_carried_batched,
+            self.probes_observed,
+        )
 
     def detach(self) -> None:
         if not self._attached:
             return
-        # The wrapper shadows the class method via an instance attribute;
-        # deleting it restores Fabric.probe exactly.
         try:
-            del self.system.fabric.probe
-        except AttributeError:
+            self.system.fabric.probe_observers.remove(self._on_probe)
+        except ValueError:
             pass
-        self._orig_probe = None
         self._attached = False
 
     def _on_probe(
@@ -262,7 +267,37 @@ class InvariantChecker:
         self._check_watchdog_latency(now)
         self._check_repair_ground_truth(now)
         self._check_sla_ground_truth(now)
+        self._check_probe_conservation(now)
         return self.violations[before:]
+
+    def _check_probe_conservation(self, now: float) -> None:
+        """The fabric's probe ledger must match what the observers saw.
+
+        Since attach, ``carried + refused - batched`` (batch_probe's bulk
+        path bypasses the observers by design) must equal the probes this
+        checker observed: the fast path may not skip notification, and the
+        scalar path may not double-count a refused probe as carried.
+        """
+        if not self._attached:
+            return
+        fabric = self.system.fabric
+        base_carried, base_refused, base_batched, base_observed = self._ledger_baseline
+        ledger = (
+            (fabric.probes_carried - base_carried)
+            + (fabric.probes_refused - base_refused)
+            - (fabric.probes_carried_batched - base_batched)
+        )
+        observed = self.probes_observed - base_observed
+        if ledger != observed:
+            self._violate(
+                now,
+                "probe-conservation",
+                f"fabric ledger says {ledger} observable probes since attach "
+                f"(carried {fabric.probes_carried - base_carried}, refused "
+                f"{fabric.probes_refused - base_refused}, batched "
+                f"{fabric.probes_carried_batched - base_batched}) but the "
+                f"observer saw {observed}",
+            )
 
     def _check_watchdog_latency(self, now: float) -> None:
         history = self.system.env.watchdogs.error_history

@@ -34,7 +34,7 @@ from repro.core.controller.service import (
     PinglistNotFoundError,
     PingmeshControllerService,
 )
-from repro.core.dsa.records import make_record
+from repro.core.dsa.records import make_record, make_records
 from repro.netsim.fabric import Fabric
 
 __all__ = ["AgentConfig", "PingmeshAgent"]
@@ -50,6 +50,7 @@ class AgentConfig:
 
     pinglist_refresh_s: float = 1800.0  # periodic pull from the controller
     upload_period_s: float = 600.0  # the upload timer
+    use_fast_path: bool = True  # route rounds through Fabric.probe_many
     upload_threshold_records: int = 2000  # ... or the size threshold
     reservoir_size: int = 4096
     memory_cap_mb: float = 80.0
@@ -96,6 +97,8 @@ class PingmeshAgent(SharedService):
             reservoir_size=self.config.reservoir_size, seed=seed
         )
         self.pinglist: Pinglist | None = None
+        self._record_server_cache: dict = {}
+        self._round_plan: tuple | None = None  # keyed on the pinglist object
         self.last_upload_t = 0.0
         self.probes_sent = 0
         self.rounds_run = 0
@@ -148,7 +151,11 @@ class PingmeshAgent(SharedService):
 
         The system schedules rounds at :attr:`probe_interval_s`, so each
         source-destination pair is probed at most once per interval —
-        honouring the hard 10 s floor.
+        honouring the hard 10 s floor.  With ``config.use_fast_path`` the
+        round goes through :meth:`~repro.netsim.fabric.Fabric.probe_many`
+        (one call for the whole pinglist, counters and uploader fed in
+        bulk); VIP probes always take the scalar engine because resolution
+        and the dark-VIP record are per-probe decisions.
         """
         if not self.probing:
             return 0
@@ -156,24 +163,51 @@ class PingmeshAgent(SharedService):
             # The host lost power (podset down): no process, no probes, no
             # data — which is exactly what paints Figure 8(b)'s white cross.
             return 0
+        if self.config.use_fast_path:
+            launched = self._run_probe_round_fast(t)
+        else:
+            launched = self._run_probe_round_scalar(t)
+        self.probes_sent += launched
+        self.rounds_run += 1
+        self._account_resources(launched)
+        return launched
+
+    def _probe_vip(self, entry, t: float) -> int:
+        """One VIP availability probe (scalar; §6.2).  Returns probes made."""
+        if self.vip_resolver is None:
+            return 0  # deployment without a VIP data plane
+        peer_id = self.vip_resolver(entry.peer_id)
+        if peer_id is None:
+            # The VIP is dark (no live DIP): that IS the measurement
+            # VIP monitoring exists to make (§6.2).
+            self.counters.add(False, 0.0)
+            self.uploader.add(self._vip_down_record(entry, t))
+            return 1
+        payload = self.safety.clamp_payload(entry.payload_bytes)
+        dst_port = self.pinglist.parameters.port_for(entry.qos, entry.purpose)
+        result = self.fabric.probe(
+            self.server_id, peer_id, t=t, payload_bytes=payload, dst_port=dst_port
+        )
+        self.counters.add(result.success, result.rtt_s)
+        self.uploader.add(
+            make_record(
+                self.fabric.topology, result, purpose=entry.purpose, qos=entry.qos
+            )
+        )
+        return 1
+
+    def _run_probe_round_scalar(self, t: float) -> int:
+        """Reference round: one :meth:`Fabric.probe` call per peer."""
         launched = 0
         for entry in self.pinglist.entries:
-            peer_id = entry.peer_id
             if entry.purpose == "vip":
-                if self.vip_resolver is None:
-                    continue  # deployment without a VIP data plane
-                peer_id = self.vip_resolver(entry.peer_id)
-                if peer_id is None:
-                    # The VIP is dark (no live DIP): that IS the measurement
-                    # VIP monitoring exists to make (§6.2).
-                    self.counters.add(False, 0.0)
-                    self.uploader.add(self._vip_down_record(entry, t))
-                    launched += 1
-                    continue
+                launched += self._probe_vip(entry, t)
+                continue
             payload = self.safety.clamp_payload(entry.payload_bytes)
             dst_port = self.pinglist.parameters.port_for(entry.qos, entry.purpose)
             result = self.fabric.probe(
-                self.server_id, peer_id, t=t, payload_bytes=payload, dst_port=dst_port
+                self.server_id, entry.peer_id, t=t,
+                payload_bytes=payload, dst_port=dst_port,
             )
             self.counters.add(result.success, result.rtt_s)
             self.uploader.add(
@@ -182,9 +216,57 @@ class PingmeshAgent(SharedService):
                 )
             )
             launched += 1
-        self.probes_sent += launched
-        self.rounds_run += 1
-        self._account_resources(launched)
+        return launched
+
+    def _round_entries(self) -> tuple[list, list[tuple[str, int, int]], list[tuple[str, str]]]:
+        """The round's (vip entries, probe_many entries, tags), memoized.
+
+        A pinglist is an immutable snapshot from the controller, so the
+        partition into VIP work and fast-path entries is computed once per
+        pinglist object instead of once per round.
+        """
+        plan = self._round_plan
+        if plan is not None and plan[0] is self.pinglist:
+            return plan[1], plan[2], plan[3]
+        vip_entries: list = []
+        probe_entries: list[tuple[str, int, int]] = []
+        tags: list[tuple[str, str]] = []
+        parameters = self.pinglist.parameters
+        for entry in self.pinglist.entries:
+            if entry.purpose == "vip":
+                vip_entries.append(entry)
+                continue
+            probe_entries.append(
+                (
+                    entry.peer_id,
+                    parameters.port_for(entry.qos, entry.purpose),
+                    self.safety.clamp_payload(entry.payload_bytes),
+                )
+            )
+            tags.append((entry.purpose, entry.qos))
+        self._round_plan = (self.pinglist, vip_entries, probe_entries, tags)
+        return vip_entries, probe_entries, tags
+
+    def _run_probe_round_fast(self, t: float) -> int:
+        """Fast round: the whole pinglist in one ``probe_many`` call."""
+        launched = 0
+        vip_entries, probe_entries, tags = self._round_entries()
+        for entry in vip_entries:
+            launched += self._probe_vip(entry, t)
+        if probe_entries:
+            results = self.fabric.probe_many(self.server_id, probe_entries, t=t)
+            self.counters.add_many((r.success, r.rtt_s) for r in results)
+            self.uploader.add_many(
+                make_records(
+                    self.fabric.topology,
+                    [
+                        (result, purpose, qos)
+                        for result, (purpose, qos) in zip(results, tags)
+                    ],
+                    server_cache=self._record_server_cache,
+                )
+            )
+            launched += len(results)
         return launched
 
     def _vip_down_record(self, entry, t: float) -> dict:

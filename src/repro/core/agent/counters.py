@@ -13,6 +13,8 @@ shared-service discipline.  Drop rate is the §4.2 heuristic:
 
 from __future__ import annotations
 
+from typing import Iterable
+
 import numpy as np
 
 from repro.netsim import tcp
@@ -62,6 +64,16 @@ class LatencyCounters:
         elif _TWO_DROP_LOW <= rtt_s < _TWO_DROP_HIGH:
             self.probes_two_drops += 1
         self._sample(rtt_s)
+
+    def add_many(self, outcomes: Iterable[tuple[bool, float]]) -> None:
+        """Record a batch of ``(success, rtt_s)`` outcomes.
+
+        Semantically a loop over :meth:`add` — reservoir admission draws
+        stay per-sample so the equal-probability guarantee (and the RNG
+        stream for a given ingestion order) is unchanged.
+        """
+        for success, rtt_s in outcomes:
+            self.add(success, rtt_s)
 
     def _sample(self, rtt_s: float) -> None:
         """Reservoir sampling: every successful RTT has equal probability."""

@@ -15,7 +15,7 @@ from typing import Any
 from repro.netsim.fabric import ProbeResult
 from repro.netsim.topology import MultiDCTopology
 
-__all__ = ["LATENCY_STREAM", "RECORD_COLUMNS", "make_record"]
+__all__ = ["LATENCY_STREAM", "RECORD_COLUMNS", "make_record", "make_records"]
 
 # The Cosmos stream agents upload to.
 LATENCY_STREAM = "pingmesh/latency"
@@ -73,3 +73,51 @@ def make_record(
         ),
         "error": result.error,
     }
+
+
+def make_records(
+    topology: MultiDCTopology,
+    tagged_results: list[tuple[ProbeResult, str, str]],
+    server_cache: dict[str, Any] | None = None,
+) -> list[dict[str, Any]]:
+    """Build upload rows for a whole probe round at once.
+
+    ``tagged_results`` pairs each result with its ``(purpose, qos)``.  Each
+    row is identical to what :func:`make_record` would produce.  Endpoint
+    lookups are memoized; pass a ``server_cache`` dict to keep that memo
+    across calls (safe: servers are append-only and identity-stable).
+    """
+    servers: dict[str, Any] = {} if server_cache is None else server_cache
+    rows = []
+    for result, purpose, qos in tagged_results:
+        src = servers.get(result.src)
+        if src is None:
+            src = servers[result.src] = topology.server(result.src)
+        dst = servers.get(result.dst)
+        if dst is None:
+            dst = servers[result.dst] = topology.server(result.dst)
+        rows.append(
+            {
+                "t": result.t,
+                "src": result.src,
+                "dst": result.dst,
+                "src_dc": src.dc_index,
+                "dst_dc": dst.dc_index,
+                "src_podset": src.podset_index,
+                "dst_podset": dst.podset_index,
+                "src_pod": src.pod_index,
+                "dst_pod": dst.pod_index,
+                "purpose": purpose,
+                "qos": qos,
+                "success": result.success,
+                "rtt_us": result.rtt_s * 1e6,
+                "syn_drops": result.syn_drops,
+                "payload_rtt_us": (
+                    result.payload_rtt_s * 1e6
+                    if result.payload_rtt_s is not None
+                    else None
+                ),
+                "error": result.error,
+            }
+        )
+    return rows

@@ -134,6 +134,13 @@ class EphemeralPortAllocator:
     The production agent opens a *new* connection with a *new* source port
     for every probe so that the probes sweep ECMP paths (§3.4.1).  A simple
     rotating counter reproduces that sweep deterministically.
+
+    The range is finite — ``EPHEMERAL_PORT_MIN``..``EPHEMERAL_PORT_MAX``
+    (16384 ports) — so allocation wraps: probe ``n`` and probe ``n + 16384``
+    carry the same source port, hence the same five-tuple hash, hence the
+    same ECMP bucket.  The sweep therefore revisits a *fixed, finite* set of
+    paths per pair, which is what lets the router cache paths per
+    ``(src, dst, ecmp_bucket)`` without unbounded growth.
     """
 
     def __init__(self, start: int = EPHEMERAL_PORT_MIN) -> None:

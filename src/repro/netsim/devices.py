@@ -4,23 +4,54 @@ Switches keep SNMP-style counters.  Crucially for the paper's §5 story,
 *silent* packet drops (black-holes, fabric bit flips) do **not** increment
 the discard counters — "a switch may drop packets even though its SNMP tells
 us everything is fine" (§6).  Congestion and FCS drops do increment them.
+
+Every operational state transition bumps the topology's shared
+:class:`StateVersion` (attached at registration time), which is what lets
+the router and fabric cache paths between transitions: a cache stamped with
+the current version is valid exactly until the next up/down/isolate/reload
+or fault change anywhere in the network.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import ClassVar
 
 from repro.netsim.addressing import IPv4Address
 
 __all__ = [
     "DeviceKind",
     "DeviceState",
+    "StateVersion",
     "SnmpCounters",
     "Device",
     "Server",
     "Switch",
 ]
+
+
+class StateVersion:
+    """A monotonic counter stamping the network's routing-relevant state.
+
+    Bumped on every device up/down/isolate transition, every fault
+    inject/clear, and every topology growth event.  Caches (router paths,
+    fabric pair info) record the value they were built at and invalidate
+    wholesale when it moves — over-bumping is always safe, missing a bump
+    never is.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def bump(self) -> int:
+        self.value += 1
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"StateVersion({self.value})"
 
 
 class DeviceKind(enum.Enum):
@@ -79,19 +110,30 @@ class Device:
     dc_index: int
     state: DeviceState = DeviceState.UP
 
+    # Attached by the owning topology at registration; a bare Device built
+    # in a test simply has no version to bump.
+    _state_version: ClassVar[StateVersion | None] = None
+
     @property
     def is_up(self) -> bool:
         return self.state == DeviceState.UP
 
+    def _set_state(self, state: DeviceState) -> None:
+        if self.state == state:
+            return
+        self.state = state
+        if self._state_version is not None:
+            self._state_version.bump()
+
     def bring_down(self) -> None:
-        self.state = DeviceState.DOWN
+        self._set_state(DeviceState.DOWN)
 
     def bring_up(self) -> None:
-        self.state = DeviceState.UP
+        self._set_state(DeviceState.UP)
 
     def isolate(self) -> None:
         """Remove from live traffic rotation without powering off."""
-        self.state = DeviceState.ISOLATED
+        self._set_state(DeviceState.ISOLATED)
 
 
 @dataclass
@@ -124,8 +166,11 @@ class Switch(Device):
 
         Reloading clears TCAM corruption (type-1/2 black-holes) per §5.1,
         but does *not* fix fabric-module bit flips (§5.2) — the fault layer
-        decides which faults a reload clears.
+        decides which faults a reload clears.  A reload always bumps the
+        state version: even an UP→UP reload changes fault state downstream.
         """
         self.reload_count += 1
         self.counters.reset()
         self.state = DeviceState.UP
+        if self._state_version is not None:
+            self._state_version.bump()

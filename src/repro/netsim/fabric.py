@@ -13,13 +13,22 @@ and the fault injector.  It offers two probe paths:
   and samples everything array-at-a-time; when faults are present it falls
   back to the scalar path so correctness never depends on which API you
   called.
+* :meth:`Fabric.probe_many` — the fleet fast path: one agent's whole probe
+  round in a single call.  Pairs whose ECMP envelope is untouched by live
+  faults sample outcome + RTT array-at-a-time from the same analytic model
+  ``batch_probe`` uses; pairs that need full fidelity (a fault anywhere in
+  their envelope, a payload echo, a down endpoint) run the scalar engine —
+  correctness never depends on which partition a pair landed in.
 
-The same models and the same seed discipline back both paths.
+The same models and the same seed discipline back all three paths.  Pair
+routing info is cached against the topology's ``state_version`` and
+invalidated wholesale on any device transition, fault change, or growth.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -37,7 +46,13 @@ from repro.netsim.routing import NoRouteError, Path, PathScope, Router
 from repro.netsim.topology import MultiDCTopology, TopologySpec
 from repro.netsim.workload import PROFILES, WorkloadProfile, profile_for
 
-__all__ = ["Fabric", "ProbeResult", "BatchProbeResult", "DEFAULT_PROBE_PORT"]
+__all__ = [
+    "Fabric",
+    "ProbeResult",
+    "BatchProbeResult",
+    "ProbeEntry",
+    "DEFAULT_PROBE_PORT",
+]
 
 DEFAULT_PROBE_PORT = 81  # the agent's well-known probe listening port
 
@@ -91,6 +106,33 @@ class BatchProbeResult:
         return self.rtt_s[self.success]
 
 
+# One probe request in a probe_many round: (dst_id, dst_port, payload_bytes).
+ProbeEntry = tuple[str, int, int]
+
+
+@dataclass
+class _PairFastInfo:
+    """Cached per-(src, dst, dst_port) routing facts for the fast path.
+
+    Built from a representative flow (fixed source port, like
+    ``batch_probe``); valid for one state generation.  ``envelope`` is the
+    id set of *every* switch any ECMP path between the pair can traverse,
+    in either direction — the fault check must be conservative because a
+    fault may sit on a path the representative flow does not take.
+    """
+
+    dst: Server
+    forward: Path
+    reverse: Path
+    p_attempt: float
+    n_hops: int
+    wan_rtt: float
+    scope: PathScope
+    forward_hop_ids: tuple[str, ...]
+    forward_counters: tuple  # the forward hops' SnmpCounters, pre-resolved
+    envelope: frozenset[str]
+
+
 class Fabric:
     """A multi-DC network ready to carry probes.
 
@@ -114,7 +156,7 @@ class Fabric:
     ) -> None:
         self.topology = topology
         self.router = Router(topology)
-        self.faults = FaultInjector()
+        self.faults = FaultInjector(state_version=topology.state_version)
         self.rng = np.random.default_rng(seed)
         self._profiles: dict[int, WorkloadProfile] = {}
         self._latency: dict[int, LatencyModel] = {}
@@ -128,12 +170,38 @@ class Fabric:
             self._latency[dc.dc_index] = LatencyModel(profile)
             self._dropmodel[dc.dc_index] = DropModel(profile)
         self._ports: dict[str, EphemeralPortAllocator] = {}
+        # Conservation ledger (checked by the chaos invariant catalogue):
+        # probes_carried entered the network; probes_refused were turned
+        # away at the source host (agent down) and never touched a wire;
+        # probes_carried_batched were carried via batch_probe's unobserved
+        # bulk path.  carried + refused - batched == probes the per-probe
+        # observers saw.
         self.probes_carried = 0
+        self.probes_refused = 0
+        self.probes_carried_batched = 0
+        # Per-probe observers: called as (src_id, dst_id, t, payload_bytes,
+        # dst_port) for every probe on the scalar path AND the probe_many
+        # fast path — the chaos invariant checker hooks in here.
+        self.probe_observers: list[Callable[[str, str, float, int, int], None]] = []
+        self._pair_cache: dict[tuple[str, str, int], _PairFastInfo | None] = {}
+        self._pair_cache_version = -1
+        self._server_cache: dict[str, Server] = {}
 
     @classmethod
     def single_dc(cls, spec: TopologySpec | None = None, seed: int = 0) -> "Fabric":
         """Convenience: a fabric over one data center."""
         return cls(MultiDCTopology.single(spec), seed=seed)
+
+    @property
+    def state_version(self) -> int:
+        """The topology's routing-state generation (monotonic)."""
+        return self.topology.state_version.value
+
+    def _notify_probe(
+        self, src_id: str, dst_id: str, t: float, payload_bytes: int, dst_port: int
+    ) -> None:
+        for observer in self.probe_observers:
+            observer(src_id, dst_id, t, payload_bytes, dst_port)
 
     # -- model lookups ------------------------------------------------------
 
@@ -152,7 +220,12 @@ class Fabric:
     def _resolve(self, server: Server | str) -> Server:
         if isinstance(server, Server):
             return server
-        return self.topology.server(server)
+        # Servers are append-only and identity-stable (state changes mutate
+        # the object in place), so the id -> Server map never goes stale.
+        cached = self._server_cache.get(server)
+        if cached is None:
+            cached = self._server_cache[server] = self.topology.server(server)
+        return cached
 
     def _allocate_port(self, server: Server) -> int:
         allocator = self._ports.get(server.device_id)
@@ -211,9 +284,15 @@ class Fabric:
         """
         src_server = self._resolve(src)
         dst_server = self._resolve(dst)
-        self.probes_carried += 1
+        if self.probe_observers:
+            self._notify_probe(
+                src_server.device_id, dst_server.device_id, t, payload_bytes, dst_port
+            )
 
         if not src_server.is_up:
+            # The probe never entered the network: the source host has no
+            # process to send it.  Counted as refused, not carried.
+            self.probes_refused += 1
             return ProbeResult(
                 src=src_server.device_id,
                 dst=dst_server.device_id,
@@ -222,6 +301,7 @@ class Fabric:
                 rtt_s=0.0,
                 error="agent_down",
             )
+        self.probes_carried += 1
 
         port = src_port if src_port is not None else self._allocate_port(src_server)
         flow = FiveTuple(
@@ -412,6 +492,7 @@ class Fabric:
         for hop in forward.hops:
             hop.counters.packets_forwarded += n
         self.probes_carried += n
+        self.probes_carried_batched += n
         return BatchProbeResult(
             src=src_server.device_id,
             dst=dst_server.device_id,
@@ -455,6 +536,234 @@ class Fabric:
             scope=scope,
             attempt_drop_prob=float("nan"),
         )
+
+    # -- fleet fast path --------------------------------------------------------
+
+    def _pair_envelope(self, src: Server, dst: Server, scope: PathScope) -> frozenset[str]:
+        """Every switch id any ECMP path between the pair can traverse.
+
+        Conservative by design: the fast/scalar partition must send a pair
+        to the scalar engine if a fault sits on *any* path its source-port
+        sweep could take, not just the representative one.
+        """
+        if scope == PathScope.SAME_HOST:
+            return frozenset()
+        src_dc = self.topology.dc(src.dc_index)
+        dst_dc = self.topology.dc(dst.dc_index)
+        devices = {src_dc.tor_of(src).device_id, dst_dc.tor_of(dst).device_id}
+        if scope == PathScope.INTRA_POD:
+            return frozenset(devices)
+        devices.update(s.device_id for s in src_dc.leaves_of(src.podset_index))
+        devices.update(s.device_id for s in dst_dc.leaves_of(dst.podset_index))
+        if scope == PathScope.INTRA_PODSET:
+            return frozenset(devices)
+        devices.update(s.device_id for s in src_dc.spines)
+        if scope == PathScope.INTER_DC:
+            devices.update(s.device_id for s in dst_dc.spines)
+            devices.update(s.device_id for s in src_dc.borders)
+            devices.update(s.device_id for s in dst_dc.borders)
+        return frozenset(devices)
+
+    def _pair_info(
+        self, src: Server, dst: Server, dst_port: int
+    ) -> _PairFastInfo | None:
+        """Cached routing facts for one (src, dst, dst_port); None = no route.
+
+        Stamped against ``state_version``; the whole cache drops the moment
+        any device flips, any fault changes, or the topology grows.
+        """
+        version = self.topology.state_version.value
+        if version != self._pair_cache_version:
+            self._pair_cache.clear()
+            self._pair_cache_version = version
+        key = (src.device_id, dst.device_id, dst_port)
+        if key in self._pair_cache:
+            return self._pair_cache[key]
+        flow = FiveTuple(src.ip, 49_152, dst.ip, dst_port)
+        try:
+            forward, reverse = self._paths(src, dst, flow)
+        except NoRouteError:
+            self._pair_cache[key] = None
+            return None
+        info = _PairFastInfo(
+            dst=dst,
+            forward=forward,
+            reverse=reverse,
+            p_attempt=self._dropmodel[src.dc_index].attempt_drop_prob(
+                forward, reverse
+            ),
+            n_hops=forward.n_hops,
+            wan_rtt=forward.wan_rtt,
+            scope=forward.scope,
+            forward_hop_ids=tuple(forward.hop_ids()),
+            forward_counters=tuple(hop.counters for hop in forward.hops),
+            envelope=self._pair_envelope(src, dst, forward.scope),
+        )
+        self._pair_cache[key] = info
+        return info
+
+    def probe_many(
+        self, src: Server | str, entries: Sequence[ProbeEntry], t: float = 0.0
+    ) -> list[ProbeResult]:
+        """One probe per entry from ``src``, vectorized where fidelity allows.
+
+        ``entries`` are ``(dst_id, dst_port, payload_bytes)`` triples (one
+        agent's probe round); results come back in entry order.  The round
+        is partitioned:
+
+        * **scalar** (full-fidelity engine, per-hop decisions): any entry
+          with a payload echo, a down destination, no route, or a live
+          fault anywhere in the pair's ECMP envelope;
+        * **fast** (analytic, array-at-a-time): everything else — outcome
+          and RTT sampled exactly as :meth:`batch_probe` samples them, from
+          the same models and the same generator.
+
+        Every probe still draws a fresh ephemeral source port (the ECMP
+        sweep discipline), counts into the conservation ledger, and is
+        reported to the probe observers.
+        """
+        src_server = self._resolve(src)
+        if not src_server.is_up:
+            # No process on a powered-off host: the whole round is refused.
+            results = []
+            for dst_id, dst_port, payload_bytes in entries:
+                if self.probe_observers:
+                    self._notify_probe(
+                        src_server.device_id, dst_id, t, payload_bytes, dst_port
+                    )
+                self.probes_refused += 1
+                results.append(
+                    ProbeResult(
+                        src=src_server.device_id,
+                        dst=dst_id,
+                        t=t,
+                        success=False,
+                        rtt_s=0.0,
+                        error="agent_down",
+                    )
+                )
+            return results
+
+        faulted = (
+            self.faults.faulted_switch_ids() if self.faults.has_faults() else None
+        )
+        # Hot loop: one dict hit per entry against the pair cache (already
+        # generation-checked here, once, instead of per entry).
+        version = self.topology.state_version.value
+        if version != self._pair_cache_version:
+            self._pair_cache.clear()
+            self._pair_cache_version = version
+        pair_cache = self._pair_cache
+        src_id = src_server.device_id
+        results: list[ProbeResult | None] = [None] * len(entries)
+        fast_indices: list[int] = []
+        fast_infos: list[_PairFastInfo] = []
+        for index, (dst_id, dst_port, payload_bytes) in enumerate(entries):
+            key = (src_id, dst_id, dst_port)
+            if key in pair_cache:
+                info = pair_cache[key]
+            else:
+                info = self._pair_info(src_server, self._resolve(dst_id), dst_port)
+            needs_scalar = (
+                payload_bytes > 0
+                or info is None
+                or not info.dst.is_up
+                or (faulted is not None and not faulted.isdisjoint(info.envelope))
+            )
+            if needs_scalar:
+                results[index] = self.probe(
+                    src_server,
+                    info.dst if info is not None else dst_id,
+                    t=t,
+                    payload_bytes=payload_bytes,
+                    dst_port=dst_port,
+                )
+            else:
+                fast_indices.append(index)
+                fast_infos.append(info)
+
+        if fast_indices:
+            self._probe_fast(
+                src_server, entries, fast_indices, fast_infos, t, results
+            )
+        return results  # type: ignore[return-value]
+
+    def _probe_fast(
+        self,
+        src_server: Server,
+        entries: Sequence[ProbeEntry],
+        indices: list[int],
+        infos: list[_PairFastInfo],
+        t: float,
+        results: list[ProbeResult | None],
+    ) -> None:
+        """Sample the healthy partition of a round array-at-a-time."""
+        k = len(indices)
+        p_attempt = np.array([info.p_attempt for info in infos])
+        drops1 = self.rng.random(k) < p_attempt
+        drops2 = self.rng.random(k) < p_attempt
+        drops3 = self.rng.random(k) < p_attempt
+        syn_drops = (
+            drops1.astype(np.int64)
+            + (drops1 & drops2).astype(np.int64)
+            + (drops1 & drops2 & drops3).astype(np.int64)
+        )
+        success = syn_drops < 3
+        waited = np.zeros(k)
+        waited[syn_drops == 1] = tcp.syn_rtt_signature(1)
+        waited[syn_drops == 2] = tcp.syn_rtt_signature(2)
+
+        latency_model = self._latency[src_server.dc_index]
+        base = np.empty(k)
+        by_hops: dict[int, list[int]] = {}
+        for position, info in enumerate(infos):
+            by_hops.setdefault(info.n_hops, []).append(position)
+        for n_hops, positions in by_hops.items():
+            base[positions] = latency_model.sample(
+                self.rng, n_hops, t=t, n=len(positions)
+            )
+        wan = np.array([info.wan_rtt for info in infos])
+        rtt = np.where(success, waited + base + wan, tcp.syn_rtt_signature(3))
+
+        notify = bool(self.probe_observers)
+        src_id = src_server.device_id
+        src_ip = src_server.ip
+        allocator = self._ports.get(src_id)
+        if allocator is None:
+            allocator = self._ports[src_id] = EphemeralPortAllocator()
+        allocate = allocator.allocate
+        rtt_list = rtt.tolist()
+        success_list = success.tolist()
+        drops_list = syn_drops.tolist()
+        for position, index in enumerate(indices):
+            info = infos[position]
+            dst_server = info.dst
+            dst_id, dst_port, payload_bytes = entries[index]
+            flow = FiveTuple(
+                src_ip=src_ip,
+                src_port=allocate(),
+                dst_ip=dst_server.ip,
+                dst_port=dst_port,
+                protocol=PROTO_TCP,
+            )
+            if notify:
+                self._notify_probe(src_id, dst_server.device_id, t, payload_bytes, dst_port)
+            ok = success_list[position]
+            results[index] = ProbeResult(
+                src=src_id,
+                dst=dst_server.device_id,
+                t=t,
+                success=ok,
+                rtt_s=rtt_list[position],
+                error=None if ok else "timeout",
+                syn_drops=drops_list[position],
+                flow=flow,
+                scope=info.scope,
+                forward_hops=info.forward_hop_ids,
+            )
+            for counters in info.forward_counters:
+                counters.packets_forwarded += 1
+        self.probes_carried += k
 
     # -- switch management -----------------------------------------------------
 

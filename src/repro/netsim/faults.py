@@ -219,16 +219,28 @@ class CongestionFault(Fault):
 
 
 class FaultInjector:
-    """Registry of active faults, consulted by the fabric per hop."""
+    """Registry of active faults, consulted by the fabric per hop.
 
-    def __init__(self) -> None:
+    ``state_version`` (when attached) is bumped on every inject/clear so
+    path and pair caches stamped against it invalidate: a fault changes
+    which pairs may take the analytic fast path even though routing itself
+    is unchanged.
+    """
+
+    def __init__(self, state_version=None) -> None:
         self._by_switch: dict[str, list[Fault]] = {}
         self._by_id: dict[int, Fault] = {}
+        self.state_version = state_version
+
+    def _bump(self) -> None:
+        if self.state_version is not None:
+            self.state_version.bump()
 
     def inject(self, fault: Fault) -> Fault:
         """Activate a fault; returns it for later :meth:`clear`."""
         self._by_switch.setdefault(fault.switch_id, []).append(fault)
         self._by_id[fault.fault_id] = fault
+        self._bump()
         return fault
 
     def clear(self, fault: Fault | int) -> None:
@@ -241,13 +253,24 @@ class FaultInjector:
         self._by_switch[found.switch_id] = [
             f for f in faults if f.fault_id != fault_id
         ]
+        self._bump()
 
     def clear_all(self) -> None:
+        if self._by_id:
+            self._bump()
         self._by_switch.clear()
         self._by_id.clear()
 
     def faults_on(self, switch_id: str) -> list[Fault]:
         return list(self._by_switch.get(switch_id, []))
+
+    def faulted_switch_ids(self) -> set[str]:
+        """Ids of every switch currently carrying at least one fault."""
+        return {
+            switch_id
+            for switch_id, faults in self._by_switch.items()
+            if faults
+        }
 
     def active_faults(self) -> list[Fault]:
         return list(self._by_id.values())

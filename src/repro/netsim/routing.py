@@ -96,17 +96,140 @@ def _pick(candidates: list[Switch], flow: FiveTuple, salt: int) -> Switch:
 
 
 class Router:
-    """Computes forward paths over a :class:`MultiDCTopology`."""
+    """Computes forward paths over a :class:`MultiDCTopology`.
+
+    Paths are memoized per ``(src, dst, ecmp_bucket)``, where the bucket is
+    the tuple of per-tier ECMP hash decisions the flow implies — so the
+    agents' source-port sweep still lands on (and caches) every distinct
+    path, it just never recomputes one.  The cache is stamped with the
+    topology's :class:`~repro.netsim.devices.StateVersion` and invalidated
+    wholesale the moment any device changes state, any fault is injected or
+    cleared, or the topology grows: liveness is frozen within a generation,
+    which is what makes a cached path provably identical to a fresh
+    :meth:`uncached_path` computation.
+    """
 
     def __init__(self, topology: MultiDCTopology) -> None:
         self.topology = topology
+        self._state_version = topology.state_version
+        self._cache_version = -1
+        self._path_cache: dict[tuple[str, str, tuple[int, ...]], Path] = {}
+        self._live_cache: dict[int, list[Switch]] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- cache plumbing ----------------------------------------------------
+
+    def _check_generation(self) -> None:
+        version = self._state_version.value
+        if version != self._cache_version:
+            self._path_cache.clear()
+            self._live_cache.clear()
+            self._cache_version = version
+
+    def invalidate(self) -> None:
+        """Drop every cached path (normally automatic via the version)."""
+        self._path_cache.clear()
+        self._live_cache.clear()
+        self._cache_version = -1
+
+    @property
+    def cached_paths(self) -> int:
+        return len(self._path_cache)
+
+    def _live(self, candidates: list[Switch]) -> list[Switch]:
+        """Live members of a stable candidate list, memoized per generation.
+
+        Keyed by list identity: the candidate lists (``dc.spines``,
+        ``dc.borders``, ``dc.leaves[podset]``) are owned by the topology and
+        stay alive for its lifetime, so ids cannot be recycled while cached.
+        """
+        key = id(candidates)
+        live = self._live_cache.get(key)
+        if live is None:
+            live = [switch for switch in candidates if switch.is_up]
+            self._live_cache[key] = live
+        return live
+
+    def _decision_points(
+        self, scope: PathScope, src: Server, dst: Server
+    ) -> list[tuple[list[Switch], int]]:
+        """The ordered ECMP decision points a (src, dst) pair traverses."""
+        if scope in (PathScope.SAME_HOST, PathScope.INTRA_POD):
+            return []
+        src_dc = self.topology.dc(src.dc_index)
+        dst_dc = self.topology.dc(dst.dc_index)
+        if scope == PathScope.INTRA_PODSET:
+            return [(src_dc.leaves_of(src.podset_index), _SALT_UP_LEAF)]
+        points = [
+            (src_dc.leaves_of(src.podset_index), _SALT_UP_LEAF),
+            (src_dc.spines, _SALT_UP_SPINE),
+        ]
+        if scope == PathScope.INTER_DC:
+            points.append((src_dc.borders, _SALT_BORDER_SRC))
+            points.append((dst_dc.borders, _SALT_BORDER_DST))
+            points.append((dst_dc.spines, _SALT_SPINE_DST))
+        points.append((dst_dc.leaves_of(dst.podset_index), _SALT_DOWN_LEAF))
+        return points
+
+    def ecmp_bucket(
+        self, src: Server, dst: Server, flow: FiveTuple
+    ) -> tuple[int, ...]:
+        """The tuple of per-tier hash decisions ``flow`` makes for this pair.
+
+        Two flows with the same bucket take the same path within one state
+        generation.  The bucket is finite because the ephemeral port range
+        is: a full source-port sweep revisits the same bucket set.  Raises
+        :class:`NoRouteError` when a decision point has no live candidate.
+        """
+        self._check_generation()
+        scope = classify_scope(self.topology, src, dst)
+        return self._bucket_for(scope, src, dst, flow)
+
+    def _bucket_for(
+        self, scope: PathScope, src: Server, dst: Server, flow: FiveTuple
+    ) -> tuple[int, ...]:
+        bucket: list[int] = []
+        for candidates, salt in self._decision_points(scope, src, dst):
+            live = self._live(candidates)
+            if not live:
+                raise NoRouteError("all candidate next-hops are down")
+            if len(live) == 1:
+                bucket.append(0)
+            else:
+                bucket.append(flow.ecmp_hash(salt) % len(live))
+        return tuple(bucket)
+
+    # -- path computation ---------------------------------------------------
 
     def path(self, src: Server, dst: Server, flow: FiveTuple) -> Path:
         """The one-way path of a packet with ``flow`` from ``src`` to ``dst``.
 
+        Cached per ``(src, dst, ecmp_bucket)``; semantics are identical to
+        :meth:`uncached_path`, which computes every path from scratch.
         Raises :class:`NoRouteError` when routing has no live path (e.g. the
         whole Leaf tier of a podset is down).  A *faulty* switch that is
         still up is part of the path — faults are applied downstream.
+        """
+        self._check_generation()
+        scope = classify_scope(self.topology, src, dst)
+        bucket = self._bucket_for(scope, src, dst, flow)
+        key = (src.device_id, dst.device_id, bucket)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        path = self.uncached_path(src, dst, flow)
+        self.cache_misses += 1
+        self._path_cache[key] = path
+        return path
+
+    def uncached_path(self, src: Server, dst: Server, flow: FiveTuple) -> Path:
+        """Reference implementation: compute the path from scratch.
+
+        This is the ground truth the cache is verified against (the path
+        cache property test asserts cached == uncached across random fault
+        and growth sequences).
         """
         scope = classify_scope(self.topology, src, dst)
         if scope == PathScope.SAME_HOST:

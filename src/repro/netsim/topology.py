@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.netsim.addressing import IPv4Address
-from repro.netsim.devices import Device, DeviceKind, Server, Switch
+from repro.netsim.devices import Device, DeviceKind, Server, StateVersion, Switch
 
 __all__ = [
     "TopologySpec",
@@ -97,9 +97,17 @@ MEDIUM_SPEC = TopologySpec(
 class ClosTopology:
     """One data center's Clos network, with device lookup tables."""
 
-    def __init__(self, spec: TopologySpec, dc_index: int = 0) -> None:
+    def __init__(
+        self,
+        spec: TopologySpec,
+        dc_index: int = 0,
+        state_version: StateVersion | None = None,
+    ) -> None:
         self.spec = spec
         self.dc_index = dc_index
+        # Shared with the owning MultiDCTopology when there is one, so one
+        # counter stamps the whole network.
+        self.state_version = state_version or StateVersion()
         base = (10 + dc_index) << 24  # 10.0.0.0/8 for DC0, 11.0.0.0/8 for DC1...
 
         self.servers: list[Server] = []
@@ -171,6 +179,7 @@ class ClosTopology:
         if device.device_id in self._by_id:
             raise ValueError(f"duplicate device id: {device.device_id}")
         self._by_id[device.device_id] = device
+        device._state_version = self.state_version
 
     # -- growth -----------------------------------------------------------
 
@@ -230,6 +239,9 @@ class ClosTopology:
         import dataclasses
 
         self.spec = dataclasses.replace(spec, n_podsets=spec.n_podsets + 1)
+        # Growth changes the ECMP candidate sets (new Leaf tier members) and
+        # the reachable-server set: every cached path is suspect.
+        self.state_version.bump()
         return new_servers
 
     # -- lookups ---------------------------------------------------------
@@ -315,8 +327,10 @@ class MultiDCTopology:
         names = [spec.name for spec in specs]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate data center names: {names}")
+        self.state_version = StateVersion()
         self.dcs: list[ClosTopology] = [
-            ClosTopology(spec, dc_index=index) for index, spec in enumerate(specs)
+            ClosTopology(spec, dc_index=index, state_version=self.state_version)
+            for index, spec in enumerate(specs)
         ]
         self._dc_by_name: dict[str, ClosTopology] = {
             dc.spec.name: dc for dc in self.dcs

@@ -24,14 +24,16 @@ def _two_servers(system):
 
 
 class TestProbePathHooks:
-    def test_attach_and_detach_restore_the_fabric(self, system):
-        original = system.fabric.probe
+    def test_attach_and_detach_manage_the_observer_list(self, system):
+        assert system.fabric.probe_observers == []
         checker = _attached(system)
-        assert system.fabric.probe != original
+        assert checker._on_probe in system.fabric.probe_observers
+        checker.attach()  # idempotent: no double registration
+        assert system.fabric.probe_observers.count(checker._on_probe) == 1
         checker.detach()
-        assert system.fabric.probe == original
+        assert system.fabric.probe_observers == []
         checker.detach()  # idempotent
-        assert system.fabric.probe == original
+        assert system.fabric.probe_observers == []
 
     def test_probe_results_pass_through_unchanged(self, system):
         src, dst = _two_servers(system)

@@ -1,0 +1,191 @@
+"""Fast rounds must be statistically indistinguishable from scalar rounds.
+
+``probe_many`` samples the healthy partition of a round from the same
+analytic model ``batch_probe`` uses, while anything needing full fidelity
+runs the scalar engine.  These tests pin both halves of that contract:
+the partition rule (who goes where) and distribution parity (fast and
+scalar rounds with the same seed agree on drop rate and percentiles).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.agent.agent import AgentConfig, PingmeshAgent
+from repro.core.agent.uploader import ResultUploader
+from repro.core.controller.service import PingmeshControllerService
+from repro.cosmos.store import CosmosStore
+from repro.netsim.fabric import Fabric
+from repro.netsim.faults import BlackholeType1, SilentRandomDrop
+from repro.netsim.topology import TopologySpec
+
+_SPEC = TopologySpec(n_podsets=2, pods_per_podset=2, servers_per_pod=4, n_spines=4)
+
+
+def _fabric(seed=5):
+    return Fabric.single_dc(_SPEC, seed=seed)
+
+
+def _round_entries(fabric, n=12):
+    dc = fabric.topology.dc(0)
+    src = dc.servers_in_podset(0)[0]
+    peers = [s for s in dc.servers if s.device_id != src.device_id][:n]
+    return src, [(peer.device_id, 81, 0) for peer in peers]
+
+
+def _count_scalar_probes(fabric):
+    """Monkeypatch-free spy: scalar probes notify observers from ``probe``,
+    so count calls routed through it by wrapping the bound method."""
+    calls = []
+    original = fabric.probe
+
+    def spy(*args, **kwargs):
+        calls.append(1)
+        return original(*args, **kwargs)
+
+    fabric.probe = spy
+    return calls
+
+
+class TestPartitionRule:
+    def test_healthy_round_is_fully_fast(self):
+        fabric = _fabric()
+        src, entries = _round_entries(fabric)
+        calls = _count_scalar_probes(fabric)
+        results = fabric.probe_many(src, entries)
+        assert len(results) == len(entries)
+        assert calls == []  # nothing needed the scalar engine
+
+    def test_payload_entries_take_the_scalar_engine(self):
+        fabric = _fabric()
+        src, entries = _round_entries(fabric, n=4)
+        entries[1] = (entries[1][0], 81, 800)
+        calls = _count_scalar_probes(fabric)
+        results = fabric.probe_many(src, entries)
+        assert len(calls) == 1
+        assert results[1].payload_rtt_s is not None or not results[1].success
+
+    def test_down_destination_takes_the_scalar_engine(self):
+        fabric = _fabric()
+        src, entries = _round_entries(fabric, n=4)
+        fabric.topology.server(entries[2][0]).bring_down()
+        calls = _count_scalar_probes(fabric)
+        results = fabric.probe_many(src, entries)
+        assert len(calls) == 1
+        assert not results[2].success
+
+    def test_fault_in_envelope_takes_the_scalar_engine(self):
+        """A fault on ANY switch the pair's ECMP sweep could cross forces
+        the scalar engine — even when the representative path avoids it."""
+        fabric = _fabric()
+        src, entries = _round_entries(fabric)
+        # Fault one spine: every cross-podset pair has it in its envelope,
+        # whichever spine their representative flow hashes to.
+        spine = fabric.topology.dc(0).spines[0]
+        fabric.faults.inject(SilentRandomDrop(switch_id=spine.device_id))
+        calls = _count_scalar_probes(fabric)
+        cross = [
+            (s.device_id, 81, 0)
+            for s in fabric.topology.dc(0).servers_in_podset(1)
+        ]
+        fabric.probe_many(src, cross)
+        assert len(calls) == len(cross)
+
+    def test_fault_outside_envelope_stays_fast(self):
+        fabric = _fabric()
+        dc = fabric.topology.dc(0)
+        src = dc.servers_in_pod(0)[0]
+        dst = dc.servers_in_pod(0)[1]  # intra-pod: envelope is one ToR
+        other_podset_tor = next(t for t in dc.tors if t.podset_index == 1)
+        fabric.faults.inject(SilentRandomDrop(switch_id=other_podset_tor.device_id))
+        calls = _count_scalar_probes(fabric)
+        fabric.probe_many(src, [(dst.device_id, 81, 0)])
+        assert calls == []
+
+    def test_blackhole_detected_identically_through_probe_many(self):
+        """A type-1 blackhole on the source ToR must fail the affected
+        pairs whether the round went fast or scalar — the partition rule
+        degrades them to scalar, where the fault engine decides."""
+        fabric = _fabric()
+        src, entries = _round_entries(fabric)
+        tor = fabric.topology.dc(0).tor_of(fabric.topology.server(src.device_id))
+        fabric.faults.inject(BlackholeType1(switch_id=tor.device_id, fraction=1.0))
+        results = fabric.probe_many(src, entries, t=50.0)
+        assert all(not r.success for r in results)
+
+
+class TestDistributionParity:
+    def test_fast_and_scalar_rounds_match_statistically(self):
+        """Same seed, same entries: drop rate and latency percentiles of
+        the fast engine match the scalar engine within sampling noise."""
+        rounds, t_step = 40, 30.0
+        fast = _fabric(seed=5)
+        scalar = _fabric(seed=5)
+        src_f, entries = _round_entries(fast)
+        src_s, _ = _round_entries(scalar)
+
+        fast_results, scalar_results = [], []
+        for r in range(rounds):
+            t = r * t_step
+            fast_results.extend(fast.probe_many(src_f, entries, t=t))
+            for dst_id, dst_port, payload in entries:
+                scalar_results.append(
+                    scalar.probe(src_s, dst_id, t=t, dst_port=dst_port,
+                                 payload_bytes=payload)
+                )
+
+        assert len(fast_results) == len(scalar_results)
+        fast_ok = np.array([r.success for r in fast_results])
+        scalar_ok = np.array([r.success for r in scalar_results])
+        # Drop rates agree within a few sigma of the binomial noise floor.
+        n = len(fast_results)
+        tolerance = 4.0 * np.sqrt(0.01 / n) + 1e-9
+        assert abs(fast_ok.mean() - scalar_ok.mean()) <= max(tolerance, 0.02)
+
+        fast_rtt = np.array([r.rtt_s for r in fast_results])[fast_ok]
+        scalar_rtt = np.array([r.rtt_s for r in scalar_results])[scalar_ok]
+        for q in (50, 90):
+            a = np.percentile(fast_rtt, q)
+            b = np.percentile(scalar_rtt, q)
+            assert abs(a - b) / b < 0.15, f"P{q}: fast {a:.6f}s vs scalar {b:.6f}s"
+
+    def test_agent_rounds_agree_across_engines(self):
+        """A fast agent and a scalar agent over identical worlds produce
+        the same record count, schema, and matching counter stats."""
+        outputs = {}
+        for use_fast in (True, False):
+            fabric = _fabric(seed=9)
+            controller = PingmeshControllerService(fabric.topology, n_replicas=2)
+            controller.regenerate()
+            store = CosmosStore()
+            server_id = fabric.topology.dc(0).servers[0].device_id
+            uploader = ResultUploader(store, server_id)
+            agent = PingmeshAgent(
+                server_id, fabric, controller, uploader,
+                config=AgentConfig(use_fast_path=use_fast),
+            )
+            agent.start(now=0.0)
+            agent.refresh_pinglist(t=0.0)
+            launched = sum(
+                agent.run_probe_round(t=30.0 * (r + 1)) for r in range(5)
+            )
+            outputs[use_fast] = (launched, agent.uploader.buffered_records,
+                                 agent.counters.probes_total)
+
+        assert outputs[True] == outputs[False]
+
+    def test_record_schema_identical_across_engines(self):
+        from repro.core.dsa.records import make_record, make_records
+
+        fabric = _fabric(seed=2)
+        src, entries = _round_entries(fabric, n=6)
+        results = fabric.probe_many(src, entries, t=40.0)
+        bulk = make_records(
+            fabric.topology, [(r, "tor-level", "high") for r in results]
+        )
+        single = [
+            make_record(fabric.topology, r, purpose="tor-level", qos="high")
+            for r in results
+        ]
+        assert bulk == single

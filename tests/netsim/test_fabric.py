@@ -57,6 +57,31 @@ class TestScalarProbe:
         result = fabric.probe(src, dc.servers[0])
         assert result.error == "agent_down"
 
+    def test_refused_probe_is_not_counted_as_carried(self, fabric, dc):
+        """A src-host-down probe never entered the network: it must land in
+        ``probes_refused``, not ``probes_carried`` (the old accounting
+        counted it as carried and broke the conservation ledger)."""
+        fabric.probe(dc.servers[0], dc.servers[1])
+        src = dc.servers[3]
+        src.bring_down()
+        fabric.probe(src, dc.servers[0])
+        assert (fabric.probes_carried, fabric.probes_refused) == (1, 1)
+
+    def test_probe_ledger_matches_observer_count(self, fabric, dc):
+        """carried + refused - batched == probes the observers saw."""
+        seen = []
+        fabric.probe_observers.append(lambda *args: seen.append(args))
+        fabric.probe(dc.servers[0], dc.servers[1])
+        dc.servers[3].bring_down()
+        fabric.probe(dc.servers[3], dc.servers[0])
+        fabric.batch_probe(dc.servers[0], dc.servers[40], n=50)
+        ledger = (
+            fabric.probes_carried
+            + fabric.probes_refused
+            - fabric.probes_carried_batched
+        )
+        assert ledger == len(seen) == 2
+
     def test_no_route_when_leaf_tier_down(self, fabric, dc):
         for leaf in dc.leaves_of(0):
             leaf.bring_down()

@@ -1,0 +1,305 @@
+"""The generation-stamped path cache: cached must always equal fresh.
+
+The router memoizes paths per ``(src, dst, ecmp_bucket)`` and drops the
+cache whenever the topology's ``StateVersion`` moves.  Everything here
+checks one contract: :meth:`Router.path` is indistinguishable from
+:meth:`Router.uncached_path` no matter what sequence of device flips,
+fault changes, and growth events happens in between.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.addressing import (
+    EPHEMERAL_PORT_MAX,
+    EPHEMERAL_PORT_MIN,
+    EphemeralPortAllocator,
+    FiveTuple,
+)
+from repro.netsim.fabric import Fabric
+from repro.netsim.faults import FaultInjector, SilentRandomDrop
+from repro.netsim.routing import NoRouteError, Router
+from repro.netsim.topology import MultiDCTopology, TopologySpec
+
+
+@pytest.fixture()
+def topo():
+    return MultiDCTopology.single(
+        TopologySpec(n_podsets=2, pods_per_podset=2, servers_per_pod=2, n_spines=4)
+    )
+
+
+@pytest.fixture()
+def router(topo):
+    return Router(topo)
+
+
+def _cross_podset_pair(topo):
+    dc = topo.dc(0)
+    return dc.servers_in_podset(0)[0], dc.servers_in_podset(1)[0]
+
+
+def _flow(src, dst, src_port=50_000, dst_port=81):
+    return FiveTuple(src.ip, src_port, dst.ip, dst_port)
+
+
+def _same_path(a, b) -> bool:
+    return (
+        a.scope == b.scope
+        and a.hop_ids() == b.hop_ids()
+        and a.wan_rtt == b.wan_rtt
+    )
+
+
+class TestCacheMechanics:
+    def test_second_lookup_is_a_hit(self, topo, router):
+        src, dst = _cross_podset_pair(topo)
+        flow = _flow(src, dst)
+        first = router.path(src, dst, flow)
+        second = router.path(src, dst, flow)
+        assert second is first
+        assert (router.cache_misses, router.cache_hits) == (1, 1)
+
+    def test_same_bucket_different_port_shares_the_entry(self, topo, router):
+        src, dst = _cross_podset_pair(topo)
+        ports = range(EPHEMERAL_PORT_MIN, EPHEMERAL_PORT_MIN + 200)
+        paths = {id(router.path(src, dst, _flow(src, dst, port))) for port in ports}
+        # Distinct ports land in a handful of buckets, each cached once.
+        assert router.cached_paths == len(paths)
+        assert router.cache_misses == len(paths)
+        assert router.cache_hits == 200 - len(paths)
+
+    def test_bucket_count_is_bounded_by_tier_sizes(self, topo, router):
+        src, dst = _cross_podset_pair(topo)
+        spec = topo.dc(0).spec
+        buckets = {
+            router.ecmp_bucket(src, dst, _flow(src, dst, port))
+            for port in range(EPHEMERAL_PORT_MIN, EPHEMERAL_PORT_MAX + 1)
+        }
+        cap = spec.leaves_per_podset * spec.n_spines * spec.leaves_per_podset
+        assert 1 <= len(buckets) <= cap
+
+    def test_port_wraparound_revisits_the_same_path_set(self, topo, router):
+        """Satellite: after 64k allocations the sweep repeats exactly.
+
+        The allocator's range is finite, so the ECMP bucket sweep is too:
+        the second full cycle of ports must reproduce the first cycle's
+        ports, buckets, and cached-path set with zero new cache misses.
+        """
+        src, dst = _cross_podset_pair(topo)
+        allocator = EphemeralPortAllocator()
+        n_ports = EPHEMERAL_PORT_MAX - EPHEMERAL_PORT_MIN + 1
+        first_cycle = [allocator.allocate() for _ in range(n_ports)]
+        second_cycle = [allocator.allocate() for _ in range(n_ports)]
+        assert second_cycle == first_cycle
+
+        sweep = first_cycle[::257]  # every 257th port keeps the test fast
+        first_paths = [
+            router.path(src, dst, _flow(src, dst, port)) for port in sweep
+        ]
+        misses = router.cache_misses
+        second_paths = [
+            router.path(src, dst, _flow(src, dst, port)) for port in sweep
+        ]
+        assert router.cache_misses == misses
+        assert all(a is b for a, b in zip(first_paths, second_paths))
+
+    def test_invalidate_clears_everything(self, topo, router):
+        src, dst = _cross_podset_pair(topo)
+        router.path(src, dst, _flow(src, dst))
+        router.invalidate()
+        assert router.cached_paths == 0
+
+
+class TestGenerationInvalidation:
+    def test_device_transition_drops_the_cache(self, topo, router):
+        src, dst = _cross_podset_pair(topo)
+        flow = _flow(src, dst)
+        stale = router.path(src, dst, flow)
+        spine = stale.hops[2]
+        spine.bring_down()
+        fresh = router.path(src, dst, flow)
+        assert spine.device_id not in fresh.hop_ids()
+        assert _same_path(fresh, router.uncached_path(src, dst, flow))
+
+    def test_down_up_flap_between_rounds(self, topo, router):
+        """Satellite edge: a flap must invalidate twice, not net out to zero."""
+        src, dst = _cross_podset_pair(topo)
+        flow = _flow(src, dst)
+        before = router.path(src, dst, flow)
+        spine = before.hops[2]
+        spine.bring_down()
+        while_down = router.path(src, dst, flow)
+        assert spine.device_id not in while_down.hop_ids()
+        spine.bring_up()
+        after = router.path(src, dst, flow)
+        assert _same_path(after, before)
+        assert _same_path(after, router.uncached_path(src, dst, flow))
+
+    def test_fault_changes_bump_without_changing_routes(self, topo, router):
+        src, dst = _cross_podset_pair(topo)
+        flow = _flow(src, dst)
+        injector = FaultInjector(state_version=topo.state_version)
+        before = router.path(src, dst, flow)
+        version = topo.state_version.value
+        fault = injector.inject(SilentRandomDrop(switch_id=before.hops[0].device_id))
+        assert topo.state_version.value == version + 1
+        misses = router.cache_misses
+        assert _same_path(router.path(src, dst, flow), before)
+        assert router.cache_misses == misses + 1  # the bump forced a rebuild
+        injector.clear(fault)
+        assert topo.state_version.value == version + 2
+
+    def test_add_podset_during_a_live_run(self, topo, router):
+        """Satellite edge: growth invalidates, and new servers route."""
+        src, dst = _cross_podset_pair(topo)
+        router.path(src, dst, _flow(src, dst))
+        new_servers = topo.dc(0).add_podset()
+        newcomer = new_servers[0]
+        flow = _flow(src, newcomer)
+        grown = router.path(src, newcomer, flow)
+        assert _same_path(grown, router.uncached_path(src, newcomer, flow))
+        # The old pair still matches fresh computation post-growth.
+        old_flow = _flow(src, dst)
+        assert _same_path(
+            router.path(src, dst, old_flow), router.uncached_path(src, dst, old_flow)
+        )
+
+    def test_reload_bumps_even_up_to_up(self, topo, router):
+        src, dst = _cross_podset_pair(topo)
+        router.path(src, dst, _flow(src, dst))
+        version = topo.state_version.value
+        topo.dc(0).spines[0].reload()
+        assert topo.state_version.value == version + 1
+
+
+class TestFastPathInvalidation:
+    """Satellite edges at the fabric level: no stale-route probe may
+    succeed through a withdrawn switch, whichever engine carried it."""
+
+    def _fabric(self):
+        return Fabric.single_dc(
+            TopologySpec(n_podsets=2, pods_per_podset=2, servers_per_pod=2, n_spines=4),
+            seed=11,
+        )
+
+    def test_fault_injected_mid_round_forces_scalar(self):
+        fabric = self._fabric()
+        dc = fabric.topology.dc(0)
+        src = dc.servers_in_podset(0)[0]
+        entries = [(s.device_id, 81, 0) for s in dc.servers_in_podset(1)]
+        fabric.probe_many(src, entries)  # warm the pair cache
+        for spine in dc.spines:
+            fabric.faults.inject(
+                SilentRandomDrop(switch_id=spine.device_id, drop_prob=1.0)
+            )
+        results = fabric.probe_many(src, entries)
+        # Every cross-podset path crosses a spine; a stale fast-path entry
+        # would sail through the blackhole and succeed.
+        assert all(not r.success for r in results)
+
+    def test_withdrawn_switch_never_appears_in_a_probe(self):
+        fabric = self._fabric()
+        dc = fabric.topology.dc(0)
+        src = dc.servers_in_podset(0)[0]
+        entries = [(s.device_id, 81, 0) for s in dc.servers_in_podset(1)]
+        fabric.probe_many(src, entries)  # warm the pair cache
+        withdrawn = dc.spines[0]
+        withdrawn.bring_down()
+        for t in (100.0, 200.0):
+            for result in fabric.probe_many(src, entries, t=t):
+                assert withdrawn.device_id not in result.forward_hops
+
+    def test_growth_during_a_live_run_reaches_new_servers(self):
+        fabric = self._fabric()
+        dc = fabric.topology.dc(0)
+        src = dc.servers_in_podset(0)[0]
+        entries = [(s.device_id, 81, 0) for s in dc.servers_in_podset(1)]
+        fabric.probe_many(src, entries)
+        new_servers = dc.add_podset()
+        grown_entries = entries + [(s.device_id, 81, 0) for s in new_servers[:4]]
+        results = fabric.probe_many(src, grown_entries, t=100.0)
+        assert all(r.success for r in results)
+
+
+# Operations the property test interleaves with path queries.  Each op
+# bumps (or should bump) the state version; correctness means cached and
+# fresh computation agree after every single one.
+_OPS = ("down", "up", "flap", "fault", "clear", "grow", "reload", "noop")
+
+
+class TestCachedEqualsFreshProperty:
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(_OPS), st.integers(0, 10_000)),
+            min_size=1,
+            max_size=10,
+        ),
+        probes=st.lists(
+            st.tuples(
+                st.integers(0, 10_000),
+                st.integers(0, 10_000),
+                st.integers(EPHEMERAL_PORT_MIN, EPHEMERAL_PORT_MAX),
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cached_path_equals_fresh_path(self, ops, probes):
+        """Across random fault/flap/growth sequences, path == uncached_path."""
+        topo = MultiDCTopology.single(
+            TopologySpec(
+                n_podsets=2, pods_per_podset=2, servers_per_pod=2, n_spines=3
+            )
+        )
+        router = Router(topo)
+        injector = FaultInjector(state_version=topo.state_version)
+        active_faults: list = []
+        dc = topo.dc(0)
+
+        def switch_pool():
+            pool = list(dc.tors) + list(dc.spines)
+            for podset in range(dc.spec.n_podsets):
+                pool.extend(dc.leaves_of(podset))
+            return pool
+
+        def check_probes():
+            servers = dc.servers
+            for i, j, port in probes:
+                src = servers[i % len(servers)]
+                dst = servers[j % len(servers)]
+                flow = FiveTuple(src.ip, port, dst.ip, 81)
+                try:
+                    cached = router.path(src, dst, flow)
+                except NoRouteError:
+                    with pytest.raises(NoRouteError):
+                        router.uncached_path(src, dst, flow)
+                    continue
+                assert _same_path(cached, router.uncached_path(src, dst, flow))
+
+        check_probes()
+        for op, pick in ops:
+            pool = switch_pool()
+            switch = pool[pick % len(pool)]
+            if op == "down":
+                switch.bring_down()
+            elif op == "up":
+                switch.bring_up()
+            elif op == "flap":
+                switch.bring_down()
+                switch.bring_up()
+            elif op == "fault":
+                active_faults.append(
+                    injector.inject(SilentRandomDrop(switch_id=switch.device_id))
+                )
+            elif op == "clear" and active_faults:
+                injector.clear(active_faults.pop(pick % len(active_faults)))
+            elif op == "grow" and dc.spec.n_podsets < 4:
+                dc.add_podset()
+            elif op == "reload":
+                switch.reload()
+            check_probes()
