@@ -14,7 +14,11 @@ must finish with zero invariant violations), then ``bench_chaos_overhead``
 ``fleet`` suite first runs the fast-path correctness tier (the path-cache
 property tests and the fast/scalar parity tests), then
 ``bench_fleet_round`` (the ≥5× fleet-round speedup gate), and writes
-``BENCH_fleet.json``.
+``BENCH_fleet.json``.  The ``stream`` suite first runs the streaming-plane
+correctness tier (sketch/aggregator/ingest/detector property tests and the
+batch-parity integration gate), then ``bench_stream`` (ingest throughput,
+the ≥50× detection-latency gate, constant sketch memory), and writes
+``BENCH_stream.json``.
 
 Each bench file carries its own hard assertions (e.g. the columnar path's
 ≥10× speedup gate), so the exit code is a pass/fail verdict, not just a
@@ -42,12 +46,21 @@ CHAOS_BENCHES = [
 FLEET_BENCHES = [
     "bench_fleet_round.py",
 ]
+STREAM_BENCHES = [
+    "bench_stream.py",
+]
 CHAOS_DRILL_TIER = ["tests/integration/test_chaos_drills.py"]
 # Correctness before speed: the fleet suite's bench numbers mean nothing
 # unless cached paths equal fresh paths and fast rounds match scalar rounds.
 FLEET_CORRECTNESS_TIER = [
     "tests/netsim/test_path_cache.py",
     "tests/core/test_fast_path_parity.py",
+]
+# Same rule for streaming: the latency gate means nothing unless the
+# sketches are accurate/mergeable and the plane agrees with batch.
+STREAM_CORRECTNESS_TIER = [
+    "tests/stream",
+    "tests/integration/test_stream_plane.py",
 ]
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -56,6 +69,7 @@ SUITES = {
     "dsa": (TIER1_BENCHES, "BENCH_dsa.json"),
     "chaos": (CHAOS_BENCHES, "BENCH_chaos.json"),
     "fleet": (FLEET_BENCHES, "BENCH_fleet.json"),
+    "stream": (STREAM_BENCHES, "BENCH_stream.json"),
 }
 
 
@@ -125,7 +139,11 @@ def run_suite(suite: str, output: Path | None) -> int:
     except OSError as err:
         print(f"cannot write {destination}: {err}", file=sys.stderr)
         return 2
-    gate_tiers = {"chaos": CHAOS_DRILL_TIER, "fleet": FLEET_CORRECTNESS_TIER}
+    gate_tiers = {
+        "chaos": CHAOS_DRILL_TIER,
+        "fleet": FLEET_CORRECTNESS_TIER,
+        "stream": STREAM_CORRECTNESS_TIER,
+    }
     tier = gate_tiers.get(suite)
     if tier is not None:
         tier_rc = run_test_tier(tier)

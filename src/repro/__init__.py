@@ -16,6 +16,7 @@ Packages:
 * :mod:`repro.netsim` — the simulated Clos data center network substrate.
 * :mod:`repro.cosmos` — the Cosmos/SCOPE storage+analysis substrate.
 * :mod:`repro.autopilot` — the Autopilot management-stack substrate.
+* :mod:`repro.stream` — the near-real-time streaming telemetry plane.
 * :mod:`repro.liveprobe` — a real-socket TCP/HTTP ping library (asyncio).
 """
 

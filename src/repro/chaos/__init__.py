@@ -29,6 +29,7 @@ from repro.chaos.actions import (
     PodsetPowerLoss,
     ReplicaFlap,
     ScenarioAction,
+    StreamIngestBlackout,
     VipBlackout,
 )
 from repro.chaos.campaign import CampaignReport, ChaosCampaign, PhaseReport
@@ -44,6 +45,7 @@ __all__ = [
     "PodsetPowerLoss",
     "ReplicaFlap",
     "ScenarioAction",
+    "StreamIngestBlackout",
     "VipBlackout",
     "CampaignReport",
     "ChaosCampaign",

@@ -23,6 +23,7 @@ __all__ = [
     "PodsetPowerLoss",
     "VipBlackout",
     "MemorySqueeze",
+    "StreamIngestBlackout",
 ]
 
 
@@ -227,3 +228,25 @@ class MemorySqueeze(ChaosAction):
     def end(self, system, t: float) -> None:
         for server_id, cap in self._saved_caps.items():
             system.agent_on(server_id).memory_cap_mb = cap
+
+
+class StreamIngestBlackout(ChaosAction):
+    """Every replica behind the stream-ingest VIP goes out of rotation.
+
+    The streaming plane must fail closed: deltas flushed during the window
+    are dropped *and counted* (never buffered unboundedly, never silently
+    lost), the ``stream-ingesting`` watchdog must reach ERROR, the batch
+    plane keeps working untouched, and ingest must resume the moment the
+    replicas return.
+    """
+
+    name = "stream-ingest-blackout"
+    expected_watchdog = "stream-ingesting"
+
+    def start(self, system, t: float) -> None:
+        if system.stream is None:
+            raise RuntimeError("system has no streaming plane to black out")
+        system.stream.fail_ingest_replica()
+
+    def end(self, system, t: float) -> None:
+        system.stream.recover_ingest_replica()

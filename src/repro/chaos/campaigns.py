@@ -26,6 +26,11 @@ campaign               claim under test
                        window: VIP failures are measured (not suppressed),
                        black-holed windows never report a clean drop rate,
                        and any repair filed targets an implicated device.
+``stream-blackout``    streaming plane — the ingest VIP goes fully dark:
+                       deltas are dropped *and counted* (fail closed), the
+                       ``stream-ingesting`` watchdog trips, conservation
+                       and the batch plane hold throughout, and ingest
+                       resumes when the replicas return.
 =====================  ====================================================
 
 Every campaign builds its own small deterministic system; drive them via
@@ -45,6 +50,7 @@ from repro.chaos.actions import (
     PodsetPowerLoss,
     ReplicaFlap,
     ScenarioAction,
+    StreamIngestBlackout,
     VipBlackout,
 )
 from repro.chaos.campaign import CampaignReport, ChaosCampaign
@@ -162,6 +168,13 @@ def _blackhole_vip_dark(seed: int, check_mode: str):
     return system, campaign
 
 
+def _stream_blackout(seed: int, check_mode: str):
+    system = _system(seed)
+    campaign = ChaosCampaign(system, name="stream-blackout", check_mode=check_mode)
+    campaign.add(StreamIngestBlackout(), start_t=180.0, end_t=480.0)
+    return system, campaign
+
+
 CAMPAIGNS: dict[str, CannedCampaign] = {
     canned.name: canned
     for canned in (
@@ -208,6 +221,13 @@ CAMPAIGNS: dict[str, CannedCampaign] = {
             description="ToR black-hole + dark VIP window, honest drop rates",
             build=_blackhole_vip_dark,
             duration_s=780.0,
+        ),
+        CannedCampaign(
+            name="stream-blackout",
+            description="ingest VIP dark: stream plane fails closed, recovers",
+            build=_stream_blackout,
+            duration_s=720.0,
+            phase_s=120.0,
         ),
     )
 }

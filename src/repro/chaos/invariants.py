@@ -34,6 +34,16 @@ invariant                    claim
                              seen by the per-probe observers — neither the
                              scalar engine nor the ``probe_many`` fast path
                              may lose or invent probes.
+``stream-delta-conservation``  every probe folded into the streaming plane
+                             is in exactly one emitted delta or still
+                             pending, and every emitted probe was ingested,
+                             dropped (VIP dark — counted), or rejected
+                             (straggler — counted).  Nothing double-counted,
+                             nothing silently lost.
+``stream-freshness``         when the ingest VIP is healthy and deltas were
+                             emitted since the last check, ingest must have
+                             advanced — detection latency stays bounded
+                             whenever the plane *can* ingest.
 ===========================  ==============================================
 
 The checker registers on ``fabric.probe_observers`` — the fabric reports
@@ -106,6 +116,9 @@ class InvariantChecker:
         self._repairs_checked = 0
         self._attached = False
         self._ledger_baseline = (0, 0, 0, 0)
+        # (emitted, ingested, dropped, rejected) at the previous phase
+        # check — the freshness invariant reasons about the delta since.
+        self._stream_baseline = (0, 0, 0, 0)
 
     # -- probe-path hook ---------------------------------------------------
 
@@ -268,7 +281,67 @@ class InvariantChecker:
         self._check_repair_ground_truth(now)
         self._check_sla_ground_truth(now)
         self._check_probe_conservation(now)
+        self._check_stream_plane(now)
         return self.violations[before:]
+
+    def _check_stream_plane(self, now: float) -> None:
+        """Streaming-plane conservation and freshness (see the catalogue)."""
+        stream = getattr(self.system, "stream", None)
+        if stream is None:
+            return
+        ledger = stream.conservation()
+        folded = ledger["probes_folded"]
+        emitted = ledger["probes_emitted"]
+        pending = ledger["probes_pending"]
+        if folded != emitted + pending:
+            self._violate(
+                now,
+                "stream-delta-conservation",
+                f"{folded} probes folded but {emitted} emitted + "
+                f"{pending} pending",
+            )
+        accounted = (
+            ledger["probes_ingested"]
+            + ledger["probes_dropped"]
+            + ledger["probes_rejected"]
+        )
+        if emitted != accounted:
+            self._violate(
+                now,
+                "stream-delta-conservation",
+                f"{emitted} probes emitted but {ledger['probes_ingested']} "
+                f"ingested + {ledger['probes_dropped']} dropped + "
+                f"{ledger['probes_rejected']} rejected = {accounted}",
+            )
+        base_emitted, base_ingested, base_dropped, base_rejected = (
+            self._stream_baseline
+        )
+        emitted_since = emitted - base_emitted
+        ingested_since = ledger["probes_ingested"] - base_ingested
+        dropped_since = ledger["probes_dropped"] - base_dropped
+        rejected_since = ledger["probes_rejected"] - base_rejected
+        # Freshness: a healthy VIP with fresh emissions (none of which were
+        # dropped or rejected) must have ingested something — otherwise the
+        # plane is stalled and its seconds-level detection promise is void.
+        if (
+            not stream.vip_dark
+            and emitted_since > 0
+            and dropped_since == 0
+            and rejected_since == 0
+            and ingested_since <= 0
+        ):
+            self._violate(
+                now,
+                "stream-freshness",
+                f"ingest VIP healthy and {emitted_since} probes emitted "
+                f"since the last check, but none ingested",
+            )
+        self._stream_baseline = (
+            emitted,
+            ledger["probes_ingested"],
+            ledger["probes_dropped"],
+            ledger["probes_rejected"],
+        )
 
     def _check_probe_conservation(self, now: float) -> None:
         """The fabric's probe ledger must match what the observers saw.

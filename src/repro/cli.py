@@ -10,6 +10,8 @@ Commands:
 * ``serve`` — run a probe responder so a remote ``probe`` has a target.
 * ``chaos`` — run canned chaos drills (scripted fault campaigns with
   always-on invariants); exits nonzero if any invariant was violated.
+* ``stream`` — streaming-plane demo: inject a fault mid-run and print the
+  per-plane detection timeline plus live per-class latency quantiles.
 """
 
 from __future__ import annotations
@@ -78,6 +80,25 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("phase", "step"),
         default="phase",
         help="invariant cadence: at phase boundaries, or after every event",
+    )
+
+    stream = sub.add_parser(
+        "stream", help="streaming-plane demo: fault injection + alert timeline"
+    )
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument(
+        "--scenario",
+        default="tor-blackhole",
+        help="incident scenario to inject (see `scenarios`)",
+    )
+    stream.add_argument(
+        "--scenario-at",
+        type=float,
+        default=300.0,
+        help="simulated seconds before the scenario is injected",
+    )
+    stream.add_argument(
+        "--minutes", type=float, default=20.0, help="simulated minutes"
     )
 
     return parser
@@ -223,6 +244,97 @@ def _cmd_chaos(args) -> int:
     return 0 if dirty == 0 else 1
 
 
+def _cmd_stream(args) -> int:
+    from repro.core.agent.agent import AgentConfig
+    from repro.core.dsa.pipeline import DsaConfig
+    from repro.core.system import PingmeshSystem, PingmeshSystemConfig
+    from repro.netsim.scenarios import SCENARIOS, apply_scenario
+    from repro.netsim.topology import TopologySpec
+
+    if args.scenario not in SCENARIOS:
+        print(f"unknown scenario {args.scenario!r}; known: {sorted(SCENARIOS)}")
+        return 2
+
+    spec = TopologySpec(n_podsets=2, pods_per_podset=2, servers_per_pod=4)
+    system = PingmeshSystem(
+        PingmeshSystemConfig(
+            specs=(spec,),
+            seed=args.seed,
+            dsa=DsaConfig(ingestion_delay_s=0.0, near_real_time_period_s=600.0),
+            agent=AgentConfig(upload_period_s=120.0),
+        )
+    )
+    total = args.minutes * 60.0
+    print(
+        f"simulating {spec.n_servers} servers for {args.minutes:.0f} min; "
+        f"stream window {system.config.stream.window_s:.0f}s vs batch "
+        f"window {system.config.dsa.near_real_time_period_s:.0f}s"
+    )
+    system.run_for(min(args.scenario_at, total))
+    if args.scenario_at < total:
+        scenario = apply_scenario(args.scenario, system.fabric)
+        print(
+            f"[t={system.clock.now:7.1f}s] injected: "
+            f"{scenario.name} — {scenario.description}"
+        )
+        system.run_for(total - args.scenario_at)
+
+    print("\n-- alert timeline (episodes) --")
+    if not system.alerts():
+        print("(no alerts fired)")
+    for alert in system.alerts():
+        latency = (
+            f"  [{alert.t - args.scenario_at:+.1f}s after injection]"
+            if args.scenario_at < total and alert.event == "breach"
+            else ""
+        )
+        print(
+            f"[t={alert.t:7.1f}s] {alert.event:8s} {alert.plane:6s} "
+            f"{alert.scope}={alert.key} {alert.metric}="
+            f"{alert.value:.6g} (threshold {alert.threshold:.6g}){latency}"
+        )
+
+    stream = system.stream
+    print("\n-- streaming rollup: last 60 s, per probe class --")
+    starts = stream.ingest.latest_windows(
+        max(1, int(60.0 / stream.config.window_s))
+    )
+    per_class: dict = {}
+    for start in starts:
+        for (_dc, _podset, _pod, cls), stats in stream.ingest.window(
+            start
+        ).items():
+            into = per_class.get(cls)
+            if into is None:
+                per_class[cls] = stats.copy()
+            else:
+                into.merge(stats.copy())
+    print(f"{'class':12s} {'probes':>7s} {'drop':>9s} {'p50':>9s} {'p99':>9s}")
+    for cls, stats in sorted(per_class.items()):
+        p50, p99 = stats.quantile_us(50.0), stats.quantile_us(99.0)
+        print(
+            f"{cls:12s} {stats.probes:7d} {stats.drop_rate():9.5f} "
+            f"{(f'{p50:8.0f}u' if p50 is not None else '       -'):>9s} "
+            f"{(f'{p99:8.0f}u' if p99 is not None else '       -'):>9s}"
+        )
+
+    candidates = stream.blackhole_feed.candidates
+    print(f"\nstreaming black-hole candidates: {len(candidates)}")
+    for candidate in candidates:
+        print(
+            f"[t={candidate.t:7.1f}s] {candidate.tor_key} "
+            f"({candidate.failed} failed probes)"
+        )
+    ledger = stream.conservation()
+    print(
+        f"\nconservation: folded={ledger['probes_folded']} "
+        f"= ingested {ledger['probes_ingested']} + pending "
+        f"{ledger['probes_pending']} + dropped {ledger['probes_dropped']} "
+        f"+ rejected {ledger['probes_rejected']}"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -231,6 +343,7 @@ def main(argv: list[str] | None = None) -> int:
         "probe": _cmd_probe,
         "serve": _cmd_serve,
         "chaos": _cmd_chaos,
+        "stream": _cmd_stream,
     }
     return handlers[args.command](args)
 

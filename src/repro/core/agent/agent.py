@@ -59,6 +59,7 @@ class AgentConfig:
     base_memory_mb: float = 24.0  # code + runtime footprint
     memory_per_record_kb: float = 0.25  # buffered upload record
     memory_per_sample_bytes: float = 16.0  # reservoir sample
+    memory_per_sketch_bucket_bytes: float = 16.0  # streaming sketch bucket
 
     def __post_init__(self) -> None:
         if self.pinglist_refresh_s <= 0:
@@ -78,6 +79,7 @@ class PingmeshAgent(SharedService):
         uploader: ResultUploader,
         config: AgentConfig | None = None,
         vip_resolver: Callable[[str], str | None] | None = None,
+        stream_aggregator=None,
     ) -> None:
         self.config = config or AgentConfig()
         super().__init__(
@@ -90,6 +92,9 @@ class PingmeshAgent(SharedService):
         self.controller = controller
         self.uploader = uploader
         self.vip_resolver = vip_resolver
+        # Optional streaming plane tap: a repro.stream.StreamAggregator fed
+        # every probe outcome alongside counters/uploader.
+        self.stream_aggregator = stream_aggregator
         self.safety = SafetyGuard()
         # Seed per server so fleets are reproducible but not identical.
         seed = sum(server_id.encode()) % 100_000
@@ -182,6 +187,8 @@ class PingmeshAgent(SharedService):
             # VIP monitoring exists to make (§6.2).
             self.counters.add(False, 0.0)
             self.uploader.add(self._vip_down_record(entry, t))
+            if self.stream_aggregator is not None:
+                self.stream_aggregator.observe(t, "vip", False, 0.0)
             return 1
         payload = self.safety.clamp_payload(entry.payload_bytes)
         dst_port = self.pinglist.parameters.port_for(entry.qos, entry.purpose)
@@ -194,6 +201,10 @@ class PingmeshAgent(SharedService):
                 self.fabric.topology, result, purpose=entry.purpose, qos=entry.qos
             )
         )
+        if self.stream_aggregator is not None:
+            self.stream_aggregator.observe(
+                t, "vip", result.success, result.rtt_s * 1e6
+            )
         return 1
 
     def _run_probe_round_scalar(self, t: float) -> int:
@@ -215,6 +226,10 @@ class PingmeshAgent(SharedService):
                     self.fabric.topology, result, purpose=entry.purpose, qos=entry.qos
                 )
             )
+            if self.stream_aggregator is not None:
+                self.stream_aggregator.observe(
+                    t, entry.purpose, result.success, result.rtt_s * 1e6
+                )
             launched += 1
         return launched
 
@@ -256,6 +271,14 @@ class PingmeshAgent(SharedService):
         if probe_entries:
             results = self.fabric.probe_many(self.server_id, probe_entries, t=t)
             self.counters.add_many((r.success, r.rtt_s) for r in results)
+            if self.stream_aggregator is not None:
+                self.stream_aggregator.observe_round(
+                    t,
+                    (
+                        (purpose, result.success, result.rtt_s * 1e6)
+                        for result, (purpose, _qos) in zip(results, tags)
+                    ),
+                )
             self.uploader.add_many(
                 make_records(
                     self.fabric.topology,
@@ -309,6 +332,12 @@ class PingmeshAgent(SharedService):
             + self.counters.memory_samples * config.memory_per_sample_bytes / 1e6
             + self.uploader.local_log_bytes / 1e6
         )
+        if self.stream_aggregator is not None:
+            memory_mb += (
+                self.stream_aggregator.memory_buckets
+                * config.memory_per_sketch_bucket_bytes
+                / 1e6
+            )
         self.charge(
             cpu_seconds=probes * config.cpu_per_probe_s,
             memory_mb=memory_mb,

@@ -1,10 +1,19 @@
-"""Threshold alerting on network SLA (§4.3).
+"""Threshold alerting on network SLA (§4.3), with episode semantics.
 
 "We currently use a simple threshold based approach for network SLA
 violation detection.  If the packet drop rate is greater than 10⁻³ or the
 99th percentile latency is larger than 5 ms, we will categorize this as a
 network problem and fire alerts.  10⁻³ and 5 ms are much larger than the
 normal values."
+
+A persistent violation is one *episode*, not one alert per evaluation
+window: the engine fires a single ``breach`` event when a (scope, key,
+metric) first violates, tracks it in ``active_episodes``, and emits a
+paired ``recovery`` event when the same series is next observed healthy.
+Both the batch DSA plane and the streaming plane report through the same
+episode table, so whichever plane sees a violation first owns the breach
+event (its ``plane`` tag records the race winner) and the other plane
+will not duplicate it.
 """
 
 from __future__ import annotations
@@ -33,14 +42,17 @@ class SlaThresholds:
 
 @dataclass(frozen=True)
 class Alert:
-    """One fired SLA violation."""
+    """One alert event: the start (``breach``) or end (``recovery``) of an
+    SLA-violation episode, tagged with the plane that observed it."""
 
     t: float
     scope: str
     key: str
-    metric: str  # "drop_rate" | "p99_us"
+    metric: str  # "drop_rate" | "p99_us" | "failure_rate" | "p50_drift_us"
     value: float
     threshold: float
+    event: str = "breach"  # "breach" | "recovery"
+    plane: str = "batch"  # "batch" | "stream"
 
     def as_row(self) -> dict:
         return {
@@ -50,54 +62,121 @@ class Alert:
             "metric": self.metric,
             "value": self.value,
             "threshold": self.threshold,
+            "event": self.event,
+            "plane": self.plane,
         }
 
 
 class AlertEngine:
-    """Evaluates SLAs against thresholds and keeps the alert history."""
+    """Evaluates SLAs against thresholds and keeps the episode history."""
 
     def __init__(self, thresholds: SlaThresholds | None = None) -> None:
         self.thresholds = thresholds or SlaThresholds()
         self.history: list[Alert] = []
+        # (scope, key, metric) -> the breach Alert that opened the episode.
+        self.active_episodes: dict[tuple[str, str, str], Alert] = {}
 
-    def evaluate(self, slas: list[NetworkSla]) -> list[Alert]:
-        """Fire alerts for violating SLAs; returns the new alerts."""
+    # -- episode machinery -------------------------------------------------
+
+    def update_episode(
+        self,
+        t: float,
+        scope: str,
+        key: str,
+        metric: str,
+        value: float,
+        threshold: float,
+        violated: bool,
+        plane: str = "batch",
+    ) -> Alert | None:
+        """Report one observation of a series; returns the event it fires.
+
+        A violated observation opens an episode (fires ``breach``) unless
+        one is already open; a healthy observation closes an open episode
+        (fires ``recovery``).  Everything else is a no-op — callers may
+        re-report the same state every window without duplicate alerts.
+        """
+        episode_key = (scope, key, metric)
+        active = self.active_episodes.get(episode_key)
+        if violated:
+            if active is not None:
+                return None
+            alert = Alert(t, scope, key, metric, value, threshold, "breach", plane)
+            self.active_episodes[episode_key] = alert
+            self.history.append(alert)
+            return alert
+        if active is None:
+            return None
+        del self.active_episodes[episode_key]
+        alert = Alert(t, scope, key, metric, value, threshold, "recovery", plane)
+        self.history.append(alert)
+        return alert
+
+    # -- batch-plane evaluation --------------------------------------------
+
+    def _violations(self, sla: NetworkSla) -> list[tuple[str, float, float]]:
+        """The pure §4.3 check: (metric, value, threshold) per violation."""
+        found: list[tuple[str, float, float]] = []
+        if sla.probe_count < self.thresholds.min_probe_count:
+            return found
+        if sla.drop_rate > self.thresholds.max_drop_rate:
+            found.append(("drop_rate", sla.drop_rate, self.thresholds.max_drop_rate))
+        if sla.p99_us is not None and sla.p99_us > self.thresholds.max_p99_us:
+            found.append(("p99_us", sla.p99_us, self.thresholds.max_p99_us))
+        return found
+
+    def evaluate(self, slas: list[NetworkSla], plane: str = "batch") -> list[Alert]:
+        """Fold a batch of SLA windows into the episode table.
+
+        Returns only the *events* this batch fired: new breaches and new
+        recoveries.  A violation that persists across windows fires once.
+        """
         fired: list[Alert] = []
         for sla in slas:
             if sla.probe_count < self.thresholds.min_probe_count:
                 continue
-            if sla.drop_rate > self.thresholds.max_drop_rate:
-                fired.append(
-                    Alert(
-                        t=sla.window_end,
-                        scope=sla.scope.value,
-                        key=sla.key,
-                        metric="drop_rate",
-                        value=sla.drop_rate,
-                        threshold=self.thresholds.max_drop_rate,
-                    )
+            alert = self.update_episode(
+                t=sla.window_end,
+                scope=sla.scope.value,
+                key=sla.key,
+                metric="drop_rate",
+                value=sla.drop_rate,
+                threshold=self.thresholds.max_drop_rate,
+                violated=sla.drop_rate > self.thresholds.max_drop_rate,
+                plane=plane,
+            )
+            if alert is not None:
+                fired.append(alert)
+            if sla.p99_us is not None:
+                alert = self.update_episode(
+                    t=sla.window_end,
+                    scope=sla.scope.value,
+                    key=sla.key,
+                    metric="p99_us",
+                    value=sla.p99_us,
+                    threshold=self.thresholds.max_p99_us,
+                    violated=sla.p99_us > self.thresholds.max_p99_us,
+                    plane=plane,
                 )
-            if sla.p99_us is not None and sla.p99_us > self.thresholds.max_p99_us:
-                fired.append(
-                    Alert(
-                        t=sla.window_end,
-                        scope=sla.scope.value,
-                        key=sla.key,
-                        metric="p99_us",
-                        value=sla.p99_us,
-                        threshold=self.thresholds.max_p99_us,
-                    )
-                )
-        self.history.extend(fired)
+                if alert is not None:
+                    fired.append(alert)
         return fired
+
+    # -- queries -----------------------------------------------------------
 
     def alerts_for(self, key: str) -> list[Alert]:
         return [alert for alert in self.history if alert.key == key]
+
+    def breaches(self) -> list[Alert]:
+        return [alert for alert in self.history if alert.event == "breach"]
 
     def is_network_issue(self, slas: list[NetworkSla]) -> bool:
         """The §4.3 question: "Is it a network issue?"
 
         "If Pingmesh data does not indicate a network problem, then the
         live-site incident is not caused by the network."
+
+        A pure check against the thresholds — episode deduplication must
+        not make a still-burning violation read as "no issue".
         """
-        return bool(self.evaluate(slas))
+        return any(self._violations(sla) for sla in slas)

@@ -51,6 +51,8 @@ class SilentDropDetector:
         max_traceroute_pairs: int = 8,
         traceroute_probes_per_hop: int = 200,
         traceroute_ports_per_pair: int = 4,
+        max_pair_loss_ratio: float = 0.5,
+        deterministic_loss_floor: float = 0.9,
     ) -> None:
         if incident_drop_rate <= 0:
             raise ValueError(f"incident threshold must be positive: {incident_drop_rate}")
@@ -60,7 +62,17 @@ class SilentDropDetector:
             raise ValueError(
                 f"need at least one port per pair: {traceroute_ports_per_pair}"
             )
+        if not 0.0 < max_pair_loss_ratio <= 1.0:
+            raise ValueError(
+                f"loss ratio must be in (0, 1]: {max_pair_loss_ratio}"
+            )
+        if not 0.0 < deterministic_loss_floor <= 1.0:
+            raise ValueError(
+                f"loss floor must be in (0, 1]: {deterministic_loss_floor}"
+            )
         self.incident_drop_rate = incident_drop_rate
+        self.max_pair_loss_ratio = max_pair_loss_ratio
+        self.deterministic_loss_floor = deterministic_loss_floor
         self.max_traceroute_pairs = max_traceroute_pairs
         self.traceroute_probes_per_hop = traceroute_probes_per_hop
         self.traceroute_ports_per_pair = traceroute_ports_per_pair
@@ -110,8 +122,17 @@ class SilentDropDetector:
         return "unknown"
 
     def _affected_pairs(self, rows: list[Row]) -> list[tuple[str, str]]:
-        """Pairs with the most retransmission/drop evidence, worst first."""
-        evidence: dict[tuple[str, str], int] = {}
+        """Pairs with the most retransmission/drop evidence, worst first.
+
+        Only *partially* lossy pairs qualify — the paper's operators traced
+        pairs "that experienced around 1%-2% random packet drops", i.e.
+        pairs that still mostly succeed.  A pair whose every probe fails or
+        carries a retransmit signature is deterministic loss: that is the
+        §5.1 black-hole detector's jurisdiction (reload, not RMA), and
+        tracerouting it here would let the silent-drop watch RMA-isolate a
+        reload-fixable switch.
+        """
+        evidence: dict[tuple[str, str], tuple[int, int, int]] = {}
         for row in rows:
             if row.get("purpose") == "vip":
                 continue  # VIP targets are logical; traceroute needs hosts
@@ -120,11 +141,18 @@ class SilentDropDetector:
                 weight = 1
             elif row["syn_drops"] > 0 or row["rtt_us"] >= 2.5e6:
                 weight = 2  # a measured retransmit signature is strong signal
-            if weight:
-                pair = (row["src"], row["dst"])
-                evidence[pair] = evidence.get(pair, 0) + weight
-        ranked = sorted(evidence.items(), key=lambda item: (-item[1], item[0]))
-        return [pair for pair, _count in ranked[: self.max_traceroute_pairs]]
+            pair = (row["src"], row["dst"])
+            score, bad, probes = evidence.get(pair, (0, 0, 0))
+            evidence[pair] = (score + weight, bad + (1 if weight else 0), probes + 1)
+        ranked = sorted(
+            (
+                (pair, score)
+                for pair, (score, bad, probes) in evidence.items()
+                if score and bad <= self.max_pair_loss_ratio * probes
+            ),
+            key=lambda item: (-item[1], item[0]),
+        )
+        return [pair for pair, _score in ranked[: self.max_traceroute_pairs]]
 
     # -- step 3: localize via traceroute ----------------------------------------------
 
@@ -150,8 +178,24 @@ class SilentDropDetector:
                 except (KeyError, TypeError):
                     break  # endpoint no longer resolvable (decommissioned?)
                 suspect = localize_drop(result)
-                if suspect is not None:
-                    votes[suspect] = votes.get(suspect, 0) + 1
+                if suspect is None:
+                    continue
+                loss = next(
+                    (
+                        hop.loss_rate
+                        for hop in result.hops
+                        if hop.device_id == suspect
+                    ),
+                    0.0,
+                )
+                if loss >= self.deterministic_loss_floor:
+                    # The hop kills (nearly) every probe of this flow: that
+                    # is deterministic loss — a black-hole, reload-fixable —
+                    # not the random 1%-2% dropper this playbook hunts.
+                    # Voting here would RMA-isolate a switch §5.1's
+                    # detector would have repaired with a reload.
+                    continue
+                votes[suspect] = votes.get(suspect, 0) + 1
         incident.traceroute_votes = votes
         if not votes:
             return None

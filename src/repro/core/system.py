@@ -34,6 +34,7 @@ from repro.cosmos.jobs import JobManager
 from repro.cosmos.store import CosmosStore
 from repro.netsim.fabric import Fabric
 from repro.netsim.topology import MultiDCTopology, TopologySpec
+from repro.stream.plane import StreamConfig, StreamPlane
 
 __all__ = ["PingmeshSystemConfig", "PingmeshSystem"]
 
@@ -47,6 +48,7 @@ class PingmeshSystemConfig:
     generator: GeneratorConfig = field(default_factory=GeneratorConfig)
     agent: AgentConfig = field(default_factory=AgentConfig)
     dsa: DsaConfig = field(default_factory=DsaConfig)
+    stream: StreamConfig = field(default_factory=StreamConfig)
     thresholds: SlaThresholds = field(default_factory=SlaThresholds)
     n_controller_replicas: int = 2
     services: tuple[ServiceDefinition, ...] = ()
@@ -94,6 +96,14 @@ class PingmeshSystem:
 
         self.sla_tracker = SlaTracker(self.config.services)
         self.alert_engine = AlertEngine(self.config.thresholds)
+        # The streaming plane shares the batch plane's AlertEngine so both
+        # report into one episode table (whichever plane detects first owns
+        # the breach event).
+        self.stream: StreamPlane | None = (
+            StreamPlane(self.config.stream, self.alert_engine, self.topology)
+            if self.config.stream.enabled
+            else None
+        )
         self.job_manager = JobManager(self.queue)
         self.dsa = DsaPipeline(
             store=self.store,
@@ -153,6 +163,11 @@ class PingmeshSystem:
                 uploader,
                 config=self.config.agent,
                 vip_resolver=vip_resolver,
+                stream_aggregator=(
+                    self.stream.aggregator_for(server_id)
+                    if self.stream is not None
+                    else None
+                ),
             )
 
         return factory
@@ -179,6 +194,10 @@ class PingmeshSystem:
         self.queue.schedule_after(
             self.config.repair_poll_period_s, self._repair_tick, name="repair-tick"
         )
+        if self.stream is not None:
+            self.queue.schedule_after(
+                self.config.stream.window_s, self._stream_tick, name="stream-tick"
+            )
 
         # Initial pinglist fetch + per-agent schedules.
         interval = self._round_interval()
@@ -237,6 +256,13 @@ class PingmeshSystem:
             self.config.repair_poll_period_s, self._repair_tick, name="repair-tick"
         )
 
+    def _stream_tick(self) -> None:
+        """One streaming-plane cycle: flush deltas, ingest, detect."""
+        self.stream.tick(self.clock.now)
+        self.queue.schedule_after(
+            self.config.stream.window_s, self._stream_tick, name="stream-tick"
+        )
+
     def _register_watchdogs(self) -> None:
         """The §3.5 watchdogs: pinglists, budgets, data flow, SLA freshness."""
 
@@ -278,11 +304,26 @@ class PingmeshSystem:
                 return HealthStatus.ERROR, f"hourly SLA stale by {age:.0f}s"
             return HealthStatus.OK, ""
 
+        def stream_ingesting():
+            stream = self.stream
+            if stream.vip_dark:
+                return (
+                    HealthStatus.ERROR,
+                    f"ingest VIP {stream.config.ingest_vip} dark: "
+                    f"{stream.deltas_dropped} delta(s) dropped",
+                )
+            return (
+                HealthStatus.OK,
+                f"{stream.deltas_delivered} deltas ingested",
+            )
+
         watchdogs = self.env.watchdogs
         watchdogs.register("pinglists-generated", pinglists_generated)
         watchdogs.register("agents-within-budget", agents_within_budget)
         watchdogs.register("data-reported", data_reported)
         watchdogs.register("sla-timely", sla_timely)
+        if self.stream is not None:
+            watchdogs.register("stream-ingesting", stream_ingesting)
 
     # -- operation -------------------------------------------------------------
 

@@ -230,6 +230,7 @@ class FaultInjector:
     def __init__(self, state_version=None) -> None:
         self._by_switch: dict[str, list[Fault]] = {}
         self._by_id: dict[int, Fault] = {}
+        self._next_id = itertools.count(1)
         self.state_version = state_version
 
     def _bump(self) -> None:
@@ -237,7 +238,15 @@ class FaultInjector:
             self.state_version.bump()
 
     def inject(self, fault: Fault) -> Fault:
-        """Activate a fault; returns it for later :meth:`clear`."""
+        """Activate a fault; returns it for later :meth:`clear`.
+
+        The injector owns the fault's identity: ``fault_id`` is reassigned
+        from this injector's own sequence, so the salted drop-membership
+        hashes of the black-hole faults depend only on injection order
+        within this fabric — never on how many faults the process happened
+        to construct before (same seed, same run, any test ordering).
+        """
+        fault.fault_id = next(self._next_id)
         self._by_switch.setdefault(fault.switch_id, []).append(fault)
         self._by_id[fault.fault_id] = fault
         self._bump()

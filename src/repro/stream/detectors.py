@@ -1,0 +1,302 @@
+"""Online detectors over the streaming merge tree.
+
+Three detectors run on every plane tick, each reading rollups from the
+:class:`~repro.stream.ingest.StreamIngestService` and reporting through the
+shared :class:`~repro.core.dsa.alerts.AlertEngine` episode machinery with
+``plane="stream"``:
+
+* :class:`StreamSlaDetector` — the §4.3 thresholds (the *same*
+  :class:`~repro.core.dsa.alerts.SlaThresholds` object the batch plane
+  uses), evaluated per DC over the last few sub-windows instead of a
+  10-minute batch window.  The shared metrics (``drop_rate``, ``p99_us``)
+  use the *same definitions* as the batch SLA — ``drop_rate`` is the §4.2
+  signature heuristic over successful probes — so both planes agree on
+  one episode and never ping-pong it open/closed.  Outright connection
+  failures (which §4.2 deliberately excludes: a dead receiver is not a
+  network drop) get the stream-only metric ``failure_rate``, judged
+  against the same threshold with its own episodes.
+* :class:`EwmaDriftDetector` — flags sustained median-latency drift
+  against an exponentially-weighted baseline, catching degradations that
+  stay under the hard P99 threshold.
+* :class:`StreamBlackholeFeed` — surfaces pods that have gone all-failure
+  while their DC still carries traffic, as *candidates* for the batch
+  black-hole verifier.  The batch plane stays authoritative: candidates
+  are confirmed or dismissed against the daily
+  :class:`~repro.core.dsa.blackhole.BlackholeReport`.
+
+Tiny sub-windows are noisy — a single TCP retransmission in a ~200-probe
+window is already past the paper's 1e-3 drop threshold.  The SLA detector
+therefore (a) merges the last ``eval_windows`` sub-windows before judging,
+(b) demands ``min_drop_events`` independent dropped-connection events for
+a drop-rate breach, and (c) applies the same ``min_probe_count`` floor as
+batch.  The drift detector requires a warm-up period, a k-sigma *and*
+relative excursion, and two consecutive drifted windows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.dsa.alerts import Alert, AlertEngine, SlaThresholds
+from repro.core.dsa.sla import SlaScope
+
+__all__ = [
+    "StreamSlaDetector",
+    "EwmaDriftDetector",
+    "StreamBlackholeCandidate",
+    "StreamBlackholeFeed",
+]
+
+
+class StreamSlaDetector:
+    """§4.3 thresholds per DC, at sub-window cadence, with noise guards."""
+
+    def __init__(
+        self,
+        alert_engine: AlertEngine,
+        thresholds: SlaThresholds | None = None,
+        eval_windows: int = 3,
+        min_drop_events: int = 3,
+        min_p99_samples: int = 200,
+    ) -> None:
+        if eval_windows < 1:
+            raise ValueError(f"eval_windows must be >= 1: {eval_windows}")
+        self.alert_engine = alert_engine
+        self.thresholds = thresholds or alert_engine.thresholds
+        self.eval_windows = eval_windows
+        self.min_drop_events = min_drop_events
+        self.min_p99_samples = min_p99_samples
+
+    def _judge(
+        self,
+        t: float,
+        key: str,
+        metric: str,
+        value: float,
+        threshold: float,
+        evidence: int,
+    ) -> Alert | None:
+        """Breach/hold/recover one metric with the evidence guard.
+
+        A breach needs ``min_drop_events`` independent corroborating
+        events, not one unlucky retransmission in a tiny window; over the
+        threshold but under the evidence floor the episode is held as-is.
+        """
+        scope = SlaScope.DATACENTER.value
+        if value > threshold:
+            if evidence >= self.min_drop_events:
+                return self.alert_engine.update_episode(
+                    t, scope, key, metric, value, threshold, True,
+                    plane="stream",
+                )
+            return None
+        return self.alert_engine.update_episode(
+            t, scope, key, metric, value, threshold, False, plane="stream"
+        )
+
+    def evaluate(self, t: float, ingest) -> list[Alert]:
+        """Judge each DC on the merge of the newest ``eval_windows``."""
+        thresholds = self.thresholds
+        starts = ingest.latest_windows(self.eval_windows)
+        fired: list[Alert] = []
+        for dc, stats in sorted(ingest.merged_by_dc(starts).items()):
+            if stats.probes < thresholds.min_probe_count:
+                continue
+            key = f"dc{dc}"
+            if stats.success > 0:  # §4.2 rate is undefined with no successes
+                alert = self._judge(
+                    t, key, "drop_rate", stats.syn_drop_rate(),
+                    thresholds.max_drop_rate, stats.signature_events,
+                )
+                if alert:
+                    fired.append(alert)
+            alert = self._judge(
+                t, key, "failure_rate", stats.failure_rate(),
+                thresholds.max_drop_rate, stats.failed,
+            )
+            if alert:
+                fired.append(alert)
+            # P99 below ~2x100 successes is just the max of a small sample;
+            # hold until the merged windows carry enough signal.
+            if stats.sketch.count >= self.min_p99_samples:
+                p99 = stats.quantile_us(99.0)
+                alert = self.alert_engine.update_episode(
+                    t, SlaScope.DATACENTER.value, key, "p99_us", p99,
+                    thresholds.max_p99_us, p99 > thresholds.max_p99_us,
+                    plane="stream",
+                )
+                if alert:
+                    fired.append(alert)
+        return fired
+
+
+class _EwmaState:
+    __slots__ = ("mean", "var", "n", "streak")
+
+    def __init__(self) -> None:
+        self.mean = 0.0
+        self.var = 0.0
+        self.n = 0
+        self.streak = 0
+
+
+class EwmaDriftDetector:
+    """Sustained per-DC median drift vs an EWMA baseline.
+
+    Fires metric ``p50_drift_us`` when the window P50 exceeds the baseline
+    by ``k_sigma`` EWMA standard deviations *and* by ``min_rel_drift``
+    relatively, for ``consecutive`` windows in a row.  The baseline is
+    frozen while drifted so a long incident cannot teach itself normal.
+    """
+
+    def __init__(
+        self,
+        alert_engine: AlertEngine,
+        alpha: float = 0.3,
+        k_sigma: float = 6.0,
+        warmup_windows: int = 6,
+        min_rel_drift: float = 0.5,
+        consecutive: int = 2,
+    ) -> None:
+        if not 0 < alpha <= 1:
+            raise ValueError(f"alpha must be in (0,1]: {alpha}")
+        if warmup_windows < 2:
+            raise ValueError(f"warmup too short: {warmup_windows}")
+        self.alert_engine = alert_engine
+        self.alpha = alpha
+        self.k_sigma = k_sigma
+        self.warmup_windows = warmup_windows
+        self.min_rel_drift = min_rel_drift
+        self.consecutive = consecutive
+        self._states: dict[int, _EwmaState] = {}
+        self._last_window: float | None = None
+
+    def evaluate(self, t: float, ingest) -> list[Alert]:
+        starts = ingest.latest_windows(1)
+        if not starts:
+            return []
+        newest = starts[0]
+        if self._last_window is not None and newest <= self._last_window:
+            return []  # no new window landed (e.g. ingest VIP dark)
+        self._last_window = newest
+        fired: list[Alert] = []
+        for dc, stats in sorted(ingest.merged_by_dc(starts).items()):
+            p50 = stats.quantile_us(50.0)
+            if p50 is None:
+                continue
+            state = self._states.setdefault(dc, _EwmaState())
+            if state.n < self.warmup_windows:
+                self._update(state, p50)
+                continue
+            sigma = math.sqrt(max(state.var, 0.0))
+            limit = max(
+                state.mean + self.k_sigma * sigma,
+                state.mean * (1.0 + self.min_rel_drift),
+            )
+            drifted = p50 > limit
+            if drifted:
+                state.streak += 1
+            else:
+                state.streak = 0
+                self._update(state, p50)
+            alert = self.alert_engine.update_episode(
+                t,
+                SlaScope.DATACENTER.value,
+                f"dc{dc}",
+                "p50_drift_us",
+                p50,
+                limit,
+                state.streak >= self.consecutive,
+                plane="stream",
+            )
+            if alert:
+                fired.append(alert)
+        return fired
+
+    def _update(self, state: _EwmaState, p50: float) -> None:
+        if state.n == 0:
+            state.mean = p50
+            state.var = 0.0
+        else:
+            delta = p50 - state.mean
+            state.mean += self.alpha * delta
+            state.var = (1.0 - self.alpha) * (
+                state.var + self.alpha * delta * delta
+            )
+        state.n += 1
+
+
+@dataclass(frozen=True)
+class StreamBlackholeCandidate:
+    """A pod that streamed all-failure while its DC carried traffic."""
+
+    t: float
+    dc: int
+    podset: int
+    pod: int
+    failed: int
+
+    @property
+    def tor_key(self) -> str:
+        return f"dc{self.dc}/pod{self.pod}"
+
+
+class StreamBlackholeFeed:
+    """Streaming candidate feed for the batch black-hole verifier.
+
+    A pod becomes a candidate when, over the newest ``eval_windows``,
+    every probe it sourced failed (``>= min_failed`` of them) while its DC
+    overall still succeeded somewhere — the §5 "part of the podset"
+    asymmetry, observed in seconds.  Candidates are episodic (one per
+    darkness spell) and are only ever *suggestions*: :meth:`confirm`
+    reconciles them against the authoritative batch report.
+    """
+
+    def __init__(self, min_failed: int = 5, eval_windows: int = 3) -> None:
+        self.min_failed = min_failed
+        self.eval_windows = eval_windows
+        self.candidates: list[StreamBlackholeCandidate] = []
+        self._active: set[tuple[int, int, int]] = set()
+
+    def evaluate(self, t: float, ingest) -> list[StreamBlackholeCandidate]:
+        starts = ingest.latest_windows(self.eval_windows)
+        pods = ingest.merged_by_pod(starts)
+        dc_success: dict[int, int] = {}
+        for (dc, _podset, _pod), stats in pods.items():
+            dc_success[dc] = dc_success.get(dc, 0) + stats.success
+        new: list[StreamBlackholeCandidate] = []
+        for (dc, podset, pod), stats in sorted(pods.items()):
+            dark = (
+                stats.success == 0
+                and stats.failed >= self.min_failed
+                and dc_success.get(dc, 0) > 0
+            )
+            key = (dc, podset, pod)
+            if dark:
+                if key not in self._active:
+                    self._active.add(key)
+                    candidate = StreamBlackholeCandidate(
+                        t=t, dc=dc, podset=podset, pod=pod,
+                        failed=stats.failed,
+                    )
+                    self.candidates.append(candidate)
+                    new.append(candidate)
+            else:
+                self._active.discard(key)
+        return new
+
+    def confirm(self, report) -> dict:
+        """Reconcile candidates against a batch ``BlackholeReport``.
+
+        Returns the confirmation ledger: candidates the batch verifier
+        agreed on, candidates it dismissed, and batch findings streaming
+        never surfaced (e.g. faults predating the stream plane).
+        """
+        batch_keys = {c.tor_key for c in report.tors_to_reload}
+        candidate_keys = {c.tor_key for c in self.candidates}
+        return {
+            "confirmed": sorted(candidate_keys & batch_keys),
+            "dismissed": sorted(candidate_keys - batch_keys),
+            "missed": sorted(batch_keys - candidate_keys),
+        }

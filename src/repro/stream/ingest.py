@@ -1,0 +1,171 @@
+"""The ingest side of the streaming plane: deltas -> windowed merge tree.
+
+:class:`StreamIngestService` is the logical service behind the stream
+ingest VIP.  Each :class:`~repro.stream.aggregator.StreamDelta` is merged
+into a **merge tree**: windows (keyed by window start) hold per-
+``(dc, podset, pod, class)`` :class:`~repro.stream.sketch.ClassStats`, and
+any rollup (a whole DC over the last K windows, one pod over one window) is
+just a sketch merge — associativity means the answer is identical no matter
+how the deltas arrived or in what order the tree is folded.
+
+Retention is a ring: only the newest ``retention_windows`` windows are
+kept, older ones are evicted (counted, never silently).  Memory is
+therefore constant in probe volume *and* in runtime.
+
+A conservation ledger mirrors the aggregator's: every delta offered to the
+service is either merged (``deltas_ingested`` / ``probes_ingested``) or
+rejected-and-counted (``deltas_rejected``), never dropped on the floor.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.stream.aggregator import StreamDelta
+from repro.stream.sketch import ClassStats
+
+__all__ = ["StreamIngestService"]
+
+
+class StreamIngestService:
+    """Merges agent deltas into a bounded windowed merge tree."""
+
+    def __init__(
+        self,
+        window_s: float = 10.0,
+        retention_windows: int = 360,
+        relative_accuracy: float = 0.01,
+        max_buckets: int = 2048,
+    ) -> None:
+        if retention_windows < 2:
+            raise ValueError(f"retention too small: {retention_windows}")
+        self.window_s = window_s
+        self.retention_windows = retention_windows
+        self.relative_accuracy = relative_accuracy
+        self.max_buckets = max_buckets
+        # window_start -> {(dc, podset, pod, cls) -> ClassStats}
+        self._windows: "OrderedDict[float, dict]" = OrderedDict()
+        self.deltas_ingested = 0
+        self.deltas_rejected = 0
+        self.probes_ingested = 0
+        self.probes_rejected = 0
+        self.windows_evicted = 0
+        self.probes_evicted = 0
+
+    # -- ingestion ---------------------------------------------------------
+
+    def ingest(self, delta: StreamDelta) -> bool:
+        """Merge one delta into the tree; returns False when rejected.
+
+        A delta is rejected only when its window predates the retention
+        ring (a straggler older than everything we keep) — merging it
+        would silently resurrect an evicted window.
+        """
+        if self._windows:
+            oldest = next(iter(self._windows))
+            horizon = oldest - (
+                (self.retention_windows - len(self._windows)) * self.window_s
+            )
+            if delta.window_start < min(oldest, horizon):
+                self.deltas_rejected += 1
+                self.probes_rejected += delta.probes
+                return False
+        window = self._windows.get(delta.window_start)
+        if window is None:
+            window = {}
+            self._windows[delta.window_start] = window
+            # Keep windows ordered by start so eviction drops the oldest.
+            self._windows = OrderedDict(sorted(self._windows.items()))
+        for cls, payload in delta.classes.items():
+            key = (delta.dc, delta.podset, delta.pod, cls)
+            stats = window.get(key)
+            incoming = ClassStats.from_payload(payload, self.max_buckets)
+            if stats is None:
+                window[key] = incoming
+            else:
+                stats.merge(incoming)
+        self.deltas_ingested += 1
+        self.probes_ingested += delta.probes
+        self._evict()
+        return True
+
+    def _evict(self) -> None:
+        while len(self._windows) > self.retention_windows:
+            _, window = self._windows.popitem(last=False)
+            self.windows_evicted += 1
+            self.probes_evicted += sum(s.probes for s in window.values())
+
+    # -- queries -----------------------------------------------------------
+
+    def window_starts(self) -> list:
+        """Retained window start times, oldest first."""
+        return list(self._windows)
+
+    def window(self, window_start: float) -> dict:
+        """The raw per-key stats of one window (empty dict if unknown)."""
+        return self._windows.get(window_start, {})
+
+    def latest_windows(self, k: int) -> list:
+        """The newest ``k`` retained window start times, oldest first."""
+        starts = list(self._windows)
+        return starts[-k:] if k > 0 else []
+
+    def merged_by_dc(self, window_starts) -> dict:
+        """Roll the given windows up to per-DC :class:`ClassStats`.
+
+        All classes and all pods of a DC merge into one stats object —
+        the same population the batch 10-minute DC-scope SLA sees.
+        """
+        merged: dict[int, ClassStats] = {}
+        for start in window_starts:
+            for (dc, _podset, _pod, _cls), stats in self._windows.get(
+                start, {}
+            ).items():
+                into = merged.get(dc)
+                if into is None:
+                    merged[dc] = stats.copy()
+                else:
+                    into.merge(stats.copy())
+        return merged
+
+    def merged_by_pod(self, window_starts) -> dict:
+        """Roll the given windows up to ``(dc, podset, pod)`` stats."""
+        merged: dict[tuple, ClassStats] = {}
+        for start in window_starts:
+            for (dc, podset, pod, _cls), stats in self._windows.get(
+                start, {}
+            ).items():
+                key = (dc, podset, pod)
+                into = merged.get(key)
+                if into is None:
+                    merged[key] = stats.copy()
+                else:
+                    into.merge(stats.copy())
+        return merged
+
+    def merged_key(self, window_starts, dc, podset=None, pod=None, cls=None) -> ClassStats:
+        """Merge every retained stats object matching the key filters."""
+        out = ClassStats(self.relative_accuracy, self.max_buckets)
+        for start in window_starts:
+            for (k_dc, k_podset, k_pod, k_cls), stats in self._windows.get(
+                start, {}
+            ).items():
+                if k_dc != dc:
+                    continue
+                if podset is not None and k_podset != podset:
+                    continue
+                if pod is not None and k_pod != pod:
+                    continue
+                if cls is not None and k_cls != cls:
+                    continue
+                out.merge(stats.copy())
+        return out
+
+    @property
+    def memory_buckets(self) -> int:
+        """Occupied sketch buckets across all retained windows."""
+        return sum(
+            stats.sketch.memory_buckets
+            for window in self._windows.values()
+            for stats in window.values()
+        )

@@ -1,0 +1,235 @@
+"""StreamPlane: the streaming plane assembled, as the system drives it.
+
+One :class:`StreamPlane` owns the per-agent aggregators, the ingest VIP
+(an ordinary :class:`~repro.core.controller.slb.SoftwareLoadBalancer`
+fronting synthetic ingest replicas), the
+:class:`~repro.stream.ingest.StreamIngestService` merge tree and the
+online detectors.  :class:`~repro.core.system.PingmeshSystem` calls
+:meth:`tick` every sub-window; each tick flushes every aggregator's closed
+windows, delivers the deltas through the VIP, and runs the detectors.
+
+Fail-closed delivery: a delta that cannot reach the ingest VIP (every
+replica out of rotation) is *dropped and counted*, never silently lost
+and never buffered unboundedly — mirroring the agents' own §3.4.2
+discipline.  The conservation ledger across the plane is exact:
+
+    probes_folded == probes_emitted + probes_pending        (aggregators)
+    probes_emitted == probes_ingested + probes_dropped
+                      + probes_rejected                      (delivery)
+
+and both equalities are enforced by the chaos invariant catalogue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.controller.slb import NoHealthyBackendError, SoftwareLoadBalancer
+from repro.core.dsa.alerts import AlertEngine
+from repro.stream.aggregator import StreamAggregator
+from repro.stream.detectors import (
+    EwmaDriftDetector,
+    StreamBlackholeFeed,
+    StreamSlaDetector,
+)
+from repro.stream.ingest import StreamIngestService
+
+__all__ = ["StreamConfig", "StreamPlane"]
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Everything configurable about the streaming plane."""
+
+    enabled: bool = True
+    window_s: float = 10.0  # aggregation sub-window (sim seconds)
+    relative_accuracy: float = 0.01  # sketch error bound (1 %)
+    max_buckets: int = 2048  # sketch memory cap
+    retention_windows: int = 360  # ingest ring: 1 h at the default window
+    ingest_vip: str = "stream-ingest.vip"
+    n_ingest_replicas: int = 2
+    # SLA detector guards (see repro.stream.detectors).
+    eval_windows: int = 3
+    min_drop_events: int = 3
+    min_p99_samples: int = 200
+    # EWMA drift detector.
+    ewma_alpha: float = 0.3
+    ewma_k_sigma: float = 6.0
+    ewma_warmup_windows: int = 6
+    ewma_min_rel_drift: float = 0.5
+    ewma_consecutive: int = 2
+    # Streaming black-hole candidate feed.
+    blackhole_min_failed: int = 5
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise ValueError(f"window must be positive: {self.window_s}")
+        if not 0 < self.relative_accuracy < 1:
+            raise ValueError(
+                f"relative_accuracy must be in (0,1): {self.relative_accuracy}"
+            )
+        if self.retention_windows < 2:
+            raise ValueError(f"retention too small: {self.retention_windows}")
+        if self.n_ingest_replicas < 1:
+            raise ValueError(
+                f"need at least one ingest replica: {self.n_ingest_replicas}"
+            )
+
+
+class StreamPlane:
+    """Aggregators + ingest VIP + merge tree + detectors, wired."""
+
+    def __init__(
+        self,
+        config: StreamConfig,
+        alert_engine: AlertEngine,
+        topology,
+    ) -> None:
+        self.config = config
+        self.alert_engine = alert_engine
+        self.topology = topology
+        self._replica_health = {
+            f"{config.ingest_vip}/dip{i}": True
+            for i in range(config.n_ingest_replicas)
+        }
+        self.ingest_slb = SoftwareLoadBalancer(
+            config.ingest_vip,
+            list(self._replica_health),
+            health_check=lambda dip: self._replica_health[dip],
+        )
+        self.ingest = StreamIngestService(
+            window_s=config.window_s,
+            retention_windows=config.retention_windows,
+            relative_accuracy=config.relative_accuracy,
+            max_buckets=config.max_buckets,
+        )
+        self.sla_detector = StreamSlaDetector(
+            alert_engine,
+            eval_windows=config.eval_windows,
+            min_drop_events=config.min_drop_events,
+            min_p99_samples=config.min_p99_samples,
+        )
+        self.drift_detector = EwmaDriftDetector(
+            alert_engine,
+            alpha=config.ewma_alpha,
+            k_sigma=config.ewma_k_sigma,
+            warmup_windows=config.ewma_warmup_windows,
+            min_rel_drift=config.ewma_min_rel_drift,
+            consecutive=config.ewma_consecutive,
+        )
+        self.blackhole_feed = StreamBlackholeFeed(
+            min_failed=config.blackhole_min_failed,
+            eval_windows=config.eval_windows,
+        )
+        self._aggregators: dict[str, StreamAggregator] = {}
+        self.ticks = 0
+        self.last_tick_t: float | None = None
+        self.deltas_delivered = 0
+        self.deltas_dropped = 0
+        self.probes_dropped = 0
+
+    # -- agent side --------------------------------------------------------
+
+    def aggregator_for(self, server_id: str) -> StreamAggregator:
+        """The (memoized) aggregator for one server's agent."""
+        aggregator = self._aggregators.get(server_id)
+        if aggregator is None:
+            server = self.topology.server(server_id)
+            aggregator = self._aggregators[server_id] = StreamAggregator(
+                server_id=server_id,
+                dc=server.dc_index,
+                podset=server.podset_index,
+                pod=server.pod_index,
+                window_s=self.config.window_s,
+                relative_accuracy=self.config.relative_accuracy,
+                max_buckets=self.config.max_buckets,
+            )
+        return aggregator
+
+    # -- the tick ----------------------------------------------------------
+
+    def tick(self, t: float) -> list:
+        """One streaming cycle: flush -> deliver via VIP -> detect.
+
+        Returns the alert events the detectors fired this tick.
+        """
+        deltas = []
+        for aggregator in self._aggregators.values():
+            deltas.extend(aggregator.flush_closed(t))
+        self.ingest_slb.run_health_checks()
+        for delta in deltas:
+            try:
+                self.ingest_slb.pick()
+            except NoHealthyBackendError:
+                # Fail closed: the window's data is lost, visibly.
+                self.deltas_dropped += 1
+                self.probes_dropped += delta.probes
+                continue
+            if self.ingest.ingest(delta):
+                self.deltas_delivered += 1
+            # else: straggler past retention — the ingest service counted it.
+        self.ticks += 1
+        self.last_tick_t = t
+        fired = list(self.sla_detector.evaluate(t, self.ingest))
+        fired.extend(self.drift_detector.evaluate(t, self.ingest))
+        self.blackhole_feed.evaluate(t, self.ingest)
+        return fired
+
+    # -- ingest VIP chaos hooks --------------------------------------------
+
+    def fail_ingest_replica(self, dip: str | None = None) -> None:
+        """Take one replica (or, with None, every replica) out of rotation."""
+        if dip is None:
+            for name in self._replica_health:
+                self._replica_health[name] = False
+        else:
+            self._replica_health[dip] = False
+
+    def recover_ingest_replica(self, dip: str | None = None) -> None:
+        if dip is None:
+            for name in self._replica_health:
+                self._replica_health[name] = True
+        else:
+            self._replica_health[dip] = True
+
+    @property
+    def vip_dark(self) -> bool:
+        self.ingest_slb.run_health_checks()
+        return not self.ingest_slb.healthy_dips()
+
+    # -- conservation ledger -----------------------------------------------
+
+    @property
+    def probes_folded(self) -> int:
+        return sum(a.probes_folded for a in self._aggregators.values())
+
+    @property
+    def probes_emitted(self) -> int:
+        return sum(a.probes_emitted for a in self._aggregators.values())
+
+    @property
+    def probes_pending(self) -> int:
+        return sum(a.probes_pending for a in self._aggregators.values())
+
+    @property
+    def deltas_emitted(self) -> int:
+        return sum(a.deltas_emitted for a in self._aggregators.values())
+
+    def conservation(self) -> dict:
+        """The plane-wide ledger (see the module docstring equalities)."""
+        return {
+            "probes_folded": self.probes_folded,
+            "probes_emitted": self.probes_emitted,
+            "probes_pending": self.probes_pending,
+            "probes_ingested": self.ingest.probes_ingested,
+            "probes_dropped": self.probes_dropped,
+            "probes_rejected": self.ingest.probes_rejected,
+            "probes_evicted": self.ingest.probes_evicted,
+        }
+
+    @property
+    def memory_buckets(self) -> int:
+        """Occupied sketch buckets: open agent windows + the ingest ring."""
+        return self.ingest.memory_buckets + sum(
+            a.memory_buckets for a in self._aggregators.values()
+        )

@@ -1,0 +1,362 @@
+"""Mergeable log-bucketed quantile sketch + drop-rate accumulator.
+
+The streaming plane cannot afford raw rows — an agent probing 2500 peers
+every 10 s would ship 250 values/s upstream forever.  Instead each agent
+keeps a **DDSketch-style sketch** per peer class: values land in
+geometrically-spaced buckets ``(gamma^(i-1), gamma^i]`` with
+``gamma = (1 + a) / (1 - a)`` for relative accuracy ``a``, so any stored
+sample can be reconstructed within relative error ``a`` from its bucket
+index alone.  Bucket counts are plain integers, which makes the merge
+**associative and commutative** (integer addition per bucket) — deltas can
+be combined in any order, at any fan-in, and the merged sketch is exactly
+the sketch of the union of the inputs.
+
+Memory is constant in probe volume: the bucket count is bounded by
+``max_buckets`` (the lowest buckets collapse together past the cap, biasing
+only the extreme low quantiles), and for a fixed dynamic range the bound is
+never hit — covering 1 µs .. 100 s at 1 % accuracy needs ~910 buckets.
+
+Quantile contract
+-----------------
+``quantile(q)`` returns an estimate ``e`` such that
+
+    lower * (1 - a)  <=  e  <=  upper * (1 + a)
+
+where ``lower``/``upper`` are the nearest-rank percentiles of the ingested
+values (``numpy.percentile(values, q, method="lower" / "higher")``).  The
+parity gate in ``tests/integration/test_stream_plane.py`` holds streaming
+quantiles to exactly this envelope against the batch columnar results.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from repro.netsim import tcp
+
+__all__ = ["LatencySketch", "ClassStats"]
+
+# Drop-signature classification windows (microseconds), identical to
+# LatencyCounters' (§4.2): one retransmission ~3 s, two ~9 s.
+_ONE_DROP_LOW_US = tcp.syn_rtt_signature(1) * 1e6
+_ONE_DROP_HIGH_US = tcp.syn_rtt_signature(2) * 1e6
+_TWO_DROP_HIGH_US = tcp.syn_rtt_signature(3) * 1e6
+
+
+class LatencySketch:
+    """A mergeable log-bucketed quantile sketch with bounded memory."""
+
+    __slots__ = (
+        "relative_accuracy",
+        "max_buckets",
+        "min_value",
+        "_gamma",
+        "_log_gamma",
+        "buckets",
+        "count",
+        "total",
+        "min_seen",
+        "max_seen",
+    )
+
+    def __init__(
+        self,
+        relative_accuracy: float = 0.01,
+        max_buckets: int = 2048,
+        min_value: float = 1e-3,
+    ) -> None:
+        if not 0 < relative_accuracy < 1:
+            raise ValueError(
+                f"relative_accuracy must be in (0,1): {relative_accuracy}"
+            )
+        if max_buckets < 8:
+            raise ValueError(f"max_buckets too small: {max_buckets}")
+        if min_value <= 0:
+            raise ValueError(f"min_value must be positive: {min_value}")
+        self.relative_accuracy = relative_accuracy
+        self.max_buckets = max_buckets
+        self.min_value = min_value
+        self._gamma = (1.0 + relative_accuracy) / (1.0 - relative_accuracy)
+        self._log_gamma = math.log(self._gamma)
+        self.buckets: dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min_seen = math.inf
+        self.max_seen = -math.inf
+
+    # -- ingestion ---------------------------------------------------------
+
+    def _index(self, value: float) -> int:
+        return math.ceil(math.log(max(value, self.min_value)) / self._log_gamma)
+
+    def add(self, value: float) -> None:
+        """Fold one value in (values are clamped up to ``min_value``)."""
+        index = self._index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+        self.count += 1
+        self.total += value
+        if value < self.min_seen:
+            self.min_seen = value
+        if value > self.max_seen:
+            self.max_seen = value
+        if len(self.buckets) > self.max_buckets:
+            self._collapse()
+
+    def add_many(self, values) -> None:
+        """Vectorized :meth:`add` for a whole batch (numpy array or list)."""
+        array = np.asarray(values, dtype=np.float64)
+        if array.size == 0:
+            return
+        clipped = np.maximum(array, self.min_value)
+        indices = np.ceil(np.log(clipped) / self._log_gamma).astype(np.int64)
+        uniques, counts = np.unique(indices, return_counts=True)
+        buckets = self.buckets
+        for index, count in zip(uniques.tolist(), counts.tolist()):
+            buckets[index] = buckets.get(index, 0) + count
+        self.count += int(array.size)
+        self.total += float(array.sum())
+        self.min_seen = min(self.min_seen, float(array.min()))
+        self.max_seen = max(self.max_seen, float(array.max()))
+        if len(buckets) > self.max_buckets:
+            self._collapse()
+
+    def _collapse(self) -> None:
+        """Fold the lowest buckets together until back under the cap.
+
+        Collapsing low buckets biases only the extreme low quantiles —
+        tail latency (the quantiles that matter) is exact to the bound.
+        """
+        while len(self.buckets) > self.max_buckets:
+            ordered = sorted(self.buckets)
+            lowest, second = ordered[0], ordered[1]
+            self.buckets[second] += self.buckets.pop(lowest)
+
+    # -- query -------------------------------------------------------------
+
+    def quantile(self, q: float) -> float | None:
+        """The q-th percentile estimate (``q`` in [0, 100]), or ``None``."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile out of range: {q}")
+        if self.count == 0:
+            return None
+        rank = (q / 100.0) * (self.count - 1)
+        cumulative = 0
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            if cumulative > rank:
+                estimate = 2.0 * self._gamma**index / (self._gamma + 1.0)
+                # The true min/max are tracked exactly; clamping never
+                # violates the envelope and sharpens constant inputs.
+                return min(max(estimate, self.min_seen), self.max_seen)
+        return self.max_seen
+
+    @property
+    def memory_buckets(self) -> int:
+        """Occupied buckets — the sketch's entire variable-size state."""
+        return len(self.buckets)
+
+    # -- merge / serialization --------------------------------------------
+
+    def _check_compatible(self, other: "LatencySketch") -> None:
+        if (
+            other.relative_accuracy != self.relative_accuracy
+            or other.min_value != self.min_value
+        ):
+            raise ValueError(
+                "cannot merge sketches with different parameters: "
+                f"{self.relative_accuracy}/{self.min_value} vs "
+                f"{other.relative_accuracy}/{other.min_value}"
+            )
+
+    def merge(self, other: "LatencySketch") -> "LatencySketch":
+        """Fold ``other`` into ``self`` (associative, commutative)."""
+        self._check_compatible(other)
+        for index, count in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + count
+        self.count += other.count
+        self.total += other.total
+        self.min_seen = min(self.min_seen, other.min_seen)
+        self.max_seen = max(self.max_seen, other.max_seen)
+        if len(self.buckets) > self.max_buckets:
+            self._collapse()
+        return self
+
+    def copy(self) -> "LatencySketch":
+        clone = LatencySketch(
+            self.relative_accuracy, self.max_buckets, self.min_value
+        )
+        clone.buckets = dict(self.buckets)
+        clone.count = self.count
+        clone.total = self.total
+        clone.min_seen = self.min_seen
+        clone.max_seen = self.max_seen
+        return clone
+
+    def to_payload(self) -> dict:
+        """A compact, JSON-able delta payload (bucket index -> count)."""
+        return {
+            "ra": self.relative_accuracy,
+            "min_value": self.min_value,
+            "buckets": sorted(self.buckets.items()),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min_seen if self.count else None,
+            "max": self.max_seen if self.count else None,
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: dict, max_buckets: int = 2048
+    ) -> "LatencySketch":
+        sketch = cls(payload["ra"], max_buckets, payload["min_value"])
+        sketch.buckets = {int(i): int(c) for i, c in payload["buckets"]}
+        sketch.count = int(payload["count"])
+        sketch.total = float(payload["total"])
+        sketch.min_seen = (
+            float(payload["min"]) if payload["min"] is not None else math.inf
+        )
+        sketch.max_seen = (
+            float(payload["max"]) if payload["max"] is not None else -math.inf
+        )
+        if len(sketch.buckets) > sketch.max_buckets:
+            sketch._collapse()
+        return sketch
+
+
+class ClassStats:
+    """One peer class' window state: quantile sketch + drop accumulator.
+
+    The drop accumulator mirrors :class:`LatencyCounters` (§4.2): failed
+    probes and retransmission signatures each count one dropped connection,
+    over all attempts — a fully black-holed class reports 1.0, never a
+    division-by-zero clean bill.  Everything is mergeable.
+    """
+
+    __slots__ = ("sketch", "success", "failed", "one_drop", "two_drops")
+
+    def __init__(
+        self,
+        relative_accuracy: float = 0.01,
+        max_buckets: int = 2048,
+    ) -> None:
+        self.sketch = LatencySketch(relative_accuracy, max_buckets)
+        self.success = 0
+        self.failed = 0
+        self.one_drop = 0
+        self.two_drops = 0
+
+    # -- ingestion ---------------------------------------------------------
+
+    def observe(self, success: bool, rtt_us: float) -> None:
+        """Fold one probe outcome (RTT in microseconds)."""
+        if not success:
+            self.failed += 1
+            return
+        self.success += 1
+        if _ONE_DROP_LOW_US <= rtt_us < _ONE_DROP_HIGH_US:
+            self.one_drop += 1
+        elif _ONE_DROP_HIGH_US <= rtt_us < _TWO_DROP_HIGH_US:
+            self.two_drops += 1
+        self.sketch.add(rtt_us)
+
+    def observe_many(self, successes, rtts_us) -> None:
+        """Vectorized fold of a whole outcome batch."""
+        ok = np.asarray(successes, dtype=bool)
+        rtts = np.asarray(rtts_us, dtype=np.float64)
+        n_ok = int(ok.sum())
+        self.failed += int(ok.size) - n_ok
+        if n_ok == 0:
+            return
+        self.success += n_ok
+        ok_rtts = rtts[ok]
+        self.one_drop += int(
+            ((ok_rtts >= _ONE_DROP_LOW_US) & (ok_rtts < _ONE_DROP_HIGH_US)).sum()
+        )
+        self.two_drops += int(
+            ((ok_rtts >= _ONE_DROP_HIGH_US) & (ok_rtts < _TWO_DROP_HIGH_US)).sum()
+        )
+        self.sketch.add_many(ok_rtts)
+
+    # -- derived metrics ---------------------------------------------------
+
+    @property
+    def probes(self) -> int:
+        return self.success + self.failed
+
+    def drop_rate(self) -> float:
+        """Failure-aware drop rate, as :class:`LatencyCounters` reports it:
+        every failed probe and every retransmission signature counts, over
+        all attempts — a fully black-holed class reports 1.0."""
+        attempts = self.success + self.failed
+        if attempts == 0:
+            return 0.0
+        return (self.one_drop + self.two_drops + self.failed) / attempts
+
+    def syn_drop_rate(self) -> float:
+        """The paper's §4.2 heuristic, identical to the batch SLA's
+        ``drop_rate``: signature probes over *successful* probes, failures
+        excluded (can't tell a dropped packet from a dead receiver)."""
+        if self.success == 0:
+            return 0.0
+        return (self.one_drop + self.two_drops) / self.success
+
+    def failure_rate(self) -> float:
+        """Outright connection failures over all attempts."""
+        attempts = self.success + self.failed
+        if attempts == 0:
+            return 0.0
+        return self.failed / attempts
+
+    @property
+    def signature_events(self) -> int:
+        """Retransmission-signature count (§4.2 numerator)."""
+        return self.one_drop + self.two_drops
+
+    @property
+    def dropped_events(self) -> int:
+        """Dropped-connection evidence count (the detector's noise guard)."""
+        return self.one_drop + self.two_drops + self.failed
+
+    def quantile_us(self, q: float) -> float | None:
+        return self.sketch.quantile(q)
+
+    # -- merge / serialization --------------------------------------------
+
+    def merge(self, other: "ClassStats") -> "ClassStats":
+        self.sketch.merge(other.sketch)
+        self.success += other.success
+        self.failed += other.failed
+        self.one_drop += other.one_drop
+        self.two_drops += other.two_drops
+        return self
+
+    def copy(self) -> "ClassStats":
+        clone = ClassStats.__new__(ClassStats)
+        clone.sketch = self.sketch.copy()
+        clone.success = self.success
+        clone.failed = self.failed
+        clone.one_drop = self.one_drop
+        clone.two_drops = self.two_drops
+        return clone
+
+    def to_payload(self) -> dict:
+        return {
+            "sketch": self.sketch.to_payload(),
+            "success": self.success,
+            "failed": self.failed,
+            "one_drop": self.one_drop,
+            "two_drops": self.two_drops,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict, max_buckets: int = 2048) -> "ClassStats":
+        stats = cls.__new__(cls)
+        stats.sketch = LatencySketch.from_payload(payload["sketch"], max_buckets)
+        stats.success = int(payload["success"])
+        stats.failed = int(payload["failed"])
+        stats.one_drop = int(payload["one_drop"])
+        stats.two_drops = int(payload["two_drops"])
+        return stats

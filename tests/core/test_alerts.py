@@ -94,3 +94,95 @@ class TestAlerting:
         row = alert.as_row()
         assert row["metric"] == "drop_rate"
         assert row["t"] == 600.0
+        assert row["event"] == "breach"
+        assert row["plane"] == "batch"
+
+
+class TestEpisodes:
+    def test_persistent_violation_fires_once(self):
+        engine = AlertEngine()
+        assert len(engine.evaluate([_sla(drop_rate=2e-3)])) == 1
+        # The same violation, re-observed every window: no duplicate alert.
+        assert engine.evaluate([_sla(drop_rate=3e-3)]) == []
+        assert engine.evaluate([_sla(drop_rate=2e-3)]) == []
+        assert len(engine.history) == 1
+        assert len(engine.breaches()) == 1
+
+    def test_recovery_pairs_with_its_breach(self):
+        engine = AlertEngine()
+        (breach,) = engine.evaluate([_sla(drop_rate=2e-3)])
+        (recovery,) = engine.evaluate([_sla(drop_rate=1e-5)])
+        assert breach.event == "breach"
+        assert recovery.event == "recovery"
+        assert (recovery.scope, recovery.key, recovery.metric) == (
+            breach.scope,
+            breach.key,
+            breach.metric,
+        )
+        assert engine.active_episodes == {}
+        # A fresh violation after recovery is a new episode.
+        assert len(engine.evaluate([_sla(drop_rate=2e-3)])) == 1
+        assert len(engine.breaches()) == 2
+
+    def test_active_episodes_tracks_open_violations(self):
+        engine = AlertEngine()
+        engine.evaluate([_sla(drop_rate=2e-3, key="dc0")])
+        engine.evaluate([_sla(p99_us=9000.0, key="dc1")])
+        assert set(engine.active_episodes) == {
+            ("datacenter", "dc0", "drop_rate"),
+            ("datacenter", "dc1", "p99_us"),
+        }
+
+    def test_healthy_series_never_opens_an_episode(self):
+        engine = AlertEngine()
+        assert engine.update_episode(
+            0.0, "datacenter", "dc0", "drop_rate", 0.0, 1e-3, violated=False
+        ) is None
+        assert engine.active_episodes == {}
+        assert engine.history == []
+
+    def test_update_episode_api(self):
+        engine = AlertEngine()
+        breach = engine.update_episode(
+            5.0, "datacenter", "dc0", "failure_rate", 0.5, 1e-3,
+            violated=True, plane="stream",
+        )
+        assert breach is not None and breach.plane == "stream"
+        # Re-reporting the violated state is a no-op.
+        assert engine.update_episode(
+            6.0, "datacenter", "dc0", "failure_rate", 0.4, 1e-3,
+            violated=True, plane="stream",
+        ) is None
+        recovery = engine.update_episode(
+            7.0, "datacenter", "dc0", "failure_rate", 0.0, 1e-3,
+            violated=False, plane="stream",
+        )
+        assert recovery is not None and recovery.event == "recovery"
+
+    def test_episodes_are_shared_across_planes(self):
+        """Whichever plane sees the violation first owns the breach; the
+        other plane never duplicates it, and either may close it."""
+        engine = AlertEngine()
+        first = engine.update_episode(
+            5.0, "datacenter", "dc0", "drop_rate", 2e-3, 1e-3,
+            violated=True, plane="stream",
+        )
+        assert first.plane == "stream"
+        # The batch plane sees the same violation minutes later: no event.
+        assert engine.evaluate([_sla(drop_rate=2e-3)]) == []
+        # Batch observes recovery first and closes the shared episode.
+        (recovery,) = engine.evaluate([_sla(drop_rate=1e-5)])
+        assert recovery.event == "recovery"
+        assert recovery.plane == "batch"
+        assert engine.active_episodes == {}
+
+    def test_is_network_issue_is_pure(self):
+        """§4.3's question must not be silenced by episode deduplication."""
+        engine = AlertEngine()
+        bad = [_sla(drop_rate=2e-3)]
+        engine.evaluate(bad)  # the episode is now open (and deduplicated)
+        assert engine.evaluate(bad) == []
+        assert engine.is_network_issue(bad) is True  # still burning
+        history = list(engine.history)
+        engine.is_network_issue(bad)
+        assert engine.history == history  # the check mutates nothing

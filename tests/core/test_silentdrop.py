@@ -69,12 +69,35 @@ class TestDetection:
 
     def test_affected_pairs_ranked_by_evidence(self):
         rows = _healthy_rows(100)
-        # "hot" pair shows repeated retransmit signatures.
+        # "hot" pair shows repeated retransmit signatures among mostly-
+        # healthy probes — the paper's "1%-2% random packet drops" shape.
         rows += [_row("hot-src", "hot-dst", rtt_us=3.2e6, syn_drops=1)] * 20
+        rows += [_row("hot-src", "hot-dst")] * 30
         rows += [_row("warm-src", "warm-dst", success=False, rtt_us=21e6)] * 3
+        rows += [_row("warm-src", "warm-dst")] * 5
         incidents = SilentDropDetector(incident_drop_rate=1e-3).detect(rows)
         assert incidents
         assert incidents[0].affected_pairs[0] == ("hot-src", "hot-dst")
+
+    def test_deterministic_loss_pairs_are_not_traceroute_candidates(self):
+        """A pair whose every probe fails (or always carries a signature)
+        is black-hole-shaped evidence — §5.1's detector owns it, and the
+        silent-drop watch must not RMA a reload-fixable switch over it."""
+        rows = _healthy_rows(100)
+        rows += [_row("dead-src", "dead-dst", success=False, rtt_us=21e6)] * 30
+        rows += [_row("sig-src", "sig-dst", rtt_us=3.2e6, syn_drops=1)] * 30
+        # One genuinely lossy-but-alive pair still qualifies.
+        rows += [_row("lossy-src", "lossy-dst", rtt_us=3.2e6, syn_drops=1)] * 2
+        rows += [_row("lossy-src", "lossy-dst")] * 20
+        incidents = SilentDropDetector(incident_drop_rate=1e-3).detect(rows)
+        assert incidents
+        assert incidents[0].affected_pairs == [("lossy-src", "lossy-dst")]
+
+    def test_loss_ratio_validation(self):
+        with pytest.raises(ValueError):
+            SilentDropDetector(max_pair_loss_ratio=0.0)
+        with pytest.raises(ValueError):
+            SilentDropDetector(max_pair_loss_ratio=1.5)
 
     def test_per_dc_isolation(self):
         """'only one data center was affected, and the other data centers

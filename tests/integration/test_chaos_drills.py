@@ -165,6 +165,35 @@ def test_vip_dark_window_is_measured_not_suppressed():
     assert rows[-1]["success"]
 
 
+def test_stream_blackout_fails_closed_then_resumes():
+    system, report = _run("stream-blackout")
+    report.assert_clean()
+    plane = system.stream
+    # The blackout (180s..480s) dropped deltas — counted, never buffered.
+    assert plane.deltas_dropped > 0
+    assert plane.probes_dropped > 0
+    # The watchdog tripped while the VIP was dark...
+    assert any(
+        r.name == "stream-ingesting" and r.status == HealthStatus.ERROR
+        for r in system.env.watchdogs.error_history
+    )
+    # ...and ingest resumed once the replicas returned: the newest
+    # delivered window postdates the recovery at 480s.
+    assert not plane.vip_dark
+    newest = plane.ingest.latest_windows(1)
+    assert newest and newest[0] >= 480.0
+    assert plane.deltas_delivered > 0
+    # The conservation ledger balances across the whole drill.
+    ledger = plane.conservation()
+    assert ledger["probes_emitted"] == (
+        ledger["probes_ingested"]
+        + ledger["probes_dropped"]
+        + ledger["probes_rejected"]
+    )
+    # The batch plane never depended on the stream VIP: rows kept landing.
+    assert system.store.stream("pingmesh/latency").record_count > 0
+
+
 def test_campaign_summary_mentions_every_action():
     _system, report = _run("blackhole-vip-dark")
     text = report.summary()

@@ -1,0 +1,128 @@
+"""Tests for the per-agent streaming aggregator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stream.aggregator import PEER_CLASSES, StreamAggregator
+
+
+def _aggregator(window_s=10.0):
+    return StreamAggregator(
+        server_id="dc0/ps0/pod0/srv0", dc=0, podset=0, pod=0, window_s=window_s
+    )
+
+
+class TestWindowing:
+    def test_same_window_folds_together(self):
+        agg = _aggregator()
+        for t in (0.0, 5.0, 9.99):
+            agg.observe(t, "tor-level", True, 250.0)
+        assert agg.open_windows == 1
+        assert agg.flush_closed(9.99) == []  # the window hasn't elapsed
+        deltas = agg.flush_closed(10.0)
+        assert len(deltas) == 1
+        assert (deltas[0].window_start, deltas[0].window_end) == (0.0, 10.0)
+        assert deltas[0].probes == 3
+
+    def test_windows_are_epoch_aligned(self):
+        agg = _aggregator()
+        agg.observe(25.0, "tor-level", True, 250.0)
+        (delta,) = agg.flush_closed(30.0)
+        assert (delta.window_start, delta.window_end) == (20.0, 30.0)
+
+    def test_flush_emits_closed_windows_in_order(self):
+        agg = _aggregator()
+        agg.observe(15.0, "tor-level", True, 250.0)
+        agg.observe(5.0, "tor-level", True, 250.0)
+        deltas = agg.flush_closed(25.0)
+        assert [d.window_start for d in deltas] == [0.0, 10.0]
+        assert agg.open_windows == 0
+
+    def test_flush_all_includes_open_windows(self):
+        agg = _aggregator()
+        agg.observe(5.0, "tor-level", True, 250.0)
+        assert agg.flush_closed(5.0) == []
+        deltas = agg.flush_all()
+        assert len(deltas) == 1
+        assert agg.probes_pending == 0
+
+    def test_delta_carries_topology_coordinates(self):
+        agg = StreamAggregator("srv", dc=1, podset=2, pod=3, window_s=10.0)
+        agg.observe(0.0, "inter-dc", True, 900.0)
+        (delta,) = agg.flush_all()
+        assert (delta.dc, delta.podset, delta.pod) == (1, 2, 3)
+        assert delta.server_id == "srv"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _aggregator(window_s=0.0)
+
+
+class TestObserveRound:
+    def test_round_matches_scalar_observes(self):
+        rng = np.random.default_rng(3)
+        outcomes = [
+            (
+                PEER_CLASSES[i % len(PEER_CLASSES)],
+                bool(rng.random() < 0.9),
+                float(rng.uniform(100.0, 1000.0)),
+            )
+            for i in range(200)
+        ]
+        scalar, batched = _aggregator(), _aggregator()
+        for cls, ok, rtt in outcomes:
+            scalar.observe(42.0, cls, ok, rtt)
+        batched.observe_round(42.0, iter(outcomes))
+        (a,) = scalar.flush_all()
+        (b,) = batched.flush_all()
+        assert a.probes == b.probes == 200
+        assert set(a.classes) == set(b.classes)
+        for cls in a.classes:
+            scalar_payload, batched_payload = a.classes[cls], b.classes[cls]
+            scalar_total = scalar_payload["sketch"].pop("total")
+            batched_total = batched_payload["sketch"].pop("total")
+            # Summation order differs between the scalar and vectorized
+            # paths, so `total` agrees only to floating rounding.
+            assert scalar_total == pytest.approx(batched_total)
+            assert scalar_payload == batched_payload
+
+    def test_empty_round_is_a_noop(self):
+        agg = _aggregator()
+        agg.observe_round(0.0, iter(()))
+        assert agg.probes_folded == 0
+        assert agg.open_windows == 0
+
+
+class TestConservation:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        n=st.integers(min_value=0, max_value=300),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_folded_equals_emitted_plus_pending(self, seed, n):
+        """The ledger holds after any interleaving of observes/flushes."""
+        rng = np.random.default_rng(seed)
+        agg = _aggregator()
+        emitted = []
+        t = 0.0
+        for _ in range(n):
+            t += float(rng.uniform(0.0, 8.0))
+            cls = PEER_CLASSES[int(rng.integers(len(PEER_CLASSES)))]
+            agg.observe(t, cls, bool(rng.random() < 0.9), 250.0)
+            if rng.random() < 0.2:
+                emitted.extend(agg.flush_closed(t))
+            assert agg.probes_folded == agg.probes_emitted + agg.probes_pending
+        emitted.extend(agg.flush_all())
+        assert agg.probes_pending == 0
+        assert agg.probes_folded == sum(d.probes for d in emitted) == n
+        assert agg.deltas_emitted == len(emitted)
+
+    def test_memory_buckets_track_open_windows(self):
+        agg = _aggregator()
+        assert agg.memory_buckets == 0
+        agg.observe(0.0, "tor-level", True, 250.0)
+        assert agg.memory_buckets > 0
+        agg.flush_all()
+        assert agg.memory_buckets == 0

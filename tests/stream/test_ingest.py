@@ -1,0 +1,136 @@
+"""Tests for the ingest-side windowed merge tree."""
+
+import random
+
+import pytest
+
+from repro.stream.aggregator import StreamDelta
+from repro.stream.ingest import StreamIngestService
+from repro.stream.sketch import ClassStats
+
+WINDOW_S = 10.0
+
+
+def _stats(n_ok=0, rtt_us=250.0, n_failed=0):
+    stats = ClassStats()
+    for _ in range(n_ok):
+        stats.observe(True, rtt_us)
+    for _ in range(n_failed):
+        stats.observe(False, 0.0)
+    return stats
+
+
+def _delta(
+    window_id,
+    stats,
+    server="srv0",
+    dc=0,
+    podset=0,
+    pod=0,
+    cls="tor-level",
+):
+    return StreamDelta(
+        server_id=server,
+        dc=dc,
+        podset=podset,
+        pod=pod,
+        window_start=window_id * WINDOW_S,
+        window_end=(window_id + 1) * WINDOW_S,
+        classes={cls: stats.to_payload()},
+        probes=stats.probes,
+    )
+
+
+class TestMergeTree:
+    def test_same_key_deltas_merge(self):
+        ingest = StreamIngestService(window_s=WINDOW_S)
+        assert ingest.ingest(_delta(0, _stats(n_ok=3), server="a"))
+        assert ingest.ingest(_delta(0, _stats(n_ok=2, n_failed=1), server="b"))
+        ((key, stats),) = ingest.window(0.0).items()
+        assert key == (0, 0, 0, "tor-level")
+        assert (stats.success, stats.failed) == (5, 1)
+        assert ingest.deltas_ingested == 2
+        assert ingest.probes_ingested == 6
+
+    def test_distinct_pods_stay_distinct(self):
+        ingest = StreamIngestService(window_s=WINDOW_S)
+        ingest.ingest(_delta(0, _stats(n_ok=1), pod=0))
+        ingest.ingest(_delta(0, _stats(n_ok=1), pod=1))
+        assert len(ingest.window(0.0)) == 2
+
+    def test_rollups(self):
+        ingest = StreamIngestService(window_s=WINDOW_S)
+        ingest.ingest(_delta(0, _stats(n_ok=4), dc=0, pod=0))
+        ingest.ingest(_delta(0, _stats(n_ok=2), dc=0, pod=1, cls="intra-pod"))
+        ingest.ingest(_delta(1, _stats(n_ok=1), dc=1))
+        starts = ingest.window_starts()
+        by_dc = ingest.merged_by_dc(starts)
+        assert by_dc[0].success == 6
+        assert by_dc[1].success == 1
+        by_pod = ingest.merged_by_pod(starts)
+        assert by_pod[(0, 0, 0)].success == 4
+        assert by_pod[(0, 0, 1)].success == 2
+        assert ingest.merged_key(starts, 0, cls="intra-pod").success == 2
+        assert ingest.merged_key(starts, 0, pod=0).success == 4
+        assert ingest.merged_key(starts, 9).success == 0
+
+    def test_rollup_is_delta_order_invariant(self):
+        """Associativity end to end: shuffled arrival, identical rollup."""
+        deltas = [
+            _delta(w, _stats(n_ok=3 + w, rtt_us=100.0 * (1 + s)), server=f"s{s}")
+            for w in range(4)
+            for s in range(5)
+        ]
+        reference = StreamIngestService(window_s=WINDOW_S)
+        for delta in deltas:
+            reference.ingest(delta)
+        shuffled = StreamIngestService(window_s=WINDOW_S)
+        order = list(deltas)
+        random.Random(11).shuffle(order)
+        for delta in order:
+            shuffled.ingest(delta)
+        starts = reference.window_starts()
+        assert shuffled.window_starts() == starts
+        ref = reference.merged_by_dc(starts)[0]
+        shf = shuffled.merged_by_dc(starts)[0]
+        assert ref.sketch.buckets == shf.sketch.buckets
+        assert ref.success == shf.success
+
+    def test_latest_windows(self):
+        ingest = StreamIngestService(window_s=WINDOW_S)
+        for w in range(5):
+            ingest.ingest(_delta(w, _stats(n_ok=1)))
+        assert ingest.latest_windows(2) == [30.0, 40.0]
+        assert ingest.latest_windows(0) == []
+        assert ingest.latest_windows(99) == ingest.window_starts()
+
+
+class TestRetention:
+    def test_ring_evicts_oldest_and_counts(self):
+        ingest = StreamIngestService(window_s=WINDOW_S, retention_windows=3)
+        for w in range(5):
+            ingest.ingest(_delta(w, _stats(n_ok=2)))
+        assert ingest.window_starts() == [20.0, 30.0, 40.0]
+        assert ingest.windows_evicted == 2
+        assert ingest.probes_evicted == 4
+        assert ingest.memory_buckets > 0
+
+    def test_straggler_behind_the_ring_is_rejected(self):
+        ingest = StreamIngestService(window_s=WINDOW_S, retention_windows=3)
+        for w in range(3, 7):
+            ingest.ingest(_delta(w, _stats(n_ok=2)))
+        rejected = _delta(0, _stats(n_ok=5))
+        assert ingest.ingest(rejected) is False
+        assert ingest.deltas_rejected == 1
+        assert ingest.probes_rejected == 5
+        assert 0.0 not in ingest.window_starts()
+
+    def test_late_delta_within_the_ring_is_accepted(self):
+        ingest = StreamIngestService(window_s=WINDOW_S, retention_windows=10)
+        ingest.ingest(_delta(5, _stats(n_ok=1)))
+        assert ingest.ingest(_delta(3, _stats(n_ok=1))) is True
+        assert ingest.window_starts() == [30.0, 50.0]  # re-sorted by start
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamIngestService(retention_windows=1)
