@@ -18,7 +18,11 @@ property tests and the fast/scalar parity tests), then
 correctness tier (sketch/aggregator/ingest/detector property tests and the
 batch-parity integration gate), then ``bench_stream`` (ingest throughput,
 the ≥50× detection-latency gate, constant sketch memory), and writes
-``BENCH_stream.json``.
+``BENCH_stream.json``.  The ``scale`` suite first runs the class-round and
+sharded-fleet correctness tier, then ``bench_scale`` (a simulated
+10-minute window inside a wall-clock budget at 1k/4k/16k servers, plus the
+≥3x class-rounds-over-fast-path gate at 4k), and writes
+``BENCH_scale.json``.
 
 Each bench file carries its own hard assertions (e.g. the columnar path's
 ≥10× speedup gate), so the exit code is a pass/fail verdict, not just a
@@ -49,6 +53,9 @@ FLEET_BENCHES = [
 STREAM_BENCHES = [
     "bench_stream.py",
 ]
+SCALE_BENCHES = [
+    "bench_scale.py",
+]
 CHAOS_DRILL_TIER = ["tests/integration/test_chaos_drills.py"]
 # Correctness before speed: the fleet suite's bench numbers mean nothing
 # unless cached paths equal fresh paths and fast rounds match scalar rounds.
@@ -62,6 +69,13 @@ STREAM_CORRECTNESS_TIER = [
     "tests/stream",
     "tests/integration/test_stream_plane.py",
 ]
+# The scale suite's budgets mean nothing unless class rounds match the
+# per-pair engines and sharded execution conserves probes exactly.
+SCALE_CORRECTNESS_TIER = [
+    "tests/netsim/test_class_rounds.py",
+    "tests/core/test_fast_path_parity.py",
+    "tests/core/test_sharded_fleet.py",
+]
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_DIR = Path(__file__).resolve().parent
@@ -70,6 +84,7 @@ SUITES = {
     "chaos": (CHAOS_BENCHES, "BENCH_chaos.json"),
     "fleet": (FLEET_BENCHES, "BENCH_fleet.json"),
     "stream": (STREAM_BENCHES, "BENCH_stream.json"),
+    "scale": (SCALE_BENCHES, "BENCH_scale.json"),
 }
 
 
@@ -143,6 +158,7 @@ def run_suite(suite: str, output: Path | None) -> int:
         "chaos": CHAOS_DRILL_TIER,
         "fleet": FLEET_CORRECTNESS_TIER,
         "stream": STREAM_CORRECTNESS_TIER,
+        "scale": SCALE_CORRECTNESS_TIER,
     }
     tier = gate_tiers.get(suite)
     if tier is not None:

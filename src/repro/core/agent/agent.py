@@ -34,7 +34,12 @@ from repro.core.controller.service import (
     PinglistNotFoundError,
     PingmeshControllerService,
 )
-from repro.core.dsa.records import make_record, make_records
+from repro.core.dsa.records import (
+    CLASS_STREAM,
+    make_class_record,
+    make_record,
+    make_records,
+)
 from repro.netsim.fabric import Fabric
 
 __all__ = ["AgentConfig", "PingmeshAgent"]
@@ -51,6 +56,12 @@ class AgentConfig:
     pinglist_refresh_s: float = 1800.0  # periodic pull from the controller
     upload_period_s: float = 600.0  # the upload timer
     use_fast_path: bool = True  # route rounds through Fabric.probe_many
+    # "scalar" | "fast" | "class": rung of the fidelity ladder for non-VIP
+    # probe rounds.  "class" compiles the pinglist into closed-form class
+    # rounds (Fabric.build_class_plan), degrading per pair to the fast path
+    # whenever fidelity cannot be traded.  Ignored when use_fast_path is
+    # False (scalar wins).
+    round_mode: str = "fast"
     upload_threshold_records: int = 2000  # ... or the size threshold
     reservoir_size: int = 4096
     memory_cap_mb: float = 80.0
@@ -66,6 +77,8 @@ class AgentConfig:
             raise ValueError(f"refresh period must be positive: {self.pinglist_refresh_s}")
         if self.upload_period_s <= 0:
             raise ValueError(f"upload period must be positive: {self.upload_period_s}")
+        if self.round_mode not in ("scalar", "fast", "class"):
+            raise ValueError(f"unknown round mode: {self.round_mode!r}")
 
 
 class PingmeshAgent(SharedService):
@@ -104,6 +117,17 @@ class PingmeshAgent(SharedService):
         self.pinglist: Pinglist | None = None
         self._record_server_cache: dict = {}
         self._round_plan: tuple | None = None  # keyed on the pinglist object
+        # Class-round state: summary rows ship on their own stream so the
+        # per-probe scanners never see a wrong-schema record.
+        self.class_uploader: ResultUploader | None = None
+        if self.config.round_mode == "class" and self.config.use_fast_path:
+            self.class_uploader = ResultUploader(
+                uploader.store,
+                server_id,
+                stream=CLASS_STREAM,
+                flush_threshold_records=self.config.upload_threshold_records,
+            )
+        self._class_plan: tuple | None = None  # (pinglist, version, plan)
         self.last_upload_t = 0.0
         self.probes_sent = 0
         self.rounds_run = 0
@@ -168,10 +192,12 @@ class PingmeshAgent(SharedService):
             # The host lost power (podset down): no process, no probes, no
             # data — which is exactly what paints Figure 8(b)'s white cross.
             return 0
-        if self.config.use_fast_path:
-            launched = self._run_probe_round_fast(t)
-        else:
+        if not self.config.use_fast_path:
             launched = self._run_probe_round_scalar(t)
+        elif self.config.round_mode == "class":
+            launched = self._run_probe_round_class(t)
+        else:
+            launched = self._run_probe_round_fast(t)
         self.probes_sent += launched
         self.rounds_run += 1
         self._account_resources(launched)
@@ -292,6 +318,74 @@ class PingmeshAgent(SharedService):
             launched += len(results)
         return launched
 
+    def _current_class_plan(self):
+        """The compiled class plan for the current pinglist + fabric
+        generation, rebuilt only when either changes."""
+        version = self.fabric.topology.state_version.value
+        cached = self._class_plan
+        if (
+            cached is not None
+            and cached[0] is self.pinglist
+            and cached[1] == version
+        ):
+            return cached[2]
+        _vip_entries, probe_entries, tags = self._round_entries()
+        plan = self.fabric.build_class_plan(self.server_id, probe_entries, tags)
+        self._class_plan = (self.pinglist, version, plan)
+        return plan
+
+    def _run_probe_round_class(self, t: float) -> int:
+        """Closed-form round: class groups in one draw each, degraded pairs
+        through the per-pair fast path, VIPs scalar — the fidelity ladder
+        top rung."""
+        launched = 0
+        vip_entries, probe_entries, tags = self._round_entries()
+        for entry in vip_entries:
+            launched += self._probe_vip(entry, t)
+        if not probe_entries:
+            return launched
+        plan = self._current_class_plan()
+        if plan.passthrough:
+            pass_entries = [probe_entries[i] for i in plan.passthrough]
+            pass_tags = [tags[i] for i in plan.passthrough]
+            results = self.fabric.probe_many(self.server_id, pass_entries, t=t)
+            self.counters.add_many((r.success, r.rtt_s) for r in results)
+            if self.stream_aggregator is not None:
+                self.stream_aggregator.observe_round(
+                    t,
+                    (
+                        (purpose, result.success, result.rtt_s * 1e6)
+                        for result, (purpose, _qos) in zip(results, pass_tags)
+                    ),
+                )
+            self.uploader.add_many(
+                make_records(
+                    self.fabric.topology,
+                    [
+                        (result, purpose, qos)
+                        for result, (purpose, qos) in zip(results, pass_tags)
+                    ],
+                    server_cache=self._record_server_cache,
+                )
+            )
+            launched += len(results)
+        if plan.groups:
+            me = self.fabric.topology.server(self.server_id)
+            for outcome in self.fabric.run_class_plan(plan, t=t):
+                self.counters.add_class_round(outcome.failed, outcome.rtt_s)
+                if self.stream_aggregator is not None:
+                    self.stream_aggregator.observe_class_round(
+                        t, outcome.purpose, outcome.failed, outcome.rtt_s * 1e6
+                    )
+                self.class_uploader.add(
+                    make_class_record(
+                        outcome, t, self.server_id,
+                        me.dc_index, me.podset_index, me.pod_index,
+                    )
+                )
+            launched += plan.n_class_probes
+        return launched
+
     def _vip_down_record(self, entry, t: float) -> dict:
         """A failed availability probe of a dark VIP.
 
@@ -332,6 +426,13 @@ class PingmeshAgent(SharedService):
             + self.counters.memory_samples * config.memory_per_sample_bytes / 1e6
             + self.uploader.local_log_bytes / 1e6
         )
+        if self.class_uploader is not None:
+            memory_mb += (
+                self.class_uploader.buffered_records
+                * config.memory_per_record_kb
+                / 1024.0
+                + self.class_uploader.local_log_bytes / 1e6
+            )
         if self.stream_aggregator is not None:
             memory_mb += (
                 self.stream_aggregator.memory_buckets
@@ -360,9 +461,14 @@ class PingmeshAgent(SharedService):
         if not self.fabric.topology.server(self.server_id).is_up:
             return False
         timer_due = (t - self.last_upload_t) >= self.config.upload_period_s
-        if not timer_due and not self.uploader.should_flush:
+        class_due = (
+            self.class_uploader is not None and self.class_uploader.should_flush
+        )
+        if not timer_due and not self.uploader.should_flush and not class_due:
             return False
         uploaded = self.uploader.flush(t)
+        if self.class_uploader is not None:
+            uploaded = self.class_uploader.flush(t) and uploaded
         self.last_upload_t = t
         self.counters.reset_window()
         return uploaded

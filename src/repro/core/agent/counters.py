@@ -75,6 +75,76 @@ class LatencyCounters:
         for success, rtt_s in outcomes:
             self.add(success, rtt_s)
 
+    def add_class_round(self, n_failed: int, rtts_s: np.ndarray) -> None:
+        """Fold one class-round outcome in: ``n_failed`` connect failures
+        plus a vector of successful RTTs.
+
+        Classification is vectorized but equivalent to :meth:`add` per
+        element; reservoir admission is an order-preserving batch form of
+        the same algorithm R (each element is offered slot
+        ``U_i * (seen_at_i)``), so every successful RTT keeps the equal
+        inclusion probability — only the RNG draw layout differs from the
+        scalar loop.
+        """
+        self.probes_total += n_failed
+        self.probes_failed += n_failed
+        n_ok = len(rtts_s)
+        if n_ok == 0:
+            return
+        self.probes_total += n_ok
+        self.probes_success += n_ok
+        self.probes_one_drop += int(
+            ((rtts_s >= _ONE_DROP_LOW) & (rtts_s < _ONE_DROP_HIGH)).sum()
+        )
+        self.probes_two_drops += int(
+            ((rtts_s >= _TWO_DROP_LOW) & (rtts_s < _TWO_DROP_HIGH)).sum()
+        )
+        cap = self.reservoir_size
+        fill = min(max(cap - len(self._reservoir), 0), n_ok)
+        if fill:
+            self._reservoir.extend(float(r) for r in rtts_s[:fill])
+            self._seen += fill
+        rest = rtts_s[fill:]
+        m = len(rest)
+        if m:
+            seen_at = self._seen + 1 + np.arange(m)
+            slots = (self._rng.random(m) * seen_at).astype(np.int64)
+            self._seen += m
+            admitted = slots < cap
+            for slot, rtt in zip(slots[admitted], rest[admitted]):
+                self._reservoir[slot] = float(rtt)
+
+    def merge(self, other: "LatencyCounters") -> None:
+        """Fold another window's counters in (shard → fleet roll-up).
+
+        Counts add exactly.  The merged reservoir subsamples the two pools
+        weighted by each side's inclusion probability (seen/len), which is
+        equal-probability when both sides are undersampled or comparably
+        sampled — adequate for fleet-level percentile roll-ups.
+        """
+        self.probes_total += other.probes_total
+        self.probes_success += other.probes_success
+        self.probes_failed += other.probes_failed
+        self.probes_one_drop += other.probes_one_drop
+        self.probes_two_drops += other.probes_two_drops
+        pool = self._reservoir + other._reservoir
+        seen = self._seen + other._seen
+        if len(pool) <= self.reservoir_size:
+            self._reservoir = pool
+        else:
+            weights = np.concatenate(
+                [
+                    np.full(len(self._reservoir), self._seen / max(len(self._reservoir), 1)),
+                    np.full(len(other._reservoir), other._seen / max(len(other._reservoir), 1)),
+                ]
+            )
+            weights /= weights.sum()
+            picks = self._rng.choice(
+                len(pool), size=self.reservoir_size, replace=False, p=weights
+            )
+            self._reservoir = [pool[i] for i in picks]
+        self._seen = seen
+
     def _sample(self, rtt_s: float) -> None:
         """Reservoir sampling: every successful RTT has equal probability."""
         self._seen += 1

@@ -12,13 +12,45 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.netsim.fabric import ProbeResult
+import numpy as np
+
+from repro.netsim.fabric import ClassOutcome, ProbeResult
 from repro.netsim.topology import MultiDCTopology
 
-__all__ = ["LATENCY_STREAM", "RECORD_COLUMNS", "make_record", "make_records"]
+__all__ = [
+    "LATENCY_STREAM",
+    "CLASS_STREAM",
+    "RECORD_COLUMNS",
+    "CLASS_RECORD_COLUMNS",
+    "make_record",
+    "make_records",
+    "make_class_record",
+]
 
 # The Cosmos stream agents upload to.
 LATENCY_STREAM = "pingmesh/latency"
+# Class-round summaries go to their own stream: one row per (agent, class,
+# round), a different schema from the per-probe rows — DSA jobs scanning
+# ``pingmesh/latency`` must never see a wrong-shape record.
+CLASS_STREAM = "pingmesh/latency-class"
+
+CLASS_RECORD_COLUMNS = (
+    "t",
+    "src",
+    "src_dc",
+    "src_podset",
+    "src_pod",
+    "purpose",
+    "qos",
+    "scope",
+    "probes",
+    "success",
+    "failed",
+    "one_drop",
+    "two_drops",
+    "p50_us",
+    "p99_us",
+)
 
 RECORD_COLUMNS = (
     "t",
@@ -72,6 +104,45 @@ def make_record(
             result.payload_rtt_s * 1e6 if result.payload_rtt_s is not None else None
         ),
         "error": result.error,
+    }
+
+
+def make_class_record(
+    outcome: ClassOutcome,
+    t: float,
+    src_id: str,
+    dc: int,
+    podset: int,
+    pod: int,
+) -> dict[str, Any]:
+    """Build one class-summary row from a closed-form round outcome.
+
+    ``src_id`` is the emitting agent (or a synthetic ``shard:`` id under
+    sharded execution, with ``pod=-1``).  Percentiles are ``None`` when the
+    round had no successful probe, mirroring the counters' no-sentinel rule.
+    """
+    if outcome.rtt_s.size:
+        rtt_us = outcome.rtt_s * 1e6
+        p50 = float(np.percentile(rtt_us, 50))
+        p99 = float(np.percentile(rtt_us, 99))
+    else:
+        p50 = p99 = None
+    return {
+        "t": t,
+        "src": src_id,
+        "src_dc": dc,
+        "src_podset": podset,
+        "src_pod": pod,
+        "purpose": outcome.purpose,
+        "qos": outcome.qos,
+        "scope": outcome.scope.name,
+        "probes": outcome.n,
+        "success": outcome.success,
+        "failed": outcome.failed,
+        "one_drop": outcome.one_drop,
+        "two_drops": outcome.two_drops,
+        "p50_us": p50,
+        "p99_us": p99,
     }
 
 

@@ -118,6 +118,7 @@ class PingmeshSystem:
         )
         self.agents: dict[str, PingmeshAgent] = {}
         self._started = False
+        self._schedule_probe_rounds = True
 
     @classmethod
     def build(
@@ -172,11 +173,19 @@ class PingmeshSystem:
 
         return factory
 
-    def start(self) -> None:
-        """Deploy agents fleet-wide, start DSA jobs, PA and watchdogs."""
+    def start(self, schedule_probe_rounds: bool = True) -> None:
+        """Deploy agents fleet-wide, start DSA jobs, PA and watchdogs.
+
+        ``schedule_probe_rounds=False`` leaves the per-agent probe-round
+        events off the queue (pinglist refreshes still run) — for an
+        external round driver like
+        :class:`~repro.core.sharded.ShardedFleet`, which runs rounds shard
+        at a time instead of agent at a time.
+        """
         if self._started:
             raise RuntimeError("system already started")
         self._started = True
+        self._schedule_probe_rounds = schedule_probe_rounds
 
         for agent in self.env.deploy_shared_service(self._agent_factory()):
             self.agents[agent.server_id] = agent
@@ -204,10 +213,13 @@ class PingmeshSystem:
         n = max(1, len(self.agents))
         for index, agent in enumerate(self.agents.values()):
             agent.refresh_pinglist(self.clock.now)
-            offset = (index / n) * interval if self.config.stagger_rounds else 0.0
-            self.queue.schedule_after(
-                offset, lambda a=agent: self._agent_round(a), name="agent-round"
-            )
+            if schedule_probe_rounds:
+                offset = (
+                    (index / n) * interval if self.config.stagger_rounds else 0.0
+                )
+                self.queue.schedule_after(
+                    offset, lambda a=agent: self._agent_round(a), name="agent-round"
+                )
             self.queue.schedule_after(
                 self.config.agent.pinglist_refresh_s,
                 lambda a=agent: self._agent_refresh(a),
@@ -363,10 +375,11 @@ class PingmeshSystem:
         for index, agent in enumerate(agents):
             self.agents[agent.server_id] = agent
             agent.refresh_pinglist(self.clock.now)
-            offset = (index / max(1, len(agents))) * interval
-            self.queue.schedule_after(
-                offset, lambda a=agent: self._agent_round(a), name="agent-round"
-            )
+            if self._schedule_probe_rounds:
+                offset = (index / max(1, len(agents))) * interval
+                self.queue.schedule_after(
+                    offset, lambda a=agent: self._agent_round(a), name="agent-round"
+                )
             self.queue.schedule_after(
                 self.config.agent.pinglist_refresh_s,
                 lambda a=agent: self._agent_refresh(a),

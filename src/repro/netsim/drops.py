@@ -104,8 +104,37 @@ class DropModel:
             survive *= 1.0 - _WAN_DIRECTION_DROP
         return 1.0 - survive
 
+    def direction_drop_prob_kinds(
+        self, kinds: tuple[DeviceKind, ...], wan: bool
+    ) -> float:
+        """P(one-way drop) from a hop-*kind* sequence alone.
+
+        Per-tier budgets mean the probability depends only on the kinds a
+        path traverses, never on which ECMP candidate was picked.  The
+        survive product multiplies in the same order as
+        :meth:`direction_drop_prob` iterates hops, so for any path whose
+        kind sequence equals ``kinds`` the result is bit-identical — the
+        class-round engine's parity with the per-pair fast path relies on
+        this.
+        """
+        survive = 1.0 - self.budget.host_side
+        for kind in kinds:
+            survive *= 1.0 - self.hop_drop_prob(kind)
+        if wan:
+            survive *= 1.0 - _WAN_DIRECTION_DROP
+        return 1.0 - survive
+
     def attempt_drop_prob(self, forward: Path, reverse: Path) -> float:
         """P(a SYN attempt fails): SYN dropped forward or SYN-ACK back."""
         p_fwd = self.direction_drop_prob(forward)
         p_rev = self.direction_drop_prob(reverse)
         return 1.0 - (1.0 - p_fwd) * (1.0 - p_rev)
+
+    def attempt_drop_prob_kinds(
+        self, kinds: tuple[DeviceKind, ...], wan: bool
+    ) -> float:
+        """Path-free :meth:`attempt_drop_prob` for a palindromic kind
+        sequence (every Clos scope's is): forward and reverse direction
+        probabilities coincide exactly, so one evaluation covers both."""
+        p_dir = self.direction_drop_prob_kinds(kinds, wan)
+        return 1.0 - (1.0 - p_dir) * (1.0 - p_dir)

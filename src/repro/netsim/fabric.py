@@ -42,7 +42,14 @@ from repro.netsim.devices import Server, Switch
 from repro.netsim.drops import DropModel
 from repro.netsim.faults import FaultInjector
 from repro.netsim.latency import LatencyModel
-from repro.netsim.routing import NoRouteError, Path, PathScope, Router
+from repro.netsim.routing import (
+    SCOPE_HOP_KINDS,
+    NoRouteError,
+    Path,
+    PathScope,
+    Router,
+    classify_scope,
+)
 from repro.netsim.topology import MultiDCTopology, TopologySpec
 from repro.netsim.workload import PROFILES, WorkloadProfile, profile_for
 
@@ -51,10 +58,19 @@ __all__ = [
     "ProbeResult",
     "BatchProbeResult",
     "ProbeEntry",
+    "ClassGroup",
+    "ClassRoundPlan",
+    "ClassOutcome",
+    "ClassLedger",
+    "merge_class_plans",
     "DEFAULT_PROBE_PORT",
 ]
 
 DEFAULT_PROBE_PORT = 81  # the agent's well-known probe listening port
+
+# Cache-miss sentinel: the pair cache stores None for unroutable pairs, so
+# membership cannot be inferred from a None-defaulted .get().
+_MISSING = object()
 
 
 @dataclass
@@ -110,6 +126,26 @@ class BatchProbeResult:
 ProbeEntry = tuple[str, int, int]
 
 
+@dataclass(frozen=True)
+class _ClassFacts:
+    """Path-free routing facts shared by every pair in one pod-pair class.
+
+    Per-tier drop budgets and scope-determined hop counts mean the whole
+    analytic model of a pair — attempt-drop probability, hop count, WAN
+    RTT, ECMP envelope — is a function of the endpoints' topological
+    coordinates alone.  Memoized per (src pod, dst pod) so class grouping
+    costs one dict lookup per pair, not one traversal.
+    """
+
+    scope: PathScope
+    n_hops: int
+    wan_rtt: float
+    p_attempt: float
+    envelope: frozenset[str]
+    src_tor: Switch
+    dst_tor: Switch
+
+
 @dataclass
 class _PairFastInfo:
     """Cached per-(src, dst, dst_port) routing facts for the fast path.
@@ -119,6 +155,7 @@ class _PairFastInfo:
     id set of *every* switch any ECMP path between the pair can traverse,
     in either direction — the fault check must be conservative because a
     fault may sit on a path the representative flow does not take.
+    ``facts`` is the pod-pair class entry the envelope is shared with.
     """
 
     dst: Server
@@ -131,6 +168,158 @@ class _PairFastInfo:
     forward_hop_ids: tuple[str, ...]
     forward_counters: tuple  # the forward hops' SnmpCounters, pre-resolved
     envelope: frozenset[str]
+    facts: _ClassFacts | None = None
+
+
+@dataclass
+class ClassGroup:
+    """One (purpose, qos, path-class) group of a class-round plan.
+
+    Every member pair shares the analytic model inputs — attempt-drop
+    probability, hop count, WAN RTT, DC latency model — so one multinomial
+    draw plus one latency sample covers the whole group.  ``members`` keep
+    per-pair identity for the probe observers (conservation accounting).
+    """
+
+    purpose: str
+    qos: str
+    dc_index: int
+    scope: PathScope
+    n_hops: int
+    wan_rtt: float
+    p_attempt: float
+    members: list[tuple[str, str, int]]  # (src_id, dst_id, dst_port)
+
+    @property
+    def n(self) -> int:
+        return len(self.members)
+
+
+@dataclass
+class ClassRoundPlan:
+    """A pinglist round compiled into closed-form class groups.
+
+    Valid for exactly one state generation: any fault change, device flip
+    or growth bumps the version and forces a rebuild, which is what makes
+    the fault-degradation rule automatic.  ``passthrough`` holds the entry
+    indices that must keep per-pair fidelity (payload echo, down or
+    unroutable destination, live fault in the class envelope) — callers
+    route those through :meth:`Fabric.probe_many` unchanged.
+    """
+
+    version: int
+    groups: list[ClassGroup]
+    passthrough: list[int]
+    n_class_probes: int
+    # Per-round SNMP accounting, pre-aggregated: each class member adds one
+    # packet per round to a representative forward path, spread over live
+    # ECMP candidates by member ordinal (mirroring the per-pair fast path's
+    # per-probe increments at aggregate granularity).
+    counter_increments: list[tuple]  # (SnmpCounters, packets per round)
+
+
+@dataclass
+class ClassOutcome:
+    """One class group's outcome for one round.
+
+    ``rtt_s`` holds the successful probes' RTTs (retransmission waits
+    included), ordered 0-drop then 1-drop then 2-drop segments.
+    """
+
+    purpose: str
+    qos: str
+    scope: PathScope
+    n: int
+    failed: int
+    one_drop: int
+    two_drops: int
+    rtt_s: np.ndarray
+
+    @property
+    def success(self) -> int:
+        return self.n - self.failed
+
+
+@dataclass
+class ClassLedger:
+    """Deferred side effects of a class round (worker-pool execution).
+
+    A shard running class rounds off the main thread must not mutate
+    shared state (the fabric's conservation ledger, switch SNMP counters);
+    it accumulates here and the driver applies the ledger after the join
+    via :meth:`Fabric.apply_class_ledger`.
+    """
+
+    probes_carried: int = 0
+    _counter_acc: dict = field(default_factory=dict)
+
+    def add_counters(self, increments) -> None:
+        acc = self._counter_acc
+        for counters, packets in increments:
+            key = id(counters)
+            entry = acc.get(key)
+            if entry is None:
+                acc[key] = [counters, packets]
+            else:
+                entry[1] += packets
+
+
+def merge_class_plans(plans: Sequence[ClassRoundPlan]) -> ClassRoundPlan:
+    """Merge per-agent class plans into one (e.g. per podset shard).
+
+    Groups with identical (purpose, qos, class) keys concatenate their
+    members — a sum of multinomials with the same parameters is the
+    multinomial of the sum, so executing the merged plan is distributed
+    identically to executing the parts.  ``passthrough`` indices are
+    per-agent and do not survive the merge; callers keep those alongside.
+    """
+    if not plans:
+        return ClassRoundPlan(
+            version=-1, groups=[], passthrough=[], n_class_probes=0,
+            counter_increments=[],
+        )
+    version = plans[0].version
+    groups: dict[tuple, ClassGroup] = {}
+    acc: dict[int, list] = {}
+    for plan in plans:
+        if plan.version != version:
+            raise ValueError(
+                f"cannot merge plans across generations: {plan.version} != {version}"
+            )
+        for group in plan.groups:
+            key = (
+                group.purpose, group.qos, group.dc_index, group.scope,
+                group.n_hops, group.wan_rtt, group.p_attempt,
+            )
+            merged = groups.get(key)
+            if merged is None:
+                groups[key] = ClassGroup(
+                    purpose=group.purpose,
+                    qos=group.qos,
+                    dc_index=group.dc_index,
+                    scope=group.scope,
+                    n_hops=group.n_hops,
+                    wan_rtt=group.wan_rtt,
+                    p_attempt=group.p_attempt,
+                    members=list(group.members),
+                )
+            else:
+                merged.members.extend(group.members)
+        for counters, packets in plan.counter_increments:
+            key = id(counters)
+            entry = acc.get(key)
+            if entry is None:
+                acc[key] = [counters, packets]
+            else:
+                entry[1] += packets
+    merged_groups = list(groups.values())
+    return ClassRoundPlan(
+        version=version,
+        groups=merged_groups,
+        passthrough=[],
+        n_class_probes=sum(group.n for group in merged_groups),
+        counter_increments=[(c, k) for c, k in acc.values()],
+    )
 
 
 class Fabric:
@@ -186,6 +375,11 @@ class Fabric:
         self._pair_cache: dict[tuple[str, str, int], _PairFastInfo | None] = {}
         self._pair_cache_version = -1
         self._server_cache: dict[str, Server] = {}
+        # Pod-pair class facts, stamped like the pair cache.  Far coarser
+        # key (pods, not servers): 16k servers with a 64-peer cap touch a
+        # few thousand pod pairs, so a post-invalidation rebuild is cheap.
+        self._class_facts_cache: dict[tuple, _ClassFacts] = {}
+        self._class_facts_version = -1
 
     @classmethod
     def single_dc(cls, spec: TopologySpec | None = None, seed: int = 0) -> "Fabric":
@@ -585,6 +779,13 @@ class Fabric:
         except NoRouteError:
             self._pair_cache[key] = None
             return None
+        # The envelope is a pure function of the pod pair: share the class
+        # facts' frozenset instead of rebuilding it per server pair.
+        facts = (
+            self._class_facts(src, dst)
+            if forward.scope is not PathScope.SAME_HOST
+            else None
+        )
         info = _PairFastInfo(
             dst=dst,
             forward=forward,
@@ -597,7 +798,12 @@ class Fabric:
             scope=forward.scope,
             forward_hop_ids=tuple(forward.hop_ids()),
             forward_counters=tuple(hop.counters for hop in forward.hops),
-            envelope=self._pair_envelope(src, dst, forward.scope),
+            envelope=(
+                facts.envelope
+                if facts is not None
+                else self._pair_envelope(src, dst, forward.scope)
+            ),
+            facts=facts,
         )
         self._pair_cache[key] = info
         return info
@@ -660,9 +866,8 @@ class Fabric:
         fast_infos: list[_PairFastInfo] = []
         for index, (dst_id, dst_port, payload_bytes) in enumerate(entries):
             key = (src_id, dst_id, dst_port)
-            if key in pair_cache:
-                info = pair_cache[key]
-            else:
+            info = pair_cache.get(key, _MISSING)
+            if info is _MISSING:
                 info = self._pair_info(src_server, self._resolve(dst_id), dst_port)
             needs_scalar = (
                 payload_bytes > 0
@@ -764,6 +969,278 @@ class Fabric:
             for counters in info.forward_counters:
                 counters.packets_forwarded += 1
         self.probes_carried += k
+
+    # -- closed-form class rounds ----------------------------------------------
+
+    def _class_facts(self, src: Server, dst: Server) -> _ClassFacts:
+        """The pod-pair class facts for two *distinct* servers, memoized.
+
+        Stamped against ``state_version`` like the pair cache.  The facts
+        are exact, not approximate: per-tier drop budgets make
+        ``p_attempt`` independent of the ECMP choice, hop counts are
+        scope-determined, and the envelope construction is the same pure
+        topology sweep ``_pair_envelope`` does.
+        """
+        version = self.topology.state_version.value
+        if version != self._class_facts_version:
+            self._class_facts_cache.clear()
+            self._class_facts_version = version
+        key = (
+            src.dc_index, src.podset_index, src.pod_index,
+            dst.dc_index, dst.podset_index, dst.pod_index,
+        )
+        facts = self._class_facts_cache.get(key)
+        if facts is None:
+            scope = classify_scope(self.topology, src, dst)
+            kinds = SCOPE_HOP_KINDS[scope]
+            inter_dc = scope is PathScope.INTER_DC
+            wan_rtt = (
+                self.topology.wan_rtt[(src.dc_index, dst.dc_index)]
+                if inter_dc
+                else 0.0
+            )
+            facts = _ClassFacts(
+                scope=scope,
+                n_hops=len(kinds),
+                wan_rtt=wan_rtt,
+                p_attempt=self._dropmodel[src.dc_index].attempt_drop_prob_kinds(
+                    kinds, wan=inter_dc
+                ),
+                envelope=self._pair_envelope(src, dst, scope),
+                src_tor=self.topology.dc(src.dc_index).tor_of(src),
+                dst_tor=self.topology.dc(dst.dc_index).tor_of(dst),
+            )
+            self._class_facts_cache[key] = facts
+        return facts
+
+    def _live_tier(self, memo: dict, key: tuple, candidates) -> list:
+        """Live members of an ECMP candidate tier, memoized per plan build."""
+        live = memo.get(key)
+        if live is None:
+            live = memo[key] = [switch for switch in candidates if switch.is_up]
+        return live
+
+    def _class_route_tiers(
+        self, memo: dict, src: Server, dst: Server, scope: PathScope
+    ) -> list[list] | None:
+        """The live ECMP candidate lists a class pair's representative
+        forward path would pick from, outermost-in; ``None`` when a tier
+        has no live member (the per-pair engine would raise NoRouteError,
+        so the pair must keep per-pair fidelity)."""
+        if scope is PathScope.INTRA_POD:
+            return []
+        src_dc = self.topology.dc(src.dc_index)
+        dst_dc = self.topology.dc(dst.dc_index)
+        tiers = [
+            self._live_tier(
+                memo,
+                ("leaf", src.dc_index, src.podset_index),
+                src_dc.leaves_of(src.podset_index),
+            )
+        ]
+        if scope is not PathScope.INTRA_PODSET:
+            tiers.append(
+                self._live_tier(memo, ("spine", src.dc_index), src_dc.spines)
+            )
+            if scope is PathScope.INTER_DC:
+                tiers.append(
+                    self._live_tier(memo, ("border", src.dc_index), src_dc.borders)
+                )
+                tiers.append(
+                    self._live_tier(memo, ("border", dst.dc_index), dst_dc.borders)
+                )
+                tiers.append(
+                    self._live_tier(memo, ("spine", dst.dc_index), dst_dc.spines)
+                )
+            tiers.append(
+                self._live_tier(
+                    memo,
+                    ("leaf", dst.dc_index, dst.podset_index),
+                    dst_dc.leaves_of(dst.podset_index),
+                )
+            )
+        if any(not tier for tier in tiers):
+            return None
+        return tiers
+
+    def build_class_plan(
+        self,
+        src: Server | str,
+        entries: Sequence[ProbeEntry],
+        tags: Sequence[tuple[str, str]] | None = None,
+    ) -> ClassRoundPlan:
+        """Compile one agent's probe round into closed-form class groups.
+
+        ``tags`` pairs each entry with its (purpose, qos); grouping keys on
+        the tag plus the pod-pair class facts, so plan construction is one
+        memoized dict lookup per entry.  Entries that need per-pair
+        fidelity land in ``passthrough`` (by index) — exactly the pairs
+        :meth:`probe_many`'s partition rule would refuse to fast-path,
+        plus any pair whose representative route would not resolve.
+        """
+        src_server = self._resolve(src)
+        version = self.topology.state_version.value
+        faulted = (
+            self.faults.faulted_switch_ids() if self.faults.has_faults() else None
+        )
+        if tags is None:
+            tags = [("tor-level", "high")] * len(entries)
+        src_id = src_server.device_id
+        groups: dict[tuple, ClassGroup] = {}
+        passthrough: list[int] = []
+        counter_acc: dict[int, list] = {}
+        tier_memo: dict = {}
+        for index, (dst_id, dst_port, payload_bytes) in enumerate(entries):
+            if payload_bytes > 0 or dst_id == src_id:
+                passthrough.append(index)
+                continue
+            dst_server = self._resolve(dst_id)
+            if not dst_server.is_up:
+                passthrough.append(index)
+                continue
+            facts = self._class_facts(src_server, dst_server)
+            if (
+                (faulted is not None and not faulted.isdisjoint(facts.envelope))
+                or not facts.src_tor.is_up
+                or not facts.dst_tor.is_up
+            ):
+                passthrough.append(index)
+                continue
+            tiers = self._class_route_tiers(
+                tier_memo, src_server, dst_server, facts.scope
+            )
+            if tiers is None:
+                passthrough.append(index)
+                continue
+            purpose, qos = tags[index]
+            key = (
+                purpose, qos, src_server.dc_index, facts.scope,
+                facts.n_hops, facts.wan_rtt, facts.p_attempt,
+            )
+            group = groups.get(key)
+            if group is None:
+                group = groups[key] = ClassGroup(
+                    purpose=purpose,
+                    qos=qos,
+                    dc_index=src_server.dc_index,
+                    scope=facts.scope,
+                    n_hops=facts.n_hops,
+                    wan_rtt=facts.wan_rtt,
+                    p_attempt=facts.p_attempt,
+                    members=[],
+                )
+            ordinal = len(group.members)
+            group.members.append((src_id, dst_id, dst_port))
+            # Representative forward path for SNMP accounting: ToRs are
+            # fixed, ECMP tiers spread by member ordinal.
+            hops = [facts.src_tor]
+            for tier in tiers:
+                hops.append(tier[ordinal % len(tier)])
+            if facts.scope is not PathScope.INTRA_POD:
+                hops.append(facts.dst_tor)
+            for hop in hops:
+                counters = hop.counters
+                entry = counter_acc.get(id(counters))
+                if entry is None:
+                    counter_acc[id(counters)] = [counters, 1]
+                else:
+                    entry[1] += 1
+        merged_groups = list(groups.values())
+        return ClassRoundPlan(
+            version=version,
+            groups=merged_groups,
+            passthrough=passthrough,
+            n_class_probes=sum(group.n for group in merged_groups),
+            counter_increments=[(c, k) for c, k in counter_acc.values()],
+        )
+
+    def run_class_plan(
+        self,
+        plan: ClassRoundPlan,
+        t: float = 0.0,
+        rng: np.random.Generator | None = None,
+        ledger: ClassLedger | None = None,
+    ) -> list[ClassOutcome]:
+        """Execute one round of a class plan: one multinomial outcome draw
+        plus one latency sample per group.
+
+        The analytic model is ``batch_probe``'s: per-attempt drops are
+        i.i.d. Bernoulli(p_attempt), so a group of ``m`` pairs is one
+        Multinomial(m, [success, 1-drop, 2-drop, failure]) draw; successful
+        RTTs sample from the DC latency model with the retransmission
+        signatures added per segment.  With ``ledger`` the shared-state
+        side effects (conservation ledger, SNMP counters) are deferred for
+        a post-join :meth:`apply_class_ledger` — thread-safe shard fan-out.
+        """
+        if plan.version != self.topology.state_version.value:
+            raise ValueError(
+                f"stale class plan: built at generation {plan.version}, "
+                f"fabric is at {self.topology.state_version.value}"
+            )
+        if ledger is not None and self.probe_observers:
+            raise RuntimeError(
+                "deferred-ledger class rounds cannot notify probe observers; "
+                "run observed rounds on the main thread"
+            )
+        draw = rng if rng is not None else self.rng
+        notify = bool(self.probe_observers)
+        sig1 = tcp.syn_rtt_signature(1)
+        sig2 = tcp.syn_rtt_signature(2)
+        sig3 = tcp.syn_rtt_signature(3)
+        outcomes: list[ClassOutcome] = []
+        total = 0
+        for group in plan.groups:
+            m = group.n
+            p = group.p_attempt
+            p0 = 1.0 - p
+            counts = draw.multinomial(m, (p0, p * p0, p * p * p0, p * p * p))
+            n0, n1, n2, n_fail = (int(c) for c in counts)
+            n_ok = n0 + n1 + n2
+            if n_ok:
+                rtt = self._latency[group.dc_index].sample(
+                    draw, group.n_hops, t=t, n=n_ok
+                )
+                if group.wan_rtt:
+                    rtt += group.wan_rtt
+                if n1:
+                    rtt[n0:n0 + n1] += sig1
+                if n2:
+                    rtt[n0 + n1:] += sig2
+                one_drop = int(((rtt >= sig1) & (rtt < sig2)).sum())
+                two_drops = int(((rtt >= sig2) & (rtt < sig3)).sum())
+            else:
+                rtt = np.empty(0)
+                one_drop = two_drops = 0
+            outcomes.append(
+                ClassOutcome(
+                    purpose=group.purpose,
+                    qos=group.qos,
+                    scope=group.scope,
+                    n=m,
+                    failed=n_fail,
+                    one_drop=one_drop,
+                    two_drops=two_drops,
+                    rtt_s=rtt,
+                )
+            )
+            total += m
+            if notify:
+                for member_src, member_dst, dst_port in group.members:
+                    self._notify_probe(member_src, member_dst, t, 0, dst_port)
+        if ledger is None:
+            self.probes_carried += total
+            for counters, packets in plan.counter_increments:
+                counters.packets_forwarded += packets
+        else:
+            ledger.probes_carried += total
+            ledger.add_counters(plan.counter_increments)
+        return outcomes
+
+    def apply_class_ledger(self, ledger: ClassLedger) -> None:
+        """Fold a shard's deferred class-round side effects in (main thread)."""
+        self.probes_carried += ledger.probes_carried
+        for counters, packets in ledger._counter_acc.values():
+            counters.packets_forwarded += packets
 
     # -- switch management -----------------------------------------------------
 

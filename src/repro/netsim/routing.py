@@ -17,10 +17,16 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.netsim.addressing import FiveTuple
-from repro.netsim.devices import Server, Switch
+from repro.netsim.devices import DeviceKind, Server, Switch
 from repro.netsim.topology import ClosTopology, MultiDCTopology
 
-__all__ = ["PathScope", "Path", "Router", "NoRouteError"]
+__all__ = [
+    "PathScope",
+    "Path",
+    "Router",
+    "NoRouteError",
+    "SCOPE_HOP_KINDS",
+]
 
 # Per-stage ECMP hash salts; using distinct salts per decision point mirrors
 # production practice of seeding each switch's hash differently.
@@ -70,6 +76,37 @@ class Path:
     def __repr__(self) -> str:
         route = " -> ".join(self.hop_ids()) or "(direct)"
         return f"Path({self.src.device_id} => {self.dst.device_id} [{self.scope.value}]: {route})"
+
+
+# The switch-kind sequence of a forward path, per scope.  Matches
+# Router.uncached_path hop-for-hop: every ECMP candidate at a decision
+# point sits in the same tier, so the *kind* sequence is scope-determined
+# even though the concrete switches are not.  Every sequence is a
+# palindrome, so the reverse path has the identical sequence — which is
+# what lets the class-round engine compute attempt-drop probabilities
+# without materializing a single Path.
+SCOPE_HOP_KINDS: dict[PathScope, tuple[DeviceKind, ...]] = {
+    PathScope.SAME_HOST: (),
+    PathScope.INTRA_POD: (DeviceKind.TOR,),
+    PathScope.INTRA_PODSET: (DeviceKind.TOR, DeviceKind.LEAF, DeviceKind.TOR),
+    PathScope.INTRA_DC: (
+        DeviceKind.TOR,
+        DeviceKind.LEAF,
+        DeviceKind.SPINE,
+        DeviceKind.LEAF,
+        DeviceKind.TOR,
+    ),
+    PathScope.INTER_DC: (
+        DeviceKind.TOR,
+        DeviceKind.LEAF,
+        DeviceKind.SPINE,
+        DeviceKind.BORDER,
+        DeviceKind.BORDER,
+        DeviceKind.SPINE,
+        DeviceKind.LEAF,
+        DeviceKind.TOR,
+    ),
+}
 
 
 def classify_scope(topology: MultiDCTopology, src: Server, dst: Server) -> PathScope:

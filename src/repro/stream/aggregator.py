@@ -111,6 +111,12 @@ class StreamAggregator:
             self._window_stats(t, cls).observe_many(successes, rtts)
         self.probes_folded += n
 
+    def observe_class_round(self, t: float, cls: str, n_failed: int, rtts_us) -> None:
+        """Fold one closed-form class-round outcome: a failure count plus
+        the successful RTT vector (µs), all landing at instant ``t``."""
+        self._window_stats(t, cls).observe_aggregate(n_failed, rtts_us)
+        self.probes_folded += n_failed + len(rtts_us)
+
     # -- emission ----------------------------------------------------------
 
     def _emit(self, window_id: int) -> StreamDelta:

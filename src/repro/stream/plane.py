@@ -60,6 +60,11 @@ class StreamConfig:
     ewma_consecutive: int = 2
     # Streaming black-hole candidate feed.
     blackhole_min_failed: int = 5
+    # Shard aggregation: one aggregator per (dc, podset) instead of one per
+    # server.  Cuts the per-tick delta count from O(servers) to O(podsets)
+    # for paper-scale fleets; server-granular detector feeds (black-hole
+    # localization by pod) coarsen accordingly, so it is opt-in.
+    shard_aggregation: bool = False
 
     def __post_init__(self) -> None:
         if self.window_s <= 0:
@@ -131,7 +136,15 @@ class StreamPlane:
     # -- agent side --------------------------------------------------------
 
     def aggregator_for(self, server_id: str) -> StreamAggregator:
-        """The (memoized) aggregator for one server's agent."""
+        """The (memoized) aggregator for one server's agent.
+
+        Under ``shard_aggregation`` every server in a (dc, podset) shares
+        the shard's aggregator — sketches are mergeable, so folding at the
+        source loses nothing the merge tree wouldn't also lose.
+        """
+        if self.config.shard_aggregation:
+            server = self.topology.server(server_id)
+            return self.shard_aggregator(server.dc_index, server.podset_index)
         aggregator = self._aggregators.get(server_id)
         if aggregator is None:
             server = self.topology.server(server_id)
@@ -140,6 +153,28 @@ class StreamPlane:
                 dc=server.dc_index,
                 podset=server.podset_index,
                 pod=server.pod_index,
+                window_s=self.config.window_s,
+                relative_accuracy=self.config.relative_accuracy,
+                max_buckets=self.config.max_buckets,
+            )
+        return aggregator
+
+    def shard_aggregator(self, dc: int, podset: int) -> StreamAggregator:
+        """The (memoized) aggregator for one (dc, podset) shard.
+
+        Registered in the same table as per-server aggregators (keyed by a
+        synthetic ``shard:`` id), so the plane's conservation ledger and
+        tick flush cover it with no special casing.  ``pod=-1`` marks the
+        delta as pod-agnostic for downstream consumers.
+        """
+        key = f"shard:dc{dc}/podset{podset}"
+        aggregator = self._aggregators.get(key)
+        if aggregator is None:
+            aggregator = self._aggregators[key] = StreamAggregator(
+                server_id=key,
+                dc=dc,
+                podset=podset,
+                pod=-1,
                 window_s=self.config.window_s,
                 relative_accuracy=self.config.relative_accuracy,
                 max_buckets=self.config.max_buckets,

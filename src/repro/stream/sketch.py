@@ -280,6 +280,24 @@ class ClassStats:
         )
         self.sketch.add_many(ok_rtts)
 
+    def observe_aggregate(self, n_failed: int, rtts_us) -> None:
+        """Fold a class-round outcome: a failure *count* plus the successful
+        RTT vector (µs).  Equivalent to :meth:`observe_many` with
+        ``n_failed`` failures prepended, without materializing them."""
+        self.failed += n_failed
+        rtts = np.asarray(rtts_us, dtype=np.float64)
+        n_ok = int(rtts.size)
+        if n_ok == 0:
+            return
+        self.success += n_ok
+        self.one_drop += int(
+            ((rtts >= _ONE_DROP_LOW_US) & (rtts < _ONE_DROP_HIGH_US)).sum()
+        )
+        self.two_drops += int(
+            ((rtts >= _ONE_DROP_HIGH_US) & (rtts < _TWO_DROP_HIGH_US)).sum()
+        )
+        self.sketch.add_many(rtts)
+
     # -- derived metrics ---------------------------------------------------
 
     @property

@@ -11,8 +11,11 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.agent.agent import AgentConfig, PingmeshAgent
+from repro.stream.sketch import ClassStats
 from repro.core.agent.uploader import ResultUploader
 from repro.core.controller.service import PingmeshControllerService
 from repro.cosmos.store import CosmosStore
@@ -189,3 +192,205 @@ class TestDistributionParity:
             for r in results
         ]
         assert bulk == single
+
+
+class TestClassRoundParity:
+    """The fidelity ladder's top rung: closed-form class rounds must match
+    the per-pair fast path in distribution, and exactly in accounting."""
+
+    def test_class_and_fast_rounds_match_statistically(self):
+        rounds, t_step = 40, 30.0
+        classed = _fabric(seed=5)
+        fast = _fabric(seed=5)
+        src_c, entries = _round_entries(classed)
+        src_f, _ = _round_entries(fast)
+
+        class_rtts, fast_rtts = [], []
+        class_failed = fast_failed = 0
+        for r in range(rounds):
+            t = r * t_step
+            plan = classed.build_class_plan(src_c, entries)
+            assert plan.passthrough == []  # healthy world: fully classed
+            for outcome in classed.run_class_plan(plan, t=t):
+                class_rtts.append(outcome.rtt_s)
+                class_failed += outcome.failed
+            results = fast.probe_many(src_f, entries, t=t)
+            fast_rtts.append(
+                np.array([r.rtt_s for r in results if r.success])
+            )
+            fast_failed += sum(1 for r in results if not r.success)
+
+        class_rtt = np.concatenate(class_rtts)
+        fast_rtt = np.concatenate(fast_rtts)
+        n = rounds * len(entries)
+        assert len(class_rtt) + class_failed == n
+        assert len(fast_rtt) + fast_failed == n
+        tolerance = 4.0 * np.sqrt(0.01 / n) + 1e-9
+        assert abs(class_failed - fast_failed) / n <= max(tolerance, 0.02)
+        for q in (50, 90):
+            a = np.percentile(class_rtt, q)
+            b = np.percentile(fast_rtt, q)
+            assert abs(a - b) / b < 0.15, f"P{q}: class {a:.6f}s vs fast {b:.6f}s"
+
+    def test_agent_rounds_agree_across_modes(self):
+        """A class-mode agent and a fast-mode agent over identical worlds
+        launch the same probe count per round and agree on counter totals;
+        class mode ships summary rows on the class stream instead of
+        per-probe rows."""
+        outputs = {}
+        for mode in ("class", "fast"):
+            fabric = _fabric(seed=9)
+            controller = PingmeshControllerService(fabric.topology, n_replicas=2)
+            controller.regenerate()
+            store = CosmosStore()
+            server_id = fabric.topology.dc(0).servers[0].device_id
+            uploader = ResultUploader(store, server_id)
+            agent = PingmeshAgent(
+                server_id, fabric, controller, uploader,
+                config=AgentConfig(round_mode=mode),
+            )
+            agent.start(now=0.0)
+            agent.refresh_pinglist(t=0.0)
+            launched = sum(
+                agent.run_probe_round(t=30.0 * (r + 1)) for r in range(5)
+            )
+            outputs[mode] = (launched, agent.counters.probes_total)
+
+        assert outputs["class"] == outputs["fast"]
+
+    def test_class_agent_uploads_to_class_stream(self):
+        from repro.core.dsa.records import CLASS_RECORD_COLUMNS, CLASS_STREAM
+
+        fabric = _fabric(seed=4)
+        controller = PingmeshControllerService(fabric.topology, n_replicas=2)
+        controller.regenerate()
+        store = CosmosStore()
+        server_id = fabric.topology.dc(0).servers[0].device_id
+        agent = PingmeshAgent(
+            server_id, fabric, controller, ResultUploader(store, server_id),
+            config=AgentConfig(round_mode="class"),
+        )
+        agent.start(now=0.0)
+        agent.refresh_pinglist(t=0.0)
+        agent.run_probe_round(t=30.0)
+        assert agent.class_uploader.buffered_records > 0
+        agent.class_uploader.flush(60.0)
+        records = list(store.read(CLASS_STREAM))
+        assert records
+        assert set(records[0]) == set(CLASS_RECORD_COLUMNS)
+
+
+def _apply_event(fabric, event):
+    """One world-mutating step of a hypothesis-generated sequence, applied
+    identically to both fabrics under comparison."""
+    dc = fabric.topology.dc(0)
+    if event == "spine_fault":
+        fabric.faults.inject(
+            SilentRandomDrop(switch_id=dc.spines[0].device_id, drop_prob=0.1)
+        )
+    elif event == "clear_faults":
+        fabric.faults.clear_all()
+    elif event == "server_down":
+        dc.servers_in_podset(1)[0].bring_down()
+    elif event == "server_up":
+        dc.servers_in_podset(1)[0].bring_up()
+    elif event == "grow":
+        if dc.spec.n_podsets < 4:  # bound the world size
+            dc.add_podset()
+
+
+def _ks_distance(a, b):
+    """Two-sample Kolmogorov-Smirnov statistic: max CDF distance."""
+    a = np.sort(np.asarray(a, dtype=np.float64))
+    b = np.sort(np.asarray(b, dtype=np.float64))
+    grid = np.concatenate([a, b])
+    ca = np.searchsorted(a, grid, side="right") / len(a)
+    cb = np.searchsorted(b, grid, side="right") / len(b)
+    return float(np.max(np.abs(ca - cb)))
+
+
+class TestClassRoundPropertyParity:
+    """Property: across arbitrary fault/flap/growth sequences, class-round
+    execution conserves probes exactly and tracks the per-pair fast path's
+    distribution within sketch error + sampling noise."""
+
+    @given(
+        events=st.lists(
+            st.sampled_from(
+                ["spine_fault", "clear_faults", "server_down",
+                 "server_up", "grow"]
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_counts_exact_and_quantiles_bounded(self, events):
+        classed = _fabric(seed=13)
+        fast = _fabric(seed=13)
+        class_stats = ClassStats(relative_accuracy=0.01)
+        fast_stats = ClassStats(relative_accuracy=0.01)
+        class_rtts: list = []
+        fast_rtts: list = []
+
+        t = 0.0
+        for event in events:
+            _apply_event(classed, event)
+            _apply_event(fast, event)
+            dc = classed.topology.dc(0)
+            src = dc.servers_in_podset(0)[0]
+            peers = [s for s in dc.servers if s is not src][:16]
+            entries = [(p.device_id, 81, 0) for p in peers]
+
+            for _ in range(6):
+                t += 30.0
+                plan = classed.build_class_plan(src, entries)
+                # Exact conservation: every entry is classed or passed through.
+                assert plan.n_class_probes + len(plan.passthrough) == len(entries)
+                carried_before = classed.probes_carried
+                n_class_ok = 0
+                for outcome in classed.run_class_plan(plan, t=t):
+                    assert outcome.success + outcome.failed == outcome.n
+                    n_class_ok += outcome.success
+                    class_stats.observe_aggregate(
+                        outcome.failed, outcome.rtt_s * 1e6
+                    )
+                    class_rtts.extend(outcome.rtt_s * 1e6)
+                assert (
+                    classed.probes_carried - carried_before
+                    == plan.n_class_probes
+                )
+                if plan.passthrough:
+                    degraded = [entries[i] for i in plan.passthrough]
+                    for result in classed.probe_many(src, degraded, t=t):
+                        class_stats.observe(result.success, result.rtt_s * 1e6)
+                        if result.success:
+                            class_rtts.append(result.rtt_s * 1e6)
+
+                fast_src = fast.topology.dc(0).servers_in_podset(0)[0]
+                for result in fast.probe_many(fast_src, entries, t=t):
+                    fast_stats.observe(result.success, result.rtt_s * 1e6)
+                    if result.success:
+                        fast_rtts.append(result.rtt_s * 1e6)
+
+        # Both sides saw exactly one outcome per entry per round.
+        assert class_stats.probes == fast_stats.probes
+        # Failure counts within binomial noise of each other (tiny p).
+        n = class_stats.probes
+        assert abs(class_stats.failed - fast_stats.failed) <= max(
+            5, 4 * np.sqrt(0.05 * n)
+        )
+        # Distributional parity via the two-sample KS statistic.  The RTT
+        # mixture is multimodal (one mode per scope), so fixed quantiles sit
+        # on cliffs between modes and flake; the KS distance compares CDF
+        # *probabilities* instead of positions and is immune to that.  The
+        # bound is the classical critical value c(alpha)*sqrt(1/n1 + 1/n2)
+        # with c=2.5 (alpha ~ 4e-6), generous enough for hypothesis's many
+        # examples while still catching any systematic model divergence.
+        if len(class_rtts) > 150 and len(fast_rtts) > 150:
+            dist = _ks_distance(class_rtts, fast_rtts)
+            bound = 2.5 * np.sqrt(1 / len(class_rtts) + 1 / len(fast_rtts))
+            assert dist < bound, (
+                f"KS distance {dist:.3f} exceeds {bound:.3f} "
+                f"(n={len(class_rtts)}/{len(fast_rtts)})"
+            )

@@ -1,0 +1,215 @@
+"""The podset-sharded fleet driver: conservation, parity, growth, scale.
+
+The exactness bar: sharded execution reorganizes *who runs the round*, not
+what the round does — so probe conservation must be exact (to the probe),
+the chaos invariant catalogue must stay clean, and growth mid-run must fold
+new podsets into the shard map without dropping a probe.
+
+``test_scale_smoke_1k_window`` is the tier-1 smoke for the scale suite:
+1024 servers, one simulated 10-minute window, sharded class rounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chaos.invariants import InvariantChecker
+from repro.core.agent.agent import AgentConfig
+from repro.core.controller.generator import GeneratorConfig
+from repro.core.dsa.pipeline import DsaConfig
+from repro.core.dsa.records import CLASS_STREAM
+from repro.core.sharded import ShardedFleet
+from repro.core.system import PingmeshSystem, PingmeshSystemConfig
+from repro.netsim.faults import SilentRandomDrop
+from repro.netsim.topology import TopologySpec
+from repro.stream.plane import StreamConfig
+
+_SPEC = TopologySpec(n_podsets=2, pods_per_podset=2, servers_per_pod=4, n_spines=4)
+
+
+def _system(round_mode="class", shard_aggregation=True, spec=_SPEC, seed=0):
+    return PingmeshSystem(
+        PingmeshSystemConfig(
+            specs=(spec,),
+            seed=seed,
+            agent=AgentConfig(round_mode=round_mode),
+            stream=StreamConfig(shard_aggregation=shard_aggregation),
+        )
+    )
+
+
+class TestShardedConservation:
+    def test_probe_conservation_exact_with_observer(self):
+        """Every probe a sharded round carries — classed, degraded, VIP —
+        must be visible to the fabric's probe observers, and the fabric
+        ledger must balance to the probe."""
+        system = _system()
+        observed = []
+        system.fabric.probe_observers.append(lambda *args: observed.append(args))
+        fleet = ShardedFleet(system)
+        carried_before = system.fabric.probes_carried
+        refused_before = system.fabric.probes_refused
+        batched_before = system.fabric.probes_carried_batched
+        launched = fleet.run_round(0.0)
+        assert launched > 0
+        assert len(observed) == launched
+        ledger = (
+            (system.fabric.probes_carried - carried_before)
+            + (system.fabric.probes_refused - refused_before)
+            - (system.fabric.probes_carried_batched - batched_before)
+        )
+        assert ledger == len(observed)
+
+    def test_conservation_holds_under_faults(self):
+        system = _system()
+        observed = []
+        system.fabric.probe_observers.append(lambda *args: observed.append(args))
+        fleet = ShardedFleet(system)
+        spine = system.topology.dc(0).spines[0]
+        system.fabric.faults.inject(
+            SilentRandomDrop(switch_id=spine.device_id, drop_prob=0.3)
+        )
+        launched = fleet.run_round(30.0)
+        assert len(observed) == launched
+        # Faulted envelopes degraded: some pairs went per-pair.
+        shard = next(iter(fleet.shards.values()))
+        assert shard._plan is not None
+        assert any(s._passthrough for s in fleet.shards.values())
+
+    def test_chaos_invariant_checker_clean(self):
+        """The full chaos invariant catalogue over sharded rounds."""
+        system = _system()
+        fleet = ShardedFleet(system)
+        checker = InvariantChecker(system)
+        checker.attach()
+        fleet.run_for(180.0)
+        checker.check_phase()
+        assert checker.clean, [str(v) for v in checker.violations]
+
+    def test_stream_plane_conservation_under_sharding(self):
+        system = _system()
+        fleet = ShardedFleet(system)
+        fleet.run_for(120.0)
+        ledger = system.stream.conservation()
+        assert ledger["probes_folded"] == (
+            ledger["probes_emitted"] + ledger["probes_pending"]
+        )
+        assert ledger["probes_folded"] > 0
+
+
+class TestShardedParity:
+    def test_sharded_totals_match_per_agent_class_mode(self):
+        """A sharded fleet and per-agent class agents over the same world
+        launch identical probe counts per round (same plans, same
+        partition — only the draw batching differs)."""
+        sharded = _system(seed=3)
+        fleet = ShardedFleet(sharded)
+        per_agent = _system(seed=3, shard_aggregation=False)
+        per_agent.start()
+
+        fleet_launched = fleet.run_round(0.0)
+        agent_launched = sum(
+            agent.run_probe_round(0.0) for agent in per_agent.agents.values()
+        )
+        assert fleet_launched == agent_launched
+
+    def test_class_summaries_reach_class_stream(self):
+        system = _system()
+        fleet = ShardedFleet(system)
+        fleet.run_round(0.0)
+        for shard in fleet.shards.values():
+            shard.class_uploader.flush(600.0)
+        records = list(system.store.read(CLASS_STREAM))
+        assert records
+        assert all(r["src"].startswith("shard:") for r in records)
+        assert all(r["src_pod"] == -1 for r in records)
+
+    def test_fleet_counters_roll_up(self):
+        system = _system()
+        fleet = ShardedFleet(system)
+        launched = fleet.run_round(0.0)
+        merged = fleet.fleet_counters()
+        assert merged.probes_total == launched
+        assert merged.percentile_us(50) is not None
+
+
+class TestShardedGrowth:
+    def test_growth_adds_shards_and_probes(self):
+        system = _system()
+        fleet = ShardedFleet(system)
+        fleet.run_for(60.0)
+        shards_before = len(fleet.shards)
+        probes_before = fleet.probes_sent
+        system.add_podset(0)
+        # New agents need a pinglist with the new peers; regenerate + the
+        # next fleet round picks them up.
+        fleet.run_for(120.0)
+        assert len(fleet.shards) == shards_before + 1
+        assert fleet.probes_sent > probes_before
+        new_shard = fleet.shards[(0, shards_before)]
+        assert new_shard.probes_sent > 0
+
+
+class TestWorkerPool:
+    def test_worker_pool_matches_serial_accounting(self):
+        """Worker count must not change the probe ledger or the SNMP sums
+        — the deferred class ledgers make side effects deterministic."""
+        totals = {}
+        for workers in (0, 4):
+            system = _system(seed=7)
+            fleet = ShardedFleet(system, workers=workers)
+            launched = fleet.run_round(0.0)
+            totals[workers] = (
+                launched,
+                system.fabric.probes_carried,
+                sum(
+                    s.counters.packets_forwarded
+                    for s in system.topology.dc(0).all_switches()
+                ),
+            )
+        assert totals[0] == totals[4]
+
+    def test_worker_pool_with_observers_falls_back_serial(self):
+        system = _system()
+        system.fabric.probe_observers.append(lambda *args: None)
+        fleet = ShardedFleet(system, workers=4)
+        # Must not raise: observers force the serial path.
+        assert fleet.run_round(0.0) > 0
+
+    def test_started_system_with_agent_rounds_rejected(self):
+        system = _system()
+        system.start()  # schedules per-agent rounds
+        with pytest.raises(RuntimeError, match="per-agent"):
+            ShardedFleet(system)
+
+
+class TestScaleSmoke:
+    def test_scale_smoke_1k_window(self):
+        """Tier-1 smoke of the scale suite: 1024 servers, one simulated
+        10-minute window through the sharded class driver."""
+        spec = TopologySpec(
+            n_podsets=4, pods_per_podset=16, servers_per_pod=16, n_spines=8
+        )
+        system = PingmeshSystem(
+            PingmeshSystemConfig(
+                specs=(spec,),
+                agent=AgentConfig(round_mode="class", upload_period_s=600.0),
+                generator=GeneratorConfig(max_peers_per_server=32),
+                stream=StreamConfig(shard_aggregation=True),
+                dsa=DsaConfig(
+                    ingestion_delay_s=0.0, near_real_time_period_s=300.0
+                ),
+            )
+        )
+        assert len(system.topology.dc(0).servers) == 1024
+        fleet = ShardedFleet(system)
+        fleet.run_for(600.0)
+        assert fleet.rounds_run >= 1
+        assert fleet.probes_sent > 0
+        assert len(fleet.shards) == 4
+        # The stream plane folded shard deltas, conserved.
+        ledger = system.stream.conservation()
+        assert ledger["probes_folded"] == (
+            ledger["probes_emitted"] + ledger["probes_pending"]
+        )

@@ -1,0 +1,330 @@
+"""The closed-form class-round engine against its contracts.
+
+Three layers:
+
+* **Exactness** — the path-free class facts (hop count, WAN RTT, attempt
+  drop probability, fault envelope) must be *bit-identical* to what the
+  per-pair path machinery computes; the whole engine rests on that.
+* **Partition** — ``build_class_plan`` must refuse exactly the pairs the
+  per-pair fast path would refuse (payload, down endpoints, envelope ∩
+  faults), plus any pair whose route would not resolve.
+* **Accounting** — probe-conservation ledger, observer notifications, SNMP
+  increments and the deferred-ledger mode must all agree with the
+  immediate path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.netsim.fabric import (
+    ClassLedger,
+    Fabric,
+    merge_class_plans,
+)
+from repro.netsim.faults import CongestionFault, SilentRandomDrop
+from repro.netsim.routing import SCOPE_HOP_KINDS, PathScope, classify_scope
+from repro.netsim.topology import MultiDCTopology, TopologySpec
+
+_SPEC = TopologySpec(n_podsets=2, pods_per_podset=2, servers_per_pod=4, n_spines=4)
+
+
+def _fabric(seed=7):
+    return Fabric.single_dc(_SPEC, seed=seed)
+
+
+def _multi_dc_fabric(seed=7):
+    topology = MultiDCTopology(
+        [
+            TopologySpec(
+                name="dc-e", region="us-east", n_podsets=2,
+                pods_per_podset=2, servers_per_pod=2,
+            ),
+            TopologySpec(
+                name="dc-w", region="us-west", n_podsets=2,
+                pods_per_podset=2, servers_per_pod=2,
+            ),
+        ]
+    )
+    return Fabric(topology, seed=seed)
+
+
+def _entries_for(fabric, src, peers):
+    return [(peer.device_id, 81, 0) for peer in peers]
+
+
+class TestClassFacts:
+    def test_p_attempt_bit_identical_to_path_based(self):
+        """For every scope, the kind-sequence drop probability must equal
+        the representative-path computation float-for-float."""
+        fabric = _multi_dc_fabric()
+        dc0 = fabric.topology.dc(0)
+        src = dc0.servers_in_podset(0)[0]
+        peers = {
+            PathScope.INTRA_POD: dc0.servers_in_podset(0)[1],
+            PathScope.INTRA_PODSET: dc0.servers_in_podset(0)[-1],
+            PathScope.INTRA_DC: dc0.servers_in_podset(1)[0],
+            PathScope.INTER_DC: fabric.topology.dc(1).servers_in_podset(0)[0],
+        }
+        for scope, dst in peers.items():
+            assert classify_scope(fabric.topology, src, dst) is scope
+            facts = fabric._class_facts(src, dst)
+            assert facts.scope is scope
+            assert facts.n_hops == len(SCOPE_HOP_KINDS[scope])
+            assert facts.p_attempt == fabric.expected_attempt_drop(src, dst)
+
+    def test_wan_rtt_only_inter_dc(self):
+        fabric = _multi_dc_fabric()
+        src = fabric.topology.dc(0).servers_in_podset(0)[0]
+        local = fabric.topology.dc(0).servers_in_podset(1)[0]
+        remote = fabric.topology.dc(1).servers_in_podset(0)[0]
+        assert fabric._class_facts(src, local).wan_rtt == 0.0
+        assert fabric._class_facts(src, remote).wan_rtt == (
+            fabric.topology.wan_rtt[(0, 1)]
+        )
+
+    def test_envelope_matches_pair_envelope(self):
+        fabric = _fabric()
+        dc = fabric.topology.dc(0)
+        src = dc.servers_in_podset(0)[0]
+        dst = dc.servers_in_podset(1)[0]
+        facts = fabric._class_facts(src, dst)
+        scope = classify_scope(fabric.topology, src, dst)
+        assert facts.envelope == fabric._pair_envelope(src, dst, scope)
+
+    def test_cache_invalidates_on_state_version_bump(self):
+        fabric = _fabric()
+        dc = fabric.topology.dc(0)
+        src = dc.servers_in_podset(0)[0]
+        dst = dc.servers_in_podset(1)[0]
+        fabric._class_facts(src, dst)
+        assert fabric._class_facts_cache
+        dc.spines[0].bring_down()
+        fabric._class_facts(src, dst)  # repopulates under the new version
+        assert fabric._class_facts_version == fabric.state_version
+
+
+class TestPlanPartition:
+    def test_healthy_round_fully_classed(self):
+        fabric = _fabric()
+        dc = fabric.topology.dc(0)
+        src = dc.servers_in_podset(0)[0]
+        peers = [s for s in dc.servers if s is not src][:12]
+        plan = fabric.build_class_plan(src, _entries_for(fabric, src, peers))
+        assert plan.passthrough == []
+        assert plan.n_class_probes == 12
+
+    def test_payload_and_self_and_down_degrade(self):
+        fabric = _fabric()
+        dc = fabric.topology.dc(0)
+        src = dc.servers_in_podset(0)[0]
+        up_peer = dc.servers_in_podset(1)[0]
+        down_peer = dc.servers_in_podset(1)[1]
+        down_peer.bring_down()
+        entries = [
+            (up_peer.device_id, 81, 1000),  # payload → per-probe fidelity
+            (src.device_id, 81, 0),  # self-probe → scalar's error path
+            (down_peer.device_id, 81, 0),  # down dst → scalar timeout
+            (dc.servers_in_podset(0)[1].device_id, 81, 0),  # healthy
+        ]
+        plan = fabric.build_class_plan(src, entries)
+        assert plan.passthrough == [0, 1, 2]
+        assert plan.n_class_probes == 1
+
+    def test_fault_on_envelope_degrades_class(self):
+        fabric = _fabric()
+        dc = fabric.topology.dc(0)
+        src = dc.servers_in_podset(0)[0]
+        same_pod = dc.servers_in_podset(0)[1]
+        cross = dc.servers_in_podset(1)[0]
+        entries = _entries_for(fabric, src, [same_pod, cross])
+        fabric.faults.inject(
+            SilentRandomDrop(switch_id=dc.spines[0].device_id, drop_prob=0.2)
+        )
+        plan = fabric.build_class_plan(src, entries)
+        # The spine is on the cross-podset envelope only.
+        assert plan.passthrough == [1]
+        assert plan.n_class_probes == 1
+        fabric.faults.clear_all()
+        plan = fabric.build_class_plan(src, entries)
+        assert plan.passthrough == []
+
+    def test_groups_key_on_purpose_and_scope(self):
+        fabric = _fabric()
+        dc = fabric.topology.dc(0)
+        src = dc.servers_in_podset(0)[0]
+        same_pod = dc.servers_in_podset(0)[1]
+        cross = dc.servers_in_podset(1)[0]
+        entries = _entries_for(fabric, src, [same_pod, cross])
+        tags = [("intra-pod", "high"), ("tor-level", "high")]
+        plan = fabric.build_class_plan(src, entries, tags)
+        keys = {(g.purpose, g.scope) for g in plan.groups}
+        assert keys == {
+            ("intra-pod", PathScope.INTRA_POD),
+            ("tor-level", PathScope.INTRA_DC),
+        }
+
+
+class TestRunClassPlan:
+    def test_stale_plan_raises(self):
+        fabric = _fabric()
+        dc = fabric.topology.dc(0)
+        src = dc.servers_in_podset(0)[0]
+        plan = fabric.build_class_plan(
+            src, _entries_for(fabric, src, dc.servers_in_podset(1)[:4])
+        )
+        dc.spines[0].bring_down()
+        with pytest.raises(ValueError, match="stale"):
+            fabric.run_class_plan(plan)
+
+    def test_probe_conservation_and_observers(self):
+        fabric = _fabric()
+        dc = fabric.topology.dc(0)
+        src = dc.servers_in_podset(0)[0]
+        observed = []
+        fabric.probe_observers.append(lambda *args: observed.append(args))
+        before = fabric.probes_carried
+        plan = fabric.build_class_plan(
+            src, _entries_for(fabric, src, dc.servers_in_podset(1)[:6])
+        )
+        fabric.run_class_plan(plan)
+        assert fabric.probes_carried - before == 6
+        assert len(observed) == 6
+        assert {(o[0], o[1]) for o in observed} == {
+            (src.device_id, peer.device_id)
+            for peer in dc.servers_in_podset(1)[:6]
+        }
+
+    def test_outcome_counts_sum_to_members(self):
+        fabric = _fabric()
+        dc = fabric.topology.dc(0)
+        src = dc.servers_in_podset(0)[0]
+        peers = [s for s in dc.servers if s is not src]
+        plan = fabric.build_class_plan(src, _entries_for(fabric, src, peers))
+        outcomes = fabric.run_class_plan(plan)
+        assert sum(o.n for o in outcomes) == len(peers)
+        for outcome in outcomes:
+            assert outcome.success + outcome.failed == outcome.n
+            assert len(outcome.rtt_s) == outcome.success
+
+    def test_snmp_increments_match_fast_path_totals(self):
+        """Every class probe charges one packet per forward hop, like the
+        per-pair engines."""
+        fabric = _fabric()
+        dc = fabric.topology.dc(0)
+        src = dc.servers_in_podset(0)[0]
+        cross = dc.servers_in_podset(1)[:4]
+        before = sum(s.counters.packets_forwarded for s in dc.all_switches())
+        plan = fabric.build_class_plan(src, _entries_for(fabric, src, cross))
+        fabric.run_class_plan(plan)
+        after = sum(s.counters.packets_forwarded for s in dc.all_switches())
+        # INTRA_DC forward path: ToR, Leaf, Spine, Leaf, ToR = 5 hops/probe.
+        assert after - before == 5 * len(cross)
+
+    def test_class_rtts_match_batch_probe_distribution(self):
+        """Class-level RTT samples come from the same analytic model as
+        ``batch_probe`` — medians within a few percent over a big draw."""
+        fabric_a = _fabric(seed=11)
+        fabric_b = _fabric(seed=11)
+        dc = fabric_a.topology.dc(0)
+        src = dc.servers_in_podset(0)[0]
+        dst = dc.servers_in_podset(1)[0]
+        n = 4000
+        batch = fabric_b.batch_probe(
+            src.device_id, dst.device_id, n=n
+        )
+        plan = fabric_a.build_class_plan(
+            src, [(dst.device_id, 81, 0)] * n
+        )
+        outcomes = fabric_a.run_class_plan(plan)
+        class_rtts = np.concatenate([o.rtt_s for o in outcomes])
+        batch_ok = batch.rtt_s[batch.success]
+        assert np.isclose(
+            np.median(class_rtts), np.median(batch_ok), rtol=0.05
+        )
+        assert np.isclose(
+            np.percentile(class_rtts, 99), np.percentile(batch_ok, 99), rtol=0.10
+        )
+
+
+class TestLedgerAndMerge:
+    def test_merge_class_plans_concatenates_groups(self):
+        fabric = _fabric()
+        dc = fabric.topology.dc(0)
+        src_a = dc.servers_in_podset(0)[0]
+        src_b = dc.servers_in_podset(0)[1]
+        peers = dc.servers_in_podset(1)[:4]
+        plan_a = fabric.build_class_plan(src_a, _entries_for(fabric, src_a, peers))
+        plan_b = fabric.build_class_plan(src_b, _entries_for(fabric, src_b, peers))
+        merged = merge_class_plans([plan_a, plan_b])
+        assert merged.n_class_probes == 8
+        # Same (purpose, scope, p) key ⇒ one group with both sources' pairs.
+        assert len(merged.groups) == 1
+        assert merged.groups[0].n == 8
+
+    def test_merge_rejects_mixed_generations(self):
+        fabric = _fabric()
+        dc = fabric.topology.dc(0)
+        src = dc.servers_in_podset(0)[0]
+        peers = dc.servers_in_podset(1)[:2]
+        plan_a = fabric.build_class_plan(src, _entries_for(fabric, src, peers))
+        dc.spines[0].bring_down()
+        plan_b = fabric.build_class_plan(src, _entries_for(fabric, src, peers))
+        with pytest.raises(ValueError, match="generation"):
+            merge_class_plans([plan_a, plan_b])
+
+    def test_deferred_ledger_equals_immediate(self):
+        fabric_now = _fabric(seed=3)
+        fabric_def = _fabric(seed=3)
+        for fabric in (fabric_now, fabric_def):
+            dc = fabric.topology.dc(0)
+            src = dc.servers_in_podset(0)[0]
+            peers = [s for s in dc.servers if s is not src]
+            plan = fabric.build_class_plan(src, _entries_for(fabric, src, peers))
+            rng = np.random.default_rng(99)
+            if fabric is fabric_now:
+                fabric.run_class_plan(plan, rng=rng)
+            else:
+                ledger = ClassLedger()
+                fabric.run_class_plan(plan, rng=rng, ledger=ledger)
+                fabric.apply_class_ledger(ledger)
+        assert fabric_now.probes_carried == fabric_def.probes_carried
+        counts_now = [
+            s.counters.packets_forwarded
+            for s in fabric_now.topology.dc(0).all_switches()
+        ]
+        counts_def = [
+            s.counters.packets_forwarded
+            for s in fabric_def.topology.dc(0).all_switches()
+        ]
+        assert counts_now == counts_def
+
+    def test_ledger_refused_with_observers_attached(self):
+        fabric = _fabric()
+        dc = fabric.topology.dc(0)
+        src = dc.servers_in_podset(0)[0]
+        plan = fabric.build_class_plan(
+            src, _entries_for(fabric, src, dc.servers_in_podset(1)[:2])
+        )
+        fabric.probe_observers.append(lambda *args: None)
+        with pytest.raises(RuntimeError, match="observers"):
+            fabric.run_class_plan(plan, ledger=ClassLedger())
+
+    def test_congestion_latency_fault_degrades_not_distorts(self):
+        """A latency-only fault on the envelope must push pairs to the
+        per-pair engines (which traverse the fault), never stay classed."""
+        fabric = _fabric()
+        dc = fabric.topology.dc(0)
+        src = dc.servers_in_podset(0)[0]
+        cross = dc.servers_in_podset(1)[:4]
+        fabric.faults.inject(
+            CongestionFault(
+                switch_id=dc.spines[0].device_id,
+                drop_prob=0.0,
+                extra_queue_s=400e-6,
+            )
+        )
+        plan = fabric.build_class_plan(src, _entries_for(fabric, src, cross))
+        assert plan.groups == []
+        assert plan.passthrough == [0, 1, 2, 3]
