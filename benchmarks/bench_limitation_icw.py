@@ -52,7 +52,7 @@ def measurements():
     return {
         "ping": (np.median(ping16), np.median(ping4)),
         "xfer": (np.median(xfer16), np.median(xfer4)),
-        "wan_rtt": fabric.topology.wan_rtt[(0, 1)],
+        "wan_rtt": fabric.topology.wan_pair_rtt(0, 1),
     }
 
 

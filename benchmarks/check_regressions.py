@@ -22,7 +22,11 @@ the ≥50× detection-latency gate, constant sketch memory), and writes
 sharded-fleet correctness tier, then ``bench_scale`` (a simulated
 10-minute window inside a wall-clock budget at 1k/4k/16k servers, plus the
 ≥3x class-rounds-over-fast-path gate at 4k), and writes
-``BENCH_scale.json``.
+``BENCH_scale.json``.  The ``wan`` suite first runs the inter-DC
+correctness tier (``tests/netsim/test_wan_tier.py`` — directional WAN
+latency, WAN fault kinds, three-rung parity, cache invalidation), then
+``bench_wan`` (the 4-DC latency/drop envelopes, class-group drop parity,
+fiber-cut blast radius), and writes ``BENCH_wan.json``.
 
 Each bench file carries its own hard assertions (e.g. the columnar path's
 ≥10× speedup gate), so the exit code is a pass/fail verdict, not just a
@@ -56,6 +60,9 @@ STREAM_BENCHES = [
 SCALE_BENCHES = [
     "bench_scale.py",
 ]
+WAN_BENCHES = [
+    "bench_wan.py",
+]
 CHAOS_DRILL_TIER = ["tests/integration/test_chaos_drills.py"]
 # Correctness before speed: the fleet suite's bench numbers mean nothing
 # unless cached paths equal fresh paths and fast rounds match scalar rounds.
@@ -76,6 +83,11 @@ SCALE_CORRECTNESS_TIER = [
     "tests/core/test_fast_path_parity.py",
     "tests/core/test_sharded_fleet.py",
 ]
+# The WAN envelopes mean nothing unless directional latency, WAN faults
+# and the three probing rungs agree on the inter-DC tier.
+WAN_CORRECTNESS_TIER = [
+    "tests/netsim/test_wan_tier.py",
+]
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_DIR = Path(__file__).resolve().parent
@@ -85,6 +97,7 @@ SUITES = {
     "fleet": (FLEET_BENCHES, "BENCH_fleet.json"),
     "stream": (STREAM_BENCHES, "BENCH_stream.json"),
     "scale": (SCALE_BENCHES, "BENCH_scale.json"),
+    "wan": (WAN_BENCHES, "BENCH_wan.json"),
 }
 
 
@@ -159,6 +172,7 @@ def run_suite(suite: str, output: Path | None) -> int:
         "fleet": FLEET_CORRECTNESS_TIER,
         "stream": STREAM_CORRECTNESS_TIER,
         "scale": SCALE_CORRECTNESS_TIER,
+        "wan": WAN_CORRECTNESS_TIER,
     }
     tier = gate_tiers.get(suite)
     if tier is not None:

@@ -10,7 +10,7 @@ a bounded detection delay (§3.5).
 
 from __future__ import annotations
 
-from repro.netsim.faults import podset_down, podset_up
+from repro.netsim.faults import WanFault, podset_down, podset_up
 from repro.netsim.scenarios import apply_scenario
 
 __all__ = [
@@ -24,6 +24,7 @@ __all__ = [
     "VipBlackout",
     "MemorySqueeze",
     "StreamIngestBlackout",
+    "WanLinkFault",
 ]
 
 
@@ -228,6 +229,43 @@ class MemorySqueeze(ChaosAction):
     def end(self, system, t: float) -> None:
         for server_id, cap in self._saved_caps.items():
             system.agent_on(server_id).memory_cap_mb = cap
+
+
+class WanLinkFault(ChaosAction):
+    """Inject one WAN fault (fiber cut, DCI congestion, partial partition,
+    asymmetric reroute) on the long-haul segment for a window.
+
+    Only inter-DC probes between the affected DC pair are touched; every
+    intra-DC series must stay healthy throughout.  Ground truth covers the
+    WAN direction markers, both DCs' border routers, and the ToRs of the
+    pods hosting inter-DC pivot servers — the only devices a localizer
+    could defensibly implicate for a long-haul failure (no single switch
+    owns the segment, so blame lands on its endpoints).
+    """
+
+    def __init__(self, fault: WanFault) -> None:
+        kind = type(fault).__name__
+        self.name = f"wan-link-fault:{kind}:dc{fault.src_dc}>dc{fault.dst_dc}"
+        self.fault = fault
+        self._injected: WanFault | None = None
+
+    def start(self, system, t: float) -> None:
+        self._injected = system.fabric.faults.inject(self.fault)
+
+    def end(self, system, t: float) -> None:
+        if self._injected is not None:
+            system.fabric.faults.clear(self._injected)
+            self._injected = None
+
+    def ground_truth_devices(self, system) -> set[str]:
+        devices: set[str] = set(self.fault.link_ids())
+        for dc_index in (self.fault.src_dc, self.fault.dst_dc):
+            dc = system.topology.dc(dc_index)
+            devices.update(border.device_id for border in dc.borders)
+            generator = system.controller.generator
+            for server in generator.inter_dc_selection(dc):
+                devices.add(dc.tor_of(server).device_id)
+        return devices
 
 
 class StreamIngestBlackout(ChaosAction):

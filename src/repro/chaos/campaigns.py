@@ -31,6 +31,18 @@ campaign               claim under test
                        ``stream-ingesting`` watchdog trips, conservation
                        and the batch plane hold throughout, and ingest
                        resumes when the replicas return.
+``wan-fiber-cut``      inter-DC tier — both directions of a DC pair go
+                       silently dark: honest drop rates on the pivots,
+                       no scapegoat repairs, intra-DC series healthy
+                       throughout, full recovery on splice.
+``wan-dci-congestion`` inter-DC tier — one WAN direction drops and queues
+                       under congestion, then a long-lived asymmetric
+                       reroute inflates one direction's latency; only the
+                       ``dc-pair`` series may breach.
+``wan-partition``      inter-DC tier — a flow-hash slice of WAN traffic
+                       blackholes both ways (partial partition): partial
+                       failure is measured honestly, unaffected flows and
+                       all intra-DC traffic stay clean.
 =====================  ====================================================
 
 Every campaign builds its own small deterministic system; drive them via
@@ -52,11 +64,18 @@ from repro.chaos.actions import (
     ScenarioAction,
     StreamIngestBlackout,
     VipBlackout,
+    WanLinkFault,
 )
 from repro.chaos.campaign import CampaignReport, ChaosCampaign
 from repro.core.agent.agent import AgentConfig
 from repro.core.dsa.pipeline import DsaConfig
 from repro.core.system import PingmeshSystem, PingmeshSystemConfig
+from repro.netsim.faults import (
+    AsymmetricWanRoute,
+    DciCongestion,
+    WanFiberCut,
+    WanPartialPartition,
+)
 from repro.netsim.topology import TopologySpec
 
 __all__ = ["CannedCampaign", "CAMPAIGNS", "build_campaign", "run_campaign"]
@@ -64,6 +83,18 @@ __all__ = ["CannedCampaign", "CAMPAIGNS", "build_campaign", "run_campaign"]
 # Small but structurally complete: 2 podsets x 2 pods x 4 servers exercises
 # every probe class while keeping a full drill tier fast.
 _SPEC = TopologySpec(n_podsets=2, pods_per_podset=2, servers_per_pod=4)
+# Two of those, a continent apart, for the WAN drills — the us-west/us-east
+# pair keeps healthy inter-DC RTT (~54 ms) well under the dc-pair P99 limit.
+_WAN_SPECS = (
+    TopologySpec(
+        name="dc-w", region="us-west", n_podsets=2, pods_per_podset=2,
+        servers_per_pod=3,
+    ),
+    TopologySpec(
+        name="dc-e", region="us-east", n_podsets=2, pods_per_podset=2,
+        servers_per_pod=3,
+    ),
+)
 _FAST_DSA = DsaConfig(
     ingestion_delay_s=0.0,
     near_real_time_period_s=300.0,
@@ -175,6 +206,57 @@ def _stream_blackout(seed: int, check_mode: str):
     return system, campaign
 
 
+def _wan_system(seed: int) -> PingmeshSystem:
+    return PingmeshSystem(
+        PingmeshSystemConfig(
+            specs=_WAN_SPECS,
+            seed=seed,
+            dsa=_FAST_DSA,
+            agent=AgentConfig(pinglist_refresh_s=200.0, upload_period_s=120.0),
+        )
+    )
+
+
+def _wan_fiber_cut(seed: int, check_mode: str):
+    system = _wan_system(seed)
+    campaign = ChaosCampaign(system, name="wan-fiber-cut", check_mode=check_mode)
+    campaign.add(
+        WanLinkFault(WanFiberCut(src_dc=0, dst_dc=1)), start_t=150.0, end_t=510.0
+    )
+    return system, campaign
+
+
+def _wan_dci_congestion(seed: int, check_mode: str):
+    system = _wan_system(seed)
+    campaign = ChaosCampaign(
+        system, name="wan-dci-congestion", check_mode=check_mode
+    )
+    campaign.add(
+        WanLinkFault(DciCongestion(src_dc=0, dst_dc=1, drop_prob=0.05)),
+        start_t=120.0,
+        end_t=360.0,
+    )
+    # After the congestion clears, a reroute leaves one direction on a
+    # 30 ms-longer path for the rest of the drill.
+    campaign.add(
+        WanLinkFault(AsymmetricWanRoute(src_dc=1, dst_dc=0)),
+        start_t=420.0,
+        end_t=660.0,
+    )
+    return system, campaign
+
+
+def _wan_partition(seed: int, check_mode: str):
+    system = _wan_system(seed)
+    campaign = ChaosCampaign(system, name="wan-partition", check_mode=check_mode)
+    campaign.add(
+        WanLinkFault(WanPartialPartition(src_dc=0, dst_dc=1, fraction=0.5)),
+        start_t=150.0,
+        end_t=510.0,
+    )
+    return system, campaign
+
+
 CAMPAIGNS: dict[str, CannedCampaign] = {
     canned.name: canned
     for canned in (
@@ -228,6 +310,24 @@ CAMPAIGNS: dict[str, CannedCampaign] = {
             build=_stream_blackout,
             duration_s=720.0,
             phase_s=120.0,
+        ),
+        CannedCampaign(
+            name="wan-fiber-cut",
+            description="WAN fiber cut: honest pivot drop rates, intra-DC clean",
+            build=_wan_fiber_cut,
+            duration_s=720.0,
+        ),
+        CannedCampaign(
+            name="wan-dci-congestion",
+            description="DCI congestion then asymmetric reroute on one direction",
+            build=_wan_dci_congestion,
+            duration_s=780.0,
+        ),
+        CannedCampaign(
+            name="wan-partition",
+            description="partial WAN partition: a flow slice blackholes both ways",
+            build=_wan_partition,
+            duration_s=720.0,
         ),
     )
 }

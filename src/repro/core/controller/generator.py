@@ -79,14 +79,18 @@ class PingmeshGenerator:
     def inter_dc_selection(self, dc: ClosTopology) -> list:
         """The servers of one DC that participate in inter-DC probing.
 
-        Deterministic: the first ``inter_dc_servers_per_podset`` servers of
-        each podset.  Determinism matters — every controller replica must
-        generate identical pinglists to stay stateless behind the VIP.
+        Deterministic given one liveness view: the first
+        ``inter_dc_servers_per_podset`` *live* servers of each podset, so a
+        down pivot falls through to the next live server instead of
+        silently blinding its podset's inter-DC coverage until it reboots.
+        Determinism matters — every controller replica must generate
+        identical pinglists to stay stateless behind the VIP, and replicas
+        regenerating at the same instant see the same liveness.
         """
         selected = []
         for podset in range(dc.spec.n_podsets):
-            servers = dc.servers_in_podset(podset)
-            selected.extend(servers[: self.config.inter_dc_servers_per_podset])
+            live = [s for s in dc.servers_in_podset(podset) if s.is_up]
+            selected.extend(live[: self.config.inter_dc_servers_per_podset])
         return selected
 
     # -- the algorithm -------------------------------------------------------------

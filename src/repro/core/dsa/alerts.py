@@ -27,17 +27,37 @@ __all__ = ["SlaThresholds", "Alert", "AlertEngine"]
 
 @dataclass(frozen=True)
 class SlaThresholds:
-    """The paper's defaults: drop rate 1e-3, P99 latency 5 ms."""
+    """The paper's defaults: drop rate 1e-3, P99 latency 5 ms.
+
+    Inter-DC (``dc-pair`` scope) series get their own pair of limits: the
+    long-haul segment legitimately adds hundreds of milliseconds of
+    propagation and crosses provider boundaries with a slightly higher
+    baseline loss, so the intra-DC limits would always read as breached.
+    ``max_interdc_p99_us`` must exceed the worst healthy pair RTT in the
+    fleet (~205 ms us-west<->asia at defaults).
+    """
 
     max_drop_rate: float = 1e-3
     max_p99_us: float = 5000.0
+    max_interdc_drop_rate: float = 2e-3
+    max_interdc_p99_us: float = 400_000.0
     min_probe_count: int = 20  # don't alert on statistically-empty windows
 
     def __post_init__(self) -> None:
         if self.max_drop_rate <= 0 or self.max_p99_us <= 0:
             raise ValueError("thresholds must be positive")
+        if self.max_interdc_drop_rate <= 0 or self.max_interdc_p99_us <= 0:
+            raise ValueError("inter-DC thresholds must be positive")
         if self.min_probe_count < 1:
             raise ValueError(f"min_probe_count must be >= 1: {self.min_probe_count}")
+
+    def drop_limit_for(self, scope: str) -> float:
+        """The drop-rate limit that applies to a scope tag."""
+        return self.max_interdc_drop_rate if scope == "dc-pair" else self.max_drop_rate
+
+    def p99_limit_for(self, scope: str) -> float:
+        """The P99-latency limit that applies to a scope tag."""
+        return self.max_interdc_p99_us if scope == "dc-pair" else self.max_p99_us
 
 
 @dataclass(frozen=True)
@@ -115,14 +135,20 @@ class AlertEngine:
     # -- batch-plane evaluation --------------------------------------------
 
     def _violations(self, sla: NetworkSla) -> list[tuple[str, float, float]]:
-        """The pure §4.3 check: (metric, value, threshold) per violation."""
+        """The pure §4.3 check: (metric, value, threshold) per violation.
+
+        Limits are scope-aware — ``dc-pair`` SLAs are judged against the
+        inter-DC thresholds, everything else against the paper's defaults.
+        """
         found: list[tuple[str, float, float]] = []
         if sla.probe_count < self.thresholds.min_probe_count:
             return found
-        if sla.drop_rate > self.thresholds.max_drop_rate:
-            found.append(("drop_rate", sla.drop_rate, self.thresholds.max_drop_rate))
-        if sla.p99_us is not None and sla.p99_us > self.thresholds.max_p99_us:
-            found.append(("p99_us", sla.p99_us, self.thresholds.max_p99_us))
+        drop_limit = self.thresholds.drop_limit_for(sla.scope.value)
+        p99_limit = self.thresholds.p99_limit_for(sla.scope.value)
+        if sla.drop_rate > drop_limit:
+            found.append(("drop_rate", sla.drop_rate, drop_limit))
+        if sla.p99_us is not None and sla.p99_us > p99_limit:
+            found.append(("p99_us", sla.p99_us, p99_limit))
         return found
 
     def evaluate(self, slas: list[NetworkSla], plane: str = "batch") -> list[Alert]:
@@ -135,27 +161,29 @@ class AlertEngine:
         for sla in slas:
             if sla.probe_count < self.thresholds.min_probe_count:
                 continue
+            drop_limit = self.thresholds.drop_limit_for(sla.scope.value)
             alert = self.update_episode(
                 t=sla.window_end,
                 scope=sla.scope.value,
                 key=sla.key,
                 metric="drop_rate",
                 value=sla.drop_rate,
-                threshold=self.thresholds.max_drop_rate,
-                violated=sla.drop_rate > self.thresholds.max_drop_rate,
+                threshold=drop_limit,
+                violated=sla.drop_rate > drop_limit,
                 plane=plane,
             )
             if alert is not None:
                 fired.append(alert)
             if sla.p99_us is not None:
+                p99_limit = self.thresholds.p99_limit_for(sla.scope.value)
                 alert = self.update_episode(
                     t=sla.window_end,
                     scope=sla.scope.value,
                     key=sla.key,
                     metric="p99_us",
                     value=sla.p99_us,
-                    threshold=self.thresholds.max_p99_us,
-                    violated=sla.p99_us > self.thresholds.max_p99_us,
+                    threshold=p99_limit,
+                    violated=sla.p99_us > p99_limit,
                     plane=plane,
                 )
                 if alert is not None:

@@ -40,6 +40,7 @@ CLASS_RECORD_COLUMNS = (
     "src_dc",
     "src_podset",
     "src_pod",
+    "dst_dc",
     "purpose",
     "qos",
     "scope",
@@ -120,6 +121,8 @@ def make_class_record(
     ``src_id`` is the emitting agent (or a synthetic ``shard:`` id under
     sharded execution, with ``pod=-1``).  Percentiles are ``None`` when the
     round had no successful probe, mirroring the counters' no-sentinel rule.
+    ``dst_dc`` comes from the outcome's group (the source DC for intra-DC
+    classes), giving the class stream per-DC-pair resolution.
     """
     if outcome.rtt_s.size:
         rtt_us = outcome.rtt_s * 1e6
@@ -133,6 +136,7 @@ def make_class_record(
         "src_dc": dc,
         "src_podset": podset,
         "src_pod": pod,
+        "dst_dc": outcome.dst_dc if outcome.dst_dc >= 0 else dc,
         "purpose": outcome.purpose,
         "qos": outcome.qos,
         "scope": outcome.scope.name,

@@ -31,6 +31,7 @@ class SlaScope(enum.Enum):
     POD = "pod"
     PODSET = "podset"
     DATACENTER = "datacenter"
+    DC_PAIR = "dc-pair"
     SERVICE = "service"
 
 
@@ -88,7 +89,15 @@ def _scope_key(row: Row, scope: SlaScope) -> str:
         return f"dc{row['src_dc']}/ps{row['src_podset']}"
     if scope == SlaScope.DATACENTER:
         return f"dc{row['src_dc']}"
+    if scope == SlaScope.DC_PAIR:
+        return f"dc{row['src_dc']}->dc{row['dst_dc']}"
     raise ValueError(f"scope {scope} needs explicit service mapping")
+
+
+def _crosses_dc(row: Row) -> bool:
+    """True for inter-DC records.  Rows without a ``dst_dc`` column (older
+    fixtures, synthetic rows) are treated as intra-DC."""
+    return row.get("dst_dc", row["src_dc"]) != row["src_dc"]
 
 
 def compute_sla(
@@ -138,9 +147,19 @@ class SlaTracker:
         window_start: float,
         window_end: float,
     ) -> list[NetworkSla]:
-        """One SLA per distinct key at ``scope`` (not SERVICE)."""
+        """One SLA per distinct key at ``scope`` (not SERVICE).
+
+        Inter-DC records belong exclusively to the DC_PAIR scope: a healthy
+        long-haul probe pays ~10-400 ms of speed-of-light RTT, so merging it
+        into an intra-DC percentile would trip the 5 ms threshold on a
+        perfectly healthy fabric.  Every other scope sees intra-DC rows only.
+        """
         if scope == SlaScope.SERVICE:
             return self.track_services(rows, window_start, window_end)
+        if scope == SlaScope.DC_PAIR:
+            rows = [row for row in rows if _crosses_dc(row)]
+        else:
+            rows = [row for row in rows if not _crosses_dc(row)]
         groups: dict[str, list[Row]] = {}
         for row in rows:
             groups.setdefault(_scope_key(row, scope), []).append(row)
@@ -153,10 +172,16 @@ class SlaTracker:
         self, rows: list[Row], window_start: float, window_end: float
     ) -> list[NetworkSla]:
         """Per-service SLAs: a record belongs to a service when its *source*
-        server runs that service."""
+        server runs that service.  Inter-DC rows are excluded — the service
+        threshold is the intra-DC one, and a service whose pivot servers
+        probe across DCs would otherwise read as breached while healthy."""
         slas = []
         for name, service in sorted(self._services.items()):
-            service_rows = [row for row in rows if row["src"] in service.server_ids]
+            service_rows = [
+                row
+                for row in rows
+                if row["src"] in service.server_ids and not _crosses_dc(row)
+            ]
             if service_rows:
                 slas.append(
                     compute_sla(
@@ -176,6 +201,7 @@ class SlaTracker:
         slas: list[NetworkSla] = []
         for scope in (
             SlaScope.DATACENTER,
+            SlaScope.DC_PAIR,
             SlaScope.PODSET,
             SlaScope.POD,
             SlaScope.SERVER,

@@ -28,10 +28,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.netsim.devices import DeviceKind
-from repro.netsim.routing import Path
+from repro.netsim.routing import Path, PathScope
 from repro.netsim.workload import WorkloadProfile
 
-__all__ = ["DropModel", "DropBudget"]
+__all__ = ["DropModel", "DropBudget", "WAN_DIRECTION_DROP"]
 
 # Fraction of the intra-pod drop budget attributed to the host side (stack +
 # NIC at both endpoints) vs the ToR switch.
@@ -41,8 +41,11 @@ _HOST_SHARE_OF_INTRA = 0.6
 _LEAF_SHARE_OF_FABRIC = 2.0 / 3.0
 # Extra per-direction drop probability for crossing the WAN (long-haul
 # fiber + border routers); the paper gives no inter-DC table, so this is a
-# modest constant.
-_WAN_DIRECTION_DROP = 1.0e-5
+# modest constant.  Public on purpose: the scalar engine
+# (``fabric._traverse``), the analytic fast path and the class rounds must
+# all read the *same* binding — a fork here would silently break the
+# three-rung parity contract.
+WAN_DIRECTION_DROP = 1.0e-5
 
 
 @dataclass(frozen=True)
@@ -100,8 +103,11 @@ class DropModel:
         survive = 1.0 - self.budget.host_side
         for hop in path.hops:
             survive *= 1.0 - self.hop_drop_prob(hop.kind)
-        if path.wan_rtt > 0:
-            survive *= 1.0 - _WAN_DIRECTION_DROP
+        # Keyed on *scope*, not the configured latency, so a zero- or
+        # asymmetric-latency WAN link still pays the crossing drop and the
+        # kinds-based computation (a bare ``wan`` bool) agrees bit-for-bit.
+        if path.scope is PathScope.INTER_DC:
+            survive *= 1.0 - WAN_DIRECTION_DROP
         return 1.0 - survive
 
     def direction_drop_prob_kinds(
@@ -121,7 +127,7 @@ class DropModel:
         for kind in kinds:
             survive *= 1.0 - self.hop_drop_prob(kind)
         if wan:
-            survive *= 1.0 - _WAN_DIRECTION_DROP
+            survive *= 1.0 - WAN_DIRECTION_DROP
         return 1.0 - survive
 
     def attempt_drop_prob(self, forward: Path, reverse: Path) -> float:

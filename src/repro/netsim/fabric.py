@@ -38,9 +38,10 @@ from repro.netsim.addressing import (
     EphemeralPortAllocator,
     FiveTuple,
 )
+from repro.netsim import drops
 from repro.netsim.devices import Server, Switch
 from repro.netsim.drops import DropModel
-from repro.netsim.faults import FaultInjector
+from repro.netsim.faults import FaultInjector, wan_link_id
 from repro.netsim.latency import LatencyModel
 from repro.netsim.routing import (
     SCOPE_HOP_KINDS,
@@ -139,6 +140,13 @@ class _ClassFacts:
 
     scope: PathScope
     n_hops: int
+    # Directional one-way WAN propagation: forward (src DC -> dst DC) and
+    # reverse.  Both 0.0 within one DC; ``wan_rtt`` is their sum — the WAN
+    # contribution to a probe's RTT.  Kept split so class grouping can key
+    # on direction: (dc0 -> dc1) and (dc1 -> dc0) pairs with asymmetric
+    # latency must never share a group.
+    wan_fwd: float
+    wan_rev: float
     wan_rtt: float
     p_attempt: float
     envelope: frozenset[str]
@@ -184,9 +192,12 @@ class ClassGroup:
     purpose: str
     qos: str
     dc_index: int
+    dst_dc: int  # destination DC (== dc_index except for inter-DC groups)
     scope: PathScope
     n_hops: int
-    wan_rtt: float
+    wan_fwd: float  # one-way WAN propagation, src DC -> dst DC (0 intra-DC)
+    wan_rev: float  # one-way WAN propagation, dst DC -> src DC
+    wan_rtt: float  # wan_fwd + wan_rev: the WAN term added to sampled RTTs
     p_attempt: float
     members: list[tuple[str, str, int]]  # (src_id, dst_id, dst_port)
 
@@ -234,6 +245,9 @@ class ClassOutcome:
     one_drop: int
     two_drops: int
     rtt_s: np.ndarray
+    # Destination DC of the group (== the source DC for intra-DC classes);
+    # lets class records summarize ``pingmesh/latency-class`` per DC pair.
+    dst_dc: int = -1
 
     @property
     def success(self) -> int:
@@ -288,8 +302,9 @@ def merge_class_plans(plans: Sequence[ClassRoundPlan]) -> ClassRoundPlan:
             )
         for group in plan.groups:
             key = (
-                group.purpose, group.qos, group.dc_index, group.scope,
-                group.n_hops, group.wan_rtt, group.p_attempt,
+                group.purpose, group.qos, group.dc_index, group.dst_dc,
+                group.scope, group.n_hops, group.wan_fwd, group.wan_rev,
+                group.p_attempt,
             )
             merged = groups.get(key)
             if merged is None:
@@ -297,8 +312,11 @@ def merge_class_plans(plans: Sequence[ClassRoundPlan]) -> ClassRoundPlan:
                     purpose=group.purpose,
                     qos=group.qos,
                     dc_index=group.dc_index,
+                    dst_dc=group.dst_dc,
                     scope=group.scope,
                     n_hops=group.n_hops,
+                    wan_fwd=group.wan_fwd,
+                    wan_rev=group.wan_rev,
                     wan_rtt=group.wan_rtt,
                     p_attempt=group.p_attempt,
                     members=list(group.members),
@@ -450,8 +468,20 @@ class Fabric:
             if verdict.dropped:
                 return False, extra_latency
             extra_latency += verdict.extra_latency_s
-        if path.wan_rtt > 0 and self.rng.random() < 1e-5:
-            return False, extra_latency
+        if path.scope is PathScope.INTER_DC:
+            # Baseline WAN crossing loss: the same module-level constant the
+            # analytic engines read (drops.direction_drop_prob*), late-bound
+            # so the three rungs can never disagree on its value.
+            if self.rng.random() < drops.WAN_DIRECTION_DROP:
+                return False, extra_latency
+            src_dc, dst_dc = path.src.dc_index, path.dst.dc_index
+            if self.faults.wan_faults_on(src_dc, dst_dc):
+                verdict = self.faults.evaluate_wan(
+                    src_dc, dst_dc, flow, packet_bytes, self.rng.random()
+                )
+                if verdict.dropped:
+                    return False, extra_latency
+                extra_latency += verdict.extra_latency_s
         return True, extra_latency
 
     def _paths(self, src: Server, dst: Server, flow: FiveTuple) -> tuple[Path, Path]:
@@ -542,7 +572,10 @@ class Fabric:
             )
 
         network_rtt = latency_model.sample_one(
-            self.rng, forward.n_hops, t=t, wan_rtt=forward.wan_rtt
+            self.rng,
+            forward.n_hops,
+            t=t,
+            wan_rtt=forward.wan_rtt + reverse.wan_rtt,
         )
         rtt = outcome.waited_s + network_rtt + outcome.extra_latency_s
 
@@ -592,7 +625,7 @@ class Fabric:
             self.rng,
             forward.n_hops,
             t=t,
-            wan_rtt=forward.wan_rtt,
+            wan_rtt=forward.wan_rtt + reverse.wan_rtt,
             payload_bytes=payload_bytes,
         )
         return outcome.waited_s + network_rtt + outcome.extra_latency_s
@@ -621,6 +654,10 @@ class Fabric:
             for hop in path.hops:
                 if self.faults.faults_on(hop.device_id):
                     return True
+            if path.scope is PathScope.INTER_DC and self.faults.wan_faults_on(
+                path.src.dc_index, path.dst.dc_index
+            ):
+                return True
         return False
 
     def batch_probe(
@@ -678,7 +715,7 @@ class Fabric:
             self.rng,
             forward.n_hops,
             t=t,
-            wan_rtt=forward.wan_rtt,
+            wan_rtt=forward.wan_rtt + reverse.wan_rtt,
             payload_bytes=payload_bytes,
             n=n,
         )
@@ -756,6 +793,11 @@ class Fabric:
             devices.update(s.device_id for s in dst_dc.spines)
             devices.update(s.device_id for s in src_dc.borders)
             devices.update(s.device_id for s in dst_dc.borders)
+            # Both WAN direction keys: a fault on either leg of the round
+            # trip forces the pair down to the scalar engine, same as a
+            # fault on any switch in the envelope.
+            devices.add(wan_link_id(src.dc_index, dst.dc_index))
+            devices.add(wan_link_id(dst.dc_index, src.dc_index))
         return frozenset(devices)
 
     def _pair_info(
@@ -794,7 +836,7 @@ class Fabric:
                 forward, reverse
             ),
             n_hops=forward.n_hops,
-            wan_rtt=forward.wan_rtt,
+            wan_rtt=forward.wan_rtt + reverse.wan_rtt,
             scope=forward.scope,
             forward_hop_ids=tuple(forward.hop_ids()),
             forward_counters=tuple(hop.counters for hop in forward.hops),
@@ -994,15 +1036,22 @@ class Fabric:
             scope = classify_scope(self.topology, src, dst)
             kinds = SCOPE_HOP_KINDS[scope]
             inter_dc = scope is PathScope.INTER_DC
-            wan_rtt = (
+            wan_fwd = (
                 self.topology.wan_rtt[(src.dc_index, dst.dc_index)]
+                if inter_dc
+                else 0.0
+            )
+            wan_rev = (
+                self.topology.wan_rtt[(dst.dc_index, src.dc_index)]
                 if inter_dc
                 else 0.0
             )
             facts = _ClassFacts(
                 scope=scope,
                 n_hops=len(kinds),
-                wan_rtt=wan_rtt,
+                wan_fwd=wan_fwd,
+                wan_rev=wan_rev,
+                wan_rtt=wan_fwd + wan_rev,
                 p_attempt=self._dropmodel[src.dc_index].attempt_drop_prob_kinds(
                     kinds, wan=inter_dc
                 ),
@@ -1113,9 +1162,14 @@ class Fabric:
                 passthrough.append(index)
                 continue
             purpose, qos = tags[index]
+            # The WAN term splits on *direction* (wan_fwd vs wan_rev, plus
+            # the destination DC): with asymmetric long-haul latency,
+            # dc0->dc1 and dc0->dc2 classes — or a skewed dc0->dc1 vs its
+            # mirror — must never share a multinomial draw.
             key = (
-                purpose, qos, src_server.dc_index, facts.scope,
-                facts.n_hops, facts.wan_rtt, facts.p_attempt,
+                purpose, qos, src_server.dc_index, dst_server.dc_index,
+                facts.scope, facts.n_hops, facts.wan_fwd, facts.wan_rev,
+                facts.p_attempt,
             )
             group = groups.get(key)
             if group is None:
@@ -1123,8 +1177,11 @@ class Fabric:
                     purpose=purpose,
                     qos=qos,
                     dc_index=src_server.dc_index,
+                    dst_dc=dst_server.dc_index,
                     scope=facts.scope,
                     n_hops=facts.n_hops,
+                    wan_fwd=facts.wan_fwd,
+                    wan_rev=facts.wan_rev,
                     wan_rtt=facts.wan_rtt,
                     p_attempt=facts.p_attempt,
                     members=[],
@@ -1221,6 +1278,7 @@ class Fabric:
                     one_drop=one_drop,
                     two_drops=two_drops,
                     rtt_s=rtt,
+                    dst_dc=group.dst_dc,
                 )
             )
             total += m

@@ -37,8 +37,14 @@ __all__ = [
     "SilentRandomDrop",
     "FcsErrorFault",
     "CongestionFault",
+    "WanFault",
+    "WanFiberCut",
+    "DciCongestion",
+    "WanPartialPartition",
+    "AsymmetricWanRoute",
     "FaultVerdict",
     "FaultInjector",
+    "wan_link_id",
     "podset_down",
     "podset_up",
 ]
@@ -218,6 +224,137 @@ class CongestionFault(Fault):
         return FaultVerdict(extra_latency_s=self.extra_queue_s * scale)
 
 
+# -- WAN faults -------------------------------------------------------------
+
+
+def wan_link_id(src_dc: int, dst_dc: int) -> str:
+    """The registry key for one WAN *direction* (DC ``src_dc`` → ``dst_dc``).
+
+    WAN faults live in the same injector tables as switch faults, keyed by
+    these synthetic ids — so envelope checks, ``faulted_switch_ids`` and the
+    fast-path degradation logic see WAN trouble with no special casing.
+    The ``wan:`` prefix can never collide with a device id (those start
+    with the DC name).
+    """
+    return f"wan:dc{src_dc}>dc{dst_dc}"
+
+
+@dataclass
+class WanFault(Fault):
+    """Base fault bound to a WAN direction instead of a switch.
+
+    ``bidirectional`` faults (a fiber cut severs both directions of the
+    trench) register under both direction keys; directional faults (a
+    congested DCI egress, a one-way reroute) affect only
+    ``src_dc → dst_dc``.  WAN faults are never cleared by a switch reload —
+    there is no switch to reload.
+    """
+
+    switch_id: str = ""
+    src_dc: int = 0
+    dst_dc: int = 1
+    bidirectional: bool = False
+
+    def __post_init__(self) -> None:
+        if self.src_dc == self.dst_dc:
+            raise ValueError(f"WAN fault needs two distinct DCs: {self.src_dc}")
+        if not self.switch_id:
+            self.switch_id = wan_link_id(self.src_dc, self.dst_dc)
+
+    def directions(self) -> tuple[tuple[int, int], ...]:
+        if self.bidirectional:
+            return ((self.src_dc, self.dst_dc), (self.dst_dc, self.src_dc))
+        return ((self.src_dc, self.dst_dc),)
+
+    def link_ids(self) -> tuple[str, ...]:
+        return tuple(wan_link_id(a, b) for a, b in self.directions())
+
+
+@dataclass
+class WanFiberCut(WanFault):
+    """The long-haul trench is severed: every crossing packet dies.
+
+    Bidirectional by nature, and invisible to any switch counter — the
+    border routers keep forwarding into a dead fiber.  Only repairable by
+    the fiber provider (cleared when the fault is cleared), never by a
+    switch reload.
+    """
+
+    bidirectional: bool = True
+
+    def evaluate(
+        self, flow: FiveTuple, packet_bytes: int, uniform: float
+    ) -> FaultVerdict:
+        return FaultVerdict(dropped=True, silent=True)
+
+
+@dataclass
+class DciCongestion(WanFault):
+    """A congested DCI egress: directional discards plus queueing delay.
+
+    Inter-DC links run far hotter than the intra-DC fabric, and congestion
+    hits one *direction* (the egress queue of one side), which is exactly
+    why the latency/drop picture across a DC pair can be asymmetric.
+    """
+
+    drop_prob: float = 5e-3
+    extra_queue_s: float = 2e-3
+
+    def evaluate(
+        self, flow: FiveTuple, packet_bytes: int, uniform: float
+    ) -> FaultVerdict:
+        if uniform < min(0.95, self.drop_prob):
+            return FaultVerdict(
+                dropped=True, silent=False, counter="output_discards"
+            )
+        return FaultVerdict(extra_latency_s=self.extra_queue_s)
+
+
+@dataclass
+class WanPartialPartition(WanFault):
+    """A deterministic subset of server pairs cannot cross the WAN.
+
+    Models a partially-failed DCI LAG or a poisoned long-haul prefix: a
+    salted hash of the *unordered* (src IP, dst IP) pair decides membership,
+    so the SYN and its SYN-ACK (reversed addresses) agree — an affected pair
+    is black-holed 100 % of the time, both ways, while other pairs sail
+    through.  The inter-DC analogue of a type-1 black-hole.
+    """
+
+    fraction: float = 0.3
+    bidirectional: bool = True
+
+    def matches(self, src_ip: IPv4Address, dst_ip: IPv4Address) -> bool:
+        lo, hi = sorted((src_ip.value, dst_ip.value))
+        h = _mix64(self.fault_id, 0x7AB7, lo, hi)
+        return (h % 1_000_000) < self.fraction * 1_000_000
+
+    def evaluate(
+        self, flow: FiveTuple, packet_bytes: int, uniform: float
+    ) -> FaultVerdict:
+        if self.matches(flow.src_ip, flow.dst_ip):
+            return FaultVerdict(dropped=True, silent=True)
+        return FaultVerdict()
+
+
+@dataclass
+class AsymmetricWanRoute(WanFault):
+    """One direction rerouted the long way around: latency only, no loss.
+
+    A long-lived routing change (provider maintenance, BGP policy) that
+    inflates one direction's propagation while the reverse keeps the short
+    path — the classic cause of `fwd != rev` WAN latency that symmetric
+    models cannot represent.
+    """
+
+    extra_latency_s: float = 0.030
+
+    def evaluate(
+        self, flow: FiveTuple, packet_bytes: int, uniform: float
+    ) -> FaultVerdict:
+        return FaultVerdict(extra_latency_s=self.extra_latency_s)
+
+
 class FaultInjector:
     """Registry of active faults, consulted by the fabric per hop.
 
@@ -237,6 +374,13 @@ class FaultInjector:
         if self.state_version is not None:
             self.state_version.bump()
 
+    @staticmethod
+    def _keys_of(fault: Fault) -> tuple[str, ...]:
+        """The registry keys one fault occupies (both for bidirectional WAN)."""
+        if isinstance(fault, WanFault):
+            return fault.link_ids()
+        return (fault.switch_id,)
+
     def inject(self, fault: Fault) -> Fault:
         """Activate a fault; returns it for later :meth:`clear`.
 
@@ -247,7 +391,8 @@ class FaultInjector:
         to construct before (same seed, same run, any test ordering).
         """
         fault.fault_id = next(self._next_id)
-        self._by_switch.setdefault(fault.switch_id, []).append(fault)
+        for key in self._keys_of(fault):
+            self._by_switch.setdefault(key, []).append(fault)
         self._by_id[fault.fault_id] = fault
         self._bump()
         return fault
@@ -258,10 +403,9 @@ class FaultInjector:
         found = self._by_id.pop(fault_id, None)
         if found is None:
             return
-        faults = self._by_switch.get(found.switch_id, [])
-        self._by_switch[found.switch_id] = [
-            f for f in faults if f.fault_id != fault_id
-        ]
+        for key in self._keys_of(found):
+            faults = self._by_switch.get(key, [])
+            self._by_switch[key] = [f for f in faults if f.fault_id != fault_id]
         self._bump()
 
     def clear_all(self) -> None:
@@ -272,6 +416,10 @@ class FaultInjector:
 
     def faults_on(self, switch_id: str) -> list[Fault]:
         return list(self._by_switch.get(switch_id, []))
+
+    def wan_faults_on(self, src_dc: int, dst_dc: int) -> list[Fault]:
+        """Active faults on the WAN direction ``src_dc`` → ``dst_dc``."""
+        return list(self._by_switch.get(wan_link_id(src_dc, dst_dc), []))
 
     def faulted_switch_ids(self) -> set[str]:
         """Ids of every switch currently carrying at least one fault."""
@@ -318,6 +466,37 @@ class FaultInjector:
                 elif verdict.counter:
                     current = getattr(switch.counters, verdict.counter)
                     setattr(switch.counters, verdict.counter, current + 1)
+                return FaultVerdict(
+                    dropped=True,
+                    silent=verdict.silent,
+                    counter=verdict.counter,
+                    extra_latency_s=extra_latency,
+                )
+            extra_latency += verdict.extra_latency_s
+        return FaultVerdict(extra_latency_s=extra_latency)
+
+    def evaluate_wan(
+        self,
+        src_dc: int,
+        dst_dc: int,
+        flow: FiveTuple,
+        packet_bytes: int,
+        uniform: float,
+    ) -> FaultVerdict:
+        """Combine all faults on one WAN direction for one packet.
+
+        Same first-drop-wins / latency-accumulates semantics as
+        :meth:`evaluate_hop`, but with no switch counters: no single switch
+        owns the long-haul segment, so WAN drops are visible only through
+        the probes themselves — the Pingmesh-sees-what-SNMP-cannot regime.
+        """
+        faults = self._by_switch.get(wan_link_id(src_dc, dst_dc))
+        if not faults:
+            return FaultVerdict()
+        extra_latency = 0.0
+        for fault in faults:
+            verdict = fault.evaluate(flow, packet_bytes, uniform)
+            if verdict.dropped:
                 return FaultVerdict(
                     dropped=True,
                     silent=verdict.silent,

@@ -56,8 +56,11 @@ class PathScope(enum.Enum):
 class Path:
     """A one-way path: the ordered switches a packet traverses.
 
-    ``wan_rtt`` is the round-trip WAN propagation this direction's DC pair
-    implies (0 inside one DC); the latency model halves it per direction.
+    ``wan_rtt`` is the one-way WAN propagation *this direction* pays —
+    ``topology.wan_rtt[(src_dc, dst_dc)]`` — and 0 inside one DC.  The two
+    directions of a probe may differ (asymmetric long-haul routing), so a
+    probe's RTT composes ``forward.wan_rtt + reverse.wan_rtt``, never twice
+    either one.
     """
 
     src: Server

@@ -294,8 +294,8 @@ class ClosTopology:
         )
 
 
-def _wan_rtt_seconds(region_a: str, region_b: str) -> float:
-    """Approximate WAN round-trip propagation between two regions.
+def _wan_one_way_seconds(region_a: str, region_b: str) -> float:
+    """Approximate one-way WAN propagation between two regions.
 
     Great-circle distance at two-thirds light speed in fiber, times a 1.6
     path-stretch factor for real long-haul routes.
@@ -314,19 +314,32 @@ def _wan_rtt_seconds(region_a: str, region_b: str) -> float:
     distance_km = 6371.0 * 2 * math.atan2(math.sqrt(a), math.sqrt(1 - a))
     fiber_speed_km_s = 2e5  # ~2/3 c
     stretch = 1.6
-    one_way = distance_km * stretch / fiber_speed_km_s
-    return 2 * one_way
+    return distance_km * stretch / fiber_speed_km_s
 
 
 class MultiDCTopology:
-    """Several data centers joined by a full-mesh WAN."""
+    """Several data centers joined by a full-mesh WAN.
 
-    def __init__(self, specs: list[TopologySpec]) -> None:
+    WAN propagation is *directional*: ``wan_rtt[(i, j)]`` is the one-way
+    latency attributed to packets flowing DC ``i`` → DC ``j``.  The
+    constructor writes equal entries for both directions (the geographic
+    default), but long-haul routes are routinely asymmetric — a reroute
+    after a fiber cut can send one direction the long way around — so the
+    two entries are independent and :meth:`set_wan_latency` can skew them.
+    A probe's RTT over the WAN is the *sum* of the two directions' entries
+    (:meth:`wan_pair_rtt`), never twice one of them.
+    """
+
+    def __init__(
+        self, specs: list[TopologySpec], wan_asymmetry: float = 0.0
+    ) -> None:
         if not specs:
             raise ValueError("need at least one data center spec")
         names = [spec.name for spec in specs]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate data center names: {names}")
+        if not 0.0 <= wan_asymmetry < 1.0:
+            raise ValueError(f"wan_asymmetry must be in [0, 1): {wan_asymmetry}")
         self.state_version = StateVersion()
         self.dcs: list[ClosTopology] = [
             ClosTopology(spec, dc_index=index, state_version=self.state_version)
@@ -335,18 +348,46 @@ class MultiDCTopology:
         self._dc_by_name: dict[str, ClosTopology] = {
             dc.spec.name: dc for dc in self.dcs
         }
-        # Symmetric WAN RTT matrix between DC pairs (propagation only).
+        # Directional one-way WAN propagation per ordered DC pair.  With
+        # ``wan_asymmetry = a`` the low->high direction takes (1+a)x the
+        # geographic one-way and high->low takes (1-a)x, so the pair RTT is
+        # preserved while the split is visibly skewed.
         self.wan_rtt: dict[tuple[int, int], float] = {}
         for i, dc_a in enumerate(self.dcs):
             for j, dc_b in enumerate(self.dcs):
                 if i < j:
-                    rtt = _wan_rtt_seconds(dc_a.spec.region, dc_b.spec.region)
-                    self.wan_rtt[(i, j)] = rtt
-                    self.wan_rtt[(j, i)] = rtt
+                    one_way = _wan_one_way_seconds(
+                        dc_a.spec.region, dc_b.spec.region
+                    )
+                    self.wan_rtt[(i, j)] = one_way * (1.0 + wan_asymmetry)
+                    self.wan_rtt[(j, i)] = one_way * (1.0 - wan_asymmetry)
 
     @classmethod
     def single(cls, spec: TopologySpec | None = None) -> "MultiDCTopology":
         return cls([spec or TopologySpec()])
+
+    # -- WAN latency -------------------------------------------------------
+
+    def wan_pair_rtt(self, dc_a: int, dc_b: int) -> float:
+        """Round-trip WAN propagation between two DCs (0.0 within one DC)."""
+        if dc_a == dc_b:
+            return 0.0
+        return self.wan_rtt[(dc_a, dc_b)] + self.wan_rtt[(dc_b, dc_a)]
+
+    def set_wan_latency(self, src_dc: int, dst_dc: int, one_way_s: float) -> None:
+        """Reconfigure one *direction's* WAN propagation (a reroute).
+
+        Bumps the state version: every cached path, pair envelope and
+        class-fact memo embeds the old latency and must be rebuilt.
+        """
+        if src_dc == dst_dc:
+            raise ValueError(f"no WAN link from dc{src_dc} to itself")
+        if (src_dc, dst_dc) not in self.wan_rtt:
+            raise KeyError(f"no WAN link dc{src_dc} -> dc{dst_dc}")
+        if one_way_s <= 0:
+            raise ValueError(f"one-way latency must be positive: {one_way_s}")
+        self.wan_rtt[(src_dc, dst_dc)] = one_way_s
+        self.state_version.bump()
 
     def dc(self, name_or_index: str | int) -> ClosTopology:
         if isinstance(name_or_index, int):

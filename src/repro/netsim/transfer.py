@@ -99,10 +99,15 @@ def transfer_probe(
     latency_model = fabric.latency_model(src_server.dc_index)
     flow = handshake.flow
     forward = fabric.router.path(src_server, dst_server, flow)
+    # A data round trip pays both WAN directions, which may differ under
+    # asymmetric routing — forward.wan_rtt alone is only the outbound leg.
+    pair_wan_rtt = fabric.topology.wan_pair_rtt(
+        src_server.dc_index, dst_server.dc_index
+    )
     total = handshake.rtt_s
     for _ in range(rounds):
         total += latency_model.sample_one(
-            fabric.rng, forward.n_hops, t=t, wan_rtt=forward.wan_rtt
+            fabric.rng, forward.n_hops, t=t, wan_rtt=pair_wan_rtt
         )
     return TransferResult(
         src=src_id,

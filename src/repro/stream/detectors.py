@@ -1,6 +1,6 @@
 """Online detectors over the streaming merge tree.
 
-Three detectors run on every plane tick, each reading rollups from the
+Four detectors run on every plane tick, each reading rollups from the
 :class:`~repro.stream.ingest.StreamIngestService` and reporting through the
 shared :class:`~repro.core.dsa.alerts.AlertEngine` episode machinery with
 ``plane="stream"``:
@@ -15,6 +15,10 @@ shared :class:`~repro.core.dsa.alerts.AlertEngine` episode machinery with
   failures (which §4.2 deliberately excludes: a dead receiver is not a
   network drop) get the stream-only metric ``failure_rate``, judged
   against the same threshold with its own episodes.
+* :class:`StreamInterDcSlaDetector` — the same machinery for the
+  ``inter-dc`` peer class only, judged per source DC against the
+  inter-DC thresholds (scope ``dc-pair``); the intra-DC detectors
+  exclude that class so a healthy WAN RTT never trips the 5 ms limit.
 * :class:`EwmaDriftDetector` — flags sustained median-latency drift
   against an exponentially-weighted baseline, catching degradations that
   stay under the hard P99 threshold.
@@ -43,6 +47,7 @@ from repro.core.dsa.sla import SlaScope
 
 __all__ = [
     "StreamSlaDetector",
+    "StreamInterDcSlaDetector",
     "EwmaDriftDetector",
     "StreamBlackholeCandidate",
     "StreamBlackholeFeed",
@@ -96,11 +101,18 @@ class StreamSlaDetector:
         )
 
     def evaluate(self, t: float, ingest) -> list[Alert]:
-        """Judge each DC on the merge of the newest ``eval_windows``."""
+        """Judge each DC on the merge of the newest ``eval_windows``.
+
+        The ``inter-dc`` class is excluded: its healthy latency is
+        WAN-sized and is judged by :class:`StreamInterDcSlaDetector`
+        against the inter-DC thresholds, exactly as the batch tracker
+        routes cross-DC rows to the ``dc-pair`` scope.
+        """
         thresholds = self.thresholds
         starts = ingest.latest_windows(self.eval_windows)
         fired: list[Alert] = []
-        for dc, stats in sorted(ingest.merged_by_dc(starts).items()):
+        merged = ingest.merged_by_dc(starts, exclude_cls="inter-dc")
+        for dc, stats in sorted(merged.items()):
             if stats.probes < thresholds.min_probe_count:
                 continue
             key = f"dc{dc}"
@@ -125,6 +137,83 @@ class StreamSlaDetector:
                     t, SlaScope.DATACENTER.value, key, "p99_us", p99,
                     thresholds.max_p99_us, p99 > thresholds.max_p99_us,
                     plane="stream",
+                )
+                if alert:
+                    fired.append(alert)
+        return fired
+
+
+class StreamInterDcSlaDetector:
+    """Inter-DC thresholds over the ``inter-dc`` class, per source DC.
+
+    Stream deltas carry no destination DC (an agent summarizes its whole
+    sub-window), so the streaming rollup is one series per *source* DC —
+    key ``dc{n}->*`` — judged against the inter-DC limits of the shared
+    :class:`~repro.core.dsa.alerts.SlaThresholds`.  The batch plane keeps
+    per-pair resolution (``dc0->dc1``); the stream series is the coarse
+    early-warning sum of that DC's WAN directions.  Inter-DC probe volume
+    is a sliver of the fleet's (a few pivots per podset), so the sample
+    floors default lower than the intra-DC detector's.
+    """
+
+    def __init__(
+        self,
+        alert_engine: AlertEngine,
+        thresholds: SlaThresholds | None = None,
+        eval_windows: int = 3,
+        min_drop_events: int = 3,
+        min_p99_samples: int = 50,
+    ) -> None:
+        if eval_windows < 1:
+            raise ValueError(f"eval_windows must be >= 1: {eval_windows}")
+        self.alert_engine = alert_engine
+        self.thresholds = thresholds or alert_engine.thresholds
+        self.eval_windows = eval_windows
+        self.min_drop_events = min_drop_events
+        self.min_p99_samples = min_p99_samples
+
+    def evaluate(self, t: float, ingest) -> list[Alert]:
+        """Judge each source DC's WAN class over the newest windows."""
+        thresholds = self.thresholds
+        scope = SlaScope.DC_PAIR.value
+        drop_limit = thresholds.drop_limit_for(scope)
+        p99_limit = thresholds.p99_limit_for(scope)
+        starts = ingest.latest_windows(self.eval_windows)
+        fired: list[Alert] = []
+        merged = ingest.merged_by_dc(starts, cls="inter-dc")
+        for dc, stats in sorted(merged.items()):
+            if stats.probes < thresholds.min_probe_count:
+                continue
+            key = f"dc{dc}->*"
+            if stats.success > 0:
+                rate = stats.syn_drop_rate()
+                violated = (
+                    rate > drop_limit
+                    and stats.signature_events >= self.min_drop_events
+                )
+                if violated or rate <= drop_limit:
+                    alert = self.alert_engine.update_episode(
+                        t, scope, key, "drop_rate", rate, drop_limit,
+                        violated, plane="stream",
+                    )
+                    if alert:
+                        fired.append(alert)
+            failure = stats.failure_rate()
+            failure_violated = (
+                failure > drop_limit and stats.failed >= self.min_drop_events
+            )
+            if failure_violated or failure <= drop_limit:
+                alert = self.alert_engine.update_episode(
+                    t, scope, key, "failure_rate", failure, drop_limit,
+                    failure_violated, plane="stream",
+                )
+                if alert:
+                    fired.append(alert)
+            if stats.sketch.count >= self.min_p99_samples:
+                p99 = stats.quantile_us(99.0)
+                alert = self.alert_engine.update_episode(
+                    t, scope, key, "p99_us", p99, p99_limit,
+                    p99 > p99_limit, plane="stream",
                 )
                 if alert:
                     fired.append(alert)
@@ -181,7 +270,10 @@ class EwmaDriftDetector:
             return []  # no new window landed (e.g. ingest VIP dark)
         self._last_window = newest
         fired: list[Alert] = []
-        for dc, stats in sorted(ingest.merged_by_dc(starts).items()):
+        # Exclude inter-dc: a window whose class mix shifts between local
+        # and WAN probes would read as "drift" on a healthy fleet.
+        merged = ingest.merged_by_dc(starts, exclude_cls="inter-dc")
+        for dc, stats in sorted(merged.items()):
             p50 = stats.quantile_us(50.0)
             if p50 is None:
                 continue

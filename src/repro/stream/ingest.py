@@ -110,17 +110,24 @@ class StreamIngestService:
         starts = list(self._windows)
         return starts[-k:] if k > 0 else []
 
-    def merged_by_dc(self, window_starts) -> dict:
+    def merged_by_dc(self, window_starts, cls=None, exclude_cls=None) -> dict:
         """Roll the given windows up to per-DC :class:`ClassStats`.
 
-        All classes and all pods of a DC merge into one stats object —
-        the same population the batch 10-minute DC-scope SLA sees.
+        By default all classes and all pods of a DC merge into one stats
+        object.  ``cls`` keeps only one peer class; ``exclude_cls`` drops
+        one — the intra-DC detectors exclude ``"inter-dc"`` (whose healthy
+        RTT is WAN-sized), mirroring the batch tracker's scope routing,
+        while the inter-DC detector keeps only it.
         """
         merged: dict[int, ClassStats] = {}
         for start in window_starts:
-            for (dc, _podset, _pod, _cls), stats in self._windows.get(
+            for (dc, _podset, _pod, k_cls), stats in self._windows.get(
                 start, {}
             ).items():
+                if cls is not None and k_cls != cls:
+                    continue
+                if exclude_cls is not None and k_cls == exclude_cls:
+                    continue
                 into = merged.get(dc)
                 if into is None:
                     merged[dc] = stats.copy()

@@ -30,6 +30,7 @@ from repro.stream.aggregator import StreamAggregator
 from repro.stream.detectors import (
     EwmaDriftDetector,
     StreamBlackholeFeed,
+    StreamInterDcSlaDetector,
     StreamSlaDetector,
 )
 from repro.stream.ingest import StreamIngestService
@@ -52,6 +53,9 @@ class StreamConfig:
     eval_windows: int = 3
     min_drop_events: int = 3
     min_p99_samples: int = 200
+    # Inter-DC detector P99 floor: WAN probe volume is a sliver of the
+    # fleet's, so the sample requirement is proportionally lower.
+    interdc_min_p99_samples: int = 50
     # EWMA drift detector.
     ewma_alpha: float = 0.3
     ewma_k_sigma: float = 6.0
@@ -113,6 +117,12 @@ class StreamPlane:
             eval_windows=config.eval_windows,
             min_drop_events=config.min_drop_events,
             min_p99_samples=config.min_p99_samples,
+        )
+        self.interdc_sla_detector = StreamInterDcSlaDetector(
+            alert_engine,
+            eval_windows=config.eval_windows,
+            min_drop_events=config.min_drop_events,
+            min_p99_samples=config.interdc_min_p99_samples,
         )
         self.drift_detector = EwmaDriftDetector(
             alert_engine,
@@ -206,6 +216,7 @@ class StreamPlane:
         self.ticks += 1
         self.last_tick_t = t
         fired = list(self.sla_detector.evaluate(t, self.ingest))
+        fired.extend(self.interdc_sla_detector.evaluate(t, self.ingest))
         fired.extend(self.drift_detector.evaluate(t, self.ingest))
         self.blackhole_feed.evaluate(t, self.ingest)
         return fired

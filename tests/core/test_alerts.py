@@ -6,9 +6,15 @@ from repro.core.dsa.alerts import AlertEngine, SlaThresholds
 from repro.core.dsa.sla import NetworkSla, SlaScope
 
 
-def _sla(drop_rate=1e-5, p99_us=800.0, probe_count=1000, key="dc0"):
+def _sla(
+    drop_rate=1e-5,
+    p99_us=800.0,
+    probe_count=1000,
+    key="dc0",
+    scope=SlaScope.DATACENTER,
+):
     return NetworkSla(
-        scope=SlaScope.DATACENTER,
+        scope=scope,
         key=key,
         window_start=0.0,
         window_end=600.0,
@@ -24,6 +30,8 @@ class TestThresholds:
         thresholds = SlaThresholds()
         assert thresholds.max_drop_rate == 1e-3
         assert thresholds.max_p99_us == 5000.0
+        assert thresholds.max_interdc_drop_rate == 2e-3
+        assert thresholds.max_interdc_p99_us == 400_000.0
 
     def test_validation(self):
         with pytest.raises(ValueError):
@@ -32,6 +40,17 @@ class TestThresholds:
             SlaThresholds(max_p99_us=-1)
         with pytest.raises(ValueError):
             SlaThresholds(min_probe_count=0)
+        with pytest.raises(ValueError):
+            SlaThresholds(max_interdc_drop_rate=0)
+        with pytest.raises(ValueError):
+            SlaThresholds(max_interdc_p99_us=-1)
+
+    def test_scope_aware_limits(self):
+        thresholds = SlaThresholds()
+        assert thresholds.drop_limit_for("dc-pair") == 2e-3
+        assert thresholds.p99_limit_for("dc-pair") == 400_000.0
+        assert thresholds.drop_limit_for("datacenter") == 1e-3
+        assert thresholds.p99_limit_for("pod") == 5000.0
 
 
 class TestAlerting:
@@ -96,6 +115,48 @@ class TestAlerting:
         assert row["t"] == 600.0
         assert row["event"] == "breach"
         assert row["plane"] == "batch"
+
+
+class TestInterDcThresholds:
+    """dc-pair SLAs are judged against the relaxed WAN envelope, never the
+    5 ms local one."""
+
+    def _pair_sla(self, **kw):
+        kw.setdefault("scope", SlaScope.DC_PAIR)
+        kw.setdefault("key", "dc0->dc1")
+        return _sla(**kw)
+
+    def test_healthy_wan_p99_fires_nothing(self):
+        # ~205 ms is the worst healthy pair RTT in the region table — far
+        # over the 5 ms local limit, comfortably under the 400 ms WAN one.
+        engine = AlertEngine()
+        assert engine.evaluate([self._pair_sla(p99_us=205_000.0)]) == []
+
+    def test_wan_p99_violation_uses_interdc_limit(self):
+        engine = AlertEngine()
+        alerts = engine.evaluate([self._pair_sla(p99_us=450_000.0)])
+        assert len(alerts) == 1
+        assert alerts[0].metric == "p99_us"
+        assert alerts[0].threshold == 400_000.0
+
+    def test_wan_drop_rate_uses_interdc_limit(self):
+        engine = AlertEngine()
+        # 1.5e-3 breaches the local 1e-3 limit but not the WAN 2e-3 one.
+        assert engine.evaluate([self._pair_sla(drop_rate=1.5e-3)]) == []
+        alerts = engine.evaluate([self._pair_sla(drop_rate=3e-3)])
+        assert alerts[0].metric == "drop_rate"
+        assert alerts[0].threshold == 2e-3
+
+    def test_intra_scope_still_uses_local_limits(self):
+        engine = AlertEngine()
+        alerts = engine.evaluate([_sla(p99_us=7000.0)])
+        assert alerts[0].threshold == 5000.0
+
+    def test_is_network_issue_respects_scope(self):
+        engine = AlertEngine()
+        healthy_wan = [self._pair_sla(p99_us=100_000.0)]
+        assert engine.is_network_issue(healthy_wan) is False
+        assert engine.is_network_issue([self._pair_sla(p99_us=500_000.0)]) is True
 
 
 class TestEpisodes:

@@ -121,6 +121,27 @@ class TestInterDcLevel:
         b = PingmeshGenerator(multi_dc).inter_dc_selection(multi_dc.dc(1))
         assert [s.device_id for s in a] == [s.device_id for s in b]
 
+    def test_selection_skips_down_servers(self, multi_dc):
+        """Regression: a down pivot must fall through to the next live
+        server, not silently blind its podset's inter-DC coverage."""
+        generator = PingmeshGenerator(
+            multi_dc, GeneratorConfig(inter_dc_servers_per_podset=2)
+        )
+        dc = multi_dc.dc(0)
+        healthy = generator.inter_dc_selection(dc)
+        downed = healthy[0]
+        downed.bring_down()
+        try:
+            selected = generator.inter_dc_selection(dc)
+            assert downed.device_id not in {s.device_id for s in selected}
+            assert all(s.is_up for s in selected)
+            # The podset still fields its full complement of pivots.
+            assert len(selected) == len(healthy)
+            # The replacement is the next live server of the same podset.
+            assert selected[0] is dc.servers_in_podset(0)[1]
+        finally:
+            downed.bring_up()
+
 
 class TestExtensions:
     def test_qos_low_duplicates_tor_level(self, single_dc):

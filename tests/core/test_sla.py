@@ -11,12 +11,21 @@ from repro.core.dsa.sla import (
 )
 
 
-def _row(src="dc0/s0", dst="dc0/s1", rtt_us=250.0, success=True, pod=0, podset=0, dc=0):
+def _row(
+    src="dc0/s0",
+    dst="dc0/s1",
+    rtt_us=250.0,
+    success=True,
+    pod=0,
+    podset=0,
+    dc=0,
+    dst_dc=None,
+):
     return {
         "src": src,
         "dst": dst,
         "src_dc": dc,
-        "dst_dc": dc,
+        "dst_dc": dc if dst_dc is None else dst_dc,
         "src_podset": podset,
         "dst_podset": podset,
         "src_pod": pod,
@@ -131,3 +140,75 @@ class TestServiceTracking:
             SlaScope.SERVER,
             SlaScope.SERVICE,
         }
+
+
+class TestDcPairScope:
+    """Cross-DC rows route exclusively to the DC_PAIR scope.
+
+    A healthy long-haul probe pays tens to hundreds of milliseconds of
+    speed-of-light latency; folding it into the intra-DC scopes would trip
+    the 5 ms P99 threshold on a perfectly healthy WAN.
+    """
+
+    @pytest.fixture()
+    def mixed_rows(self):
+        rows = [_row(src=f"dc0/s0-{i}") for i in range(10)]
+        rows += [
+            _row(src=f"dc0/s0-{i}", dst=f"dc1/s0-{i}", dst_dc=1, rtt_us=54_000.0)
+            for i in range(5)
+        ]
+        rows += [
+            _row(src=f"dc0/s0-{i}", dst=f"dc2/s0-{i}", dst_dc=2, rtt_us=140_000.0)
+            for i in range(3)
+        ]
+        return rows
+
+    def test_dc_pair_scope_groups_only_cross_dc_rows(self, mixed_rows):
+        slas = SlaTracker().track_scope(mixed_rows, SlaScope.DC_PAIR, 0.0, 600.0)
+        assert {sla.key for sla in slas} == {"dc0->dc1", "dc0->dc2"}
+        by_key = {sla.key: sla for sla in slas}
+        assert by_key["dc0->dc1"].probe_count == 5
+        assert by_key["dc0->dc2"].probe_count == 3
+        assert by_key["dc0->dc1"].p50_us == pytest.approx(54_000.0)
+
+    def test_dc_pair_keys_are_directional(self):
+        rows = [
+            _row(src="dc0/a", dst="dc1/b", dc=0, dst_dc=1),
+            _row(src="dc1/b", dst="dc0/a", dc=1, dst_dc=0),
+        ]
+        slas = SlaTracker().track_scope(rows, SlaScope.DC_PAIR, 0.0, 600.0)
+        assert {sla.key for sla in slas} == {"dc0->dc1", "dc1->dc0"}
+
+    def test_intra_scopes_exclude_cross_dc_rows(self, mixed_rows):
+        tracker = SlaTracker()
+        for scope in (
+            SlaScope.DATACENTER,
+            SlaScope.PODSET,
+            SlaScope.POD,
+            SlaScope.SERVER,
+        ):
+            slas = tracker.track_scope(mixed_rows, scope, 0.0, 600.0)
+            assert sum(sla.probe_count for sla in slas) == 10, scope
+        dc_sla = tracker.track_scope(mixed_rows, SlaScope.DATACENTER, 0.0, 600.0)[0]
+        # The 54/140 ms WAN samples must not pollute the local percentile.
+        assert dc_sla.p99_us < 1000.0
+
+    def test_services_exclude_cross_dc_rows(self, mixed_rows):
+        tracker = SlaTracker([ServiceDefinition.of("svc", ["dc0/s0-0"])])
+        slas = tracker.track_services(mixed_rows, 0.0, 600.0)
+        assert len(slas) == 1
+        assert slas[0].probe_count == 1  # only the intra row from dc0/s0-0
+
+    def test_track_all_emits_dc_pair_slas(self, mixed_rows):
+        slas = SlaTracker().track_all(mixed_rows, 0.0, 600.0)
+        scopes = {sla.scope for sla in slas}
+        assert SlaScope.DC_PAIR in scopes
+        pair_keys = {sla.key for sla in slas if sla.scope == SlaScope.DC_PAIR}
+        assert pair_keys == {"dc0->dc1", "dc0->dc2"}
+
+    def test_rows_without_dst_dc_treated_as_intra(self):
+        row = _row()
+        del row["dst_dc"]
+        assert SlaTracker().track_scope([row], SlaScope.DC_PAIR, 0.0, 600.0) == []
+        slas = SlaTracker().track_scope([row], SlaScope.DATACENTER, 0.0, 600.0)
+        assert slas[0].probe_count == 1

@@ -80,9 +80,11 @@ class TestClassFacts:
         local = fabric.topology.dc(0).servers_in_podset(1)[0]
         remote = fabric.topology.dc(1).servers_in_podset(0)[0]
         assert fabric._class_facts(src, local).wan_rtt == 0.0
-        assert fabric._class_facts(src, remote).wan_rtt == (
-            fabric.topology.wan_rtt[(0, 1)]
-        )
+        facts = fabric._class_facts(src, remote)
+        # A probe pays both WAN directions; the facts keep each leg too.
+        assert facts.wan_rtt == fabric.topology.wan_pair_rtt(0, 1)
+        assert facts.wan_fwd == fabric.topology.wan_rtt[(0, 1)]
+        assert facts.wan_rev == fabric.topology.wan_rtt[(1, 0)]
 
     def test_envelope_matches_pair_envelope(self):
         fabric = _fabric()

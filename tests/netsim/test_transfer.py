@@ -66,7 +66,7 @@ class TestTransferProbe:
         misconfiguration adds WAN round trips."""
         a = wan_fabric.topology.dc(0).servers[0]
         b = wan_fabric.topology.dc(1).servers[0]
-        wan_rtt = wan_fabric.topology.wan_rtt[(0, 1)]
+        wan_rtt = wan_fabric.topology.wan_pair_rtt(0, 1)
         tuned = transfer_probe(wan_fabric, a, b, 64_000, icw_segments=16)
         broken = transfer_probe(wan_fabric, a, b, 64_000, icw_segments=4)
         assert broken.data_round_trips > tuned.data_round_trips

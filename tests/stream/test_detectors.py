@@ -10,6 +10,7 @@ from repro.stream.aggregator import StreamDelta
 from repro.stream.detectors import (
     EwmaDriftDetector,
     StreamBlackholeFeed,
+    StreamInterDcSlaDetector,
     StreamSlaDetector,
 )
 from repro.stream.ingest import StreamIngestService
@@ -30,7 +31,7 @@ def _stats(n_ok=0, rtt_us=250.0, n_failed=0, n_one_drop=0):
     return stats
 
 
-def _delta(window_id, stats, server="srv0", dc=0, podset=0, pod=0):
+def _delta(window_id, stats, server="srv0", dc=0, podset=0, pod=0, cls="tor-level"):
     return StreamDelta(
         server_id=server,
         dc=dc,
@@ -38,7 +39,7 @@ def _delta(window_id, stats, server="srv0", dc=0, podset=0, pod=0):
         pod=pod,
         window_start=window_id * WINDOW_S,
         window_end=(window_id + 1) * WINDOW_S,
-        classes={"tor-level": stats.to_payload()},
+        classes={cls: stats.to_payload()},
         probes=stats.probes,
     )
 
@@ -123,6 +124,78 @@ class TestStreamSlaDetector:
         engine = AlertEngine()
         with pytest.raises(ValueError):
             StreamSlaDetector(engine, eval_windows=0)
+
+
+class TestStreamInterDcSlaDetector:
+    def _setup(self, **kwargs):
+        engine = AlertEngine()
+        ingest = StreamIngestService(window_s=WINDOW_S)
+        detector = StreamInterDcSlaDetector(engine, **kwargs)
+        return engine, ingest, detector
+
+    def test_healthy_wan_windows_fire_nothing(self):
+        """~54 ms is a healthy us-west<->us-east RTT.  It would breach the
+        5 ms local P99 limit; the WAN series must judge it against the
+        400 ms inter-DC one."""
+        engine, ingest, detector = self._setup()
+        for w in range(3):
+            ingest.ingest(_delta(w, _stats(n_ok=30, rtt_us=54_000.0), cls="inter-dc"))
+        assert detector.evaluate(30.0, ingest) == []
+        assert engine.active_episodes == {}
+
+    def test_failure_breach_uses_dc_pair_scope_then_recovers(self):
+        engine, ingest, detector = self._setup(eval_windows=3, min_drop_events=3)
+        for w in range(3):
+            ingest.ingest(_delta(w, _stats(n_ok=30, n_failed=5), cls="inter-dc"))
+        (alert,) = detector.evaluate(30.0, ingest)
+        assert alert.metric == "failure_rate"
+        assert alert.scope == "dc-pair"
+        assert alert.key == "dc0->*"
+        assert alert.plane == "stream"
+        assert alert.threshold == engine.thresholds.max_interdc_drop_rate
+        # Three healthy windows push the failures out of the horizon.
+        for w in range(3, 6):
+            ingest.ingest(_delta(w, _stats(n_ok=30), cls="inter-dc"))
+        (recovery,) = detector.evaluate(60.0, ingest)
+        assert recovery.event == "recovery"
+        assert engine.active_episodes == {}
+
+    def test_p99_judged_against_wan_limit(self):
+        engine, ingest, detector = self._setup(min_p99_samples=50)
+        for w in range(3):
+            ingest.ingest(_delta(w, _stats(n_ok=30, rtt_us=450_000.0), cls="inter-dc"))
+        alerts = detector.evaluate(30.0, ingest)
+        assert [a.metric for a in alerts] == ["p99_us"]
+        assert alerts[0].threshold == 400_000.0
+
+    def test_intra_detector_ignores_inter_dc_class(self):
+        """A WAN incident must not open a local-scope episode."""
+        engine = AlertEngine()
+        ingest = StreamIngestService(window_s=WINDOW_S)
+        intra = StreamSlaDetector(engine, eval_windows=3, min_drop_events=3)
+        drift = EwmaDriftDetector(engine, warmup_windows=2, consecutive=2)
+        for w in range(6):
+            ingest.ingest(
+                _delta(w, _stats(n_ok=30, n_failed=8, rtt_us=450_000.0), cls="inter-dc")
+            )
+            assert intra.evaluate((w + 1) * WINDOW_S, ingest) == []
+            assert drift.evaluate((w + 1) * WINDOW_S, ingest) == []
+        assert engine.active_episodes == {}
+
+    def test_inter_dc_detector_ignores_local_classes(self):
+        engine, ingest, detector = self._setup()
+        for w in range(3):
+            ingest.ingest(_delta(w, _stats(n_ok=30, n_failed=8), cls="tor-level"))
+        assert detector.evaluate(30.0, ingest) == []
+
+    def test_min_probe_count_skips_thin_wan_series(self):
+        engine, ingest, detector = self._setup()
+        ingest.ingest(_delta(0, _stats(n_failed=10), cls="inter-dc"))
+        assert detector.evaluate(10.0, ingest) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamInterDcSlaDetector(AlertEngine(), eval_windows=0)
 
 
 class TestEwmaDriftDetector:
