@@ -1,0 +1,199 @@
+"""Engineering benchmark: what the degraded-mode resilience layer buys.
+
+Three gates, straight from ISSUE 8's acceptance criteria:
+
+* **Recovery herd** — a 64-agent fleet fails closed under a controller
+  blackout and then recovers.  With ``resilient_refresh`` off every agent
+  re-polls on the same fixed grid (peak = fleet size in one second); with
+  jittered backoff on, the recovery spreads out.  Gate: ≥5× reduction in
+  peak controller requests per second.
+* **Backlog drain** — after a Cosmos blackout heals, the spooled batches
+  must replay and the backlog must fully drain within a bounded number of
+  upload ticks (not linger indefinitely on backoff).
+* **Steady-state overhead** — the resilience machinery (seeded jitter
+  draws, staleness bookkeeping, spool accounting) must cost <10% wall
+  time on a healthy fleet versus the fixed-period control arm.
+
+Run under pytest-benchmark (see ``check_regressions.py --suite
+resilience``).
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+from repro.chaos.actions import ControllerBlackout, CosmosBlackout
+from repro.core.agent.agent import AgentConfig
+from repro.core.dsa.pipeline import DsaConfig
+from repro.core.system import PingmeshSystem, PingmeshSystemConfig
+from repro.netsim.topology import TopologySpec
+
+MIN_HERD_REDUCTION = 5.0
+MAX_OVERHEAD_RATIO = 1.10
+MAX_DRAIN_S = 300.0
+_PAIRS = 7
+
+# 64 agents: a synchronized recovery lands the whole fleet in one
+# one-second bucket, so the unjittered peak is the fleet size itself.
+_HERD_SPEC = TopologySpec(n_podsets=2, pods_per_podset=2, servers_per_pod=16)
+_SMALL_SPEC = TopologySpec(n_podsets=2, pods_per_podset=2, servers_per_pod=4)
+_FAST_DSA = DsaConfig(
+    ingestion_delay_s=0.0,
+    near_real_time_period_s=300.0,
+    hourly_period_s=900.0,
+    daily_period_s=900.0,
+)
+
+
+def _build(spec: TopologySpec, seed: int = 0, **agent_kwargs) -> PingmeshSystem:
+    return PingmeshSystem(
+        PingmeshSystemConfig(
+            specs=(spec,),
+            seed=seed,
+            dsa=_FAST_DSA,
+            agent=AgentConfig(
+                pinglist_refresh_s=120.0,
+                upload_period_s=120.0,
+                **agent_kwargs,
+            ),
+        )
+    )
+
+
+# -- recovery herd -------------------------------------------------------------
+
+
+def _recovery_peak_qps(resilient: bool) -> int:
+    """Peak controller requests/second after a blackout heals."""
+    system = _build(_HERD_SPEC, resilient_refresh=resilient)
+    system.start()
+    system.run_for(120.0)
+    blackout = ControllerBlackout()
+    blackout.start(system, system.clock.now)
+    system.run_for(300.0)  # 2.5 refresh periods: the fleet fails closed
+    blackout.end(system, system.clock.now)
+    heal_second = int(system.clock.now)
+    system.run_for(300.0)
+    recovery = [
+        count
+        for second, count in system.controller.requests_by_second.items()
+        if second > heal_second
+    ]
+    assert recovery, "no agent re-polled after the heal"
+    return max(recovery)
+
+
+def bench_recovery_herd_gate(benchmark):
+    """Peak recovery QPS, jittered vs fixed-grid: gate ≥5× reduction."""
+
+    def measure() -> float:
+        stampede = _recovery_peak_qps(resilient=False)
+        spread = _recovery_peak_qps(resilient=True)
+        return stampede / spread
+
+    reduction = benchmark.pedantic(measure, rounds=1, iterations=1)
+    stampede = _recovery_peak_qps(resilient=False)
+    spread = _recovery_peak_qps(resilient=True)
+    benchmark.extra_info["peak_qps_fixed"] = stampede
+    benchmark.extra_info["peak_qps_jittered"] = spread
+    benchmark.extra_info["herd_reduction"] = reduction
+    print(
+        f"\nrecovery herd: fixed-grid peak {stampede}/s, "
+        f"jittered peak {spread}/s -> {reduction:.1f}x reduction "
+        f"(gate >={MIN_HERD_REDUCTION:.0f}x)"
+    )
+    assert reduction >= MIN_HERD_REDUCTION, (
+        f"jitter only reduced the recovery herd {reduction:.1f}x "
+        f"(peak {stampede}/s -> {spread}/s); gate is {MIN_HERD_REDUCTION:.0f}x"
+    )
+
+
+# -- backlog drain -------------------------------------------------------------
+
+
+def _drain_seconds() -> float:
+    """Sim-seconds from Cosmos heal until every agent's spool is empty."""
+    system = _build(
+        _SMALL_SPEC,
+        upload_retry_base_s=30.0,
+        upload_retry_cap_s=90.0,
+    )
+    system.start()
+    system.run_for(150.0)
+    blackout = CosmosBlackout()
+    blackout.start(system, system.clock.now)
+    system.run_for(360.0)
+    blackout.end(system, system.clock.now)
+    heal_t = system.clock.now
+
+    def backlog() -> int:
+        return sum(a.uploader.spooled_records for a in system.agents.values())
+
+    assert backlog() > 0, "blackout left nothing spooled to replay"
+    while backlog() > 0:
+        if system.clock.now - heal_t > 2 * MAX_DRAIN_S:
+            break  # report the overrun, let the gate fail with numbers
+        system.run_for(10.0)
+    assert backlog() == 0, (
+        f"spool never drained: {backlog()} records still spooled "
+        f"{system.clock.now - heal_t:.0f}s after the heal"
+    )
+    return system.clock.now - heal_t
+
+
+def bench_backlog_drain(benchmark):
+    """Spool drain time after a 360 s Cosmos blackout heals."""
+    drain_s = benchmark.pedantic(_drain_seconds, rounds=1, iterations=1)
+    benchmark.extra_info["drain_s"] = drain_s
+    print(f"\nspool backlog drained {drain_s:.0f}s after heal "
+          f"(gate <={MAX_DRAIN_S:.0f}s)")
+    assert drain_s <= MAX_DRAIN_S, (
+        f"backlog took {drain_s:.0f}s to drain after the heal "
+        f"(budget {MAX_DRAIN_S:.0f}s)"
+    )
+
+
+# -- steady-state overhead -----------------------------------------------------
+
+
+def _run_healthy(resilient: bool) -> float:
+    """CPU seconds for 1800 healthy simulated seconds.
+
+    Process CPU time, not wall time: this box is shared, and ambient load
+    lands on whichever arm is running when it bursts.
+    """
+    system = _build(_SMALL_SPEC, resilient_refresh=resilient)
+    system.start()
+    gc.collect()  # don't bill one arm for the other arm's garbage
+    start = time.process_time()
+    system.run_for(1800.0)
+    return time.process_time() - start
+
+
+def bench_resilience_overhead_gate(benchmark):
+    """Best-of-N resilient/fixed CPU-time ratio, interleaved pairs.
+
+    Each arm's *minimum* over interleaved runs is its noise floor — the
+    run least perturbed by GC and scheduling — so the ratio of minimums
+    isolates the layer's intrinsic cost instead of ambient jitter
+    (single-pair wall-clock ratios on runs this short swing ±30%).
+    """
+
+    def measure() -> float:
+        _run_healthy(resilient=False)  # warm both paths before timing
+        _run_healthy(resilient=True)
+        bare_times, resilient_times = [], []
+        for _ in range(_PAIRS):
+            bare_times.append(_run_healthy(resilient=False))
+            resilient_times.append(_run_healthy(resilient=True))
+        return min(resilient_times) / min(bare_times)
+
+    ratio = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["overhead_ratio"] = ratio
+    print(f"\nresilience steady-state overhead: {100 * (ratio - 1):+.2f}% "
+          f"(gate {100 * (MAX_OVERHEAD_RATIO - 1):.0f}%)")
+    assert ratio < MAX_OVERHEAD_RATIO, (
+        f"resilience layer costs {100 * (ratio - 1):.1f}% steady-state "
+        f"wall time (budget {100 * (MAX_OVERHEAD_RATIO - 1):.0f}%)"
+    )

@@ -26,7 +26,18 @@ sharded-fleet correctness tier, then ``bench_scale`` (a simulated
 correctness tier (``tests/netsim/test_wan_tier.py`` — directional WAN
 latency, WAN fault kinds, three-rung parity, cache invalidation), then
 ``bench_wan`` (the 4-DC latency/drop envelopes, class-group drop parity,
-fiber-cut blast radius), and writes ``BENCH_wan.json``.
+fiber-cut blast radius), and writes ``BENCH_wan.json``.  The
+``resilience`` suite first runs the degraded-mode correctness tier
+(``tests/resilience`` — retry/breaker/spool/staleness units and the
+determinism audit — plus the four resilience drill campaigns), then
+``bench_resilience`` (the ≥5× recovery-herd-reduction gate, the spool
+drain-time budget, the <10% steady-state overhead gate), and writes
+``BENCH_resilience.json``.
+
+``--suite all`` runs every registered suite in sequence and then audits
+the snapshots: a ``BENCH_*.json`` that is missing or was not rewritten
+by this run (stale) fails the audit loudly, and each suite gets a
+one-line pass/fail summary at the end.
 
 Each bench file carries its own hard assertions (e.g. the columnar path's
 ≥10× speedup gate), so the exit code is a pass/fail verdict, not just a
@@ -63,6 +74,9 @@ SCALE_BENCHES = [
 WAN_BENCHES = [
     "bench_wan.py",
 ]
+RESILIENCE_BENCHES = [
+    "bench_resilience.py",
+]
 CHAOS_DRILL_TIER = ["tests/integration/test_chaos_drills.py"]
 # Correctness before speed: the fleet suite's bench numbers mean nothing
 # unless cached paths equal fresh paths and fast rounds match scalar rounds.
@@ -88,6 +102,12 @@ SCALE_CORRECTNESS_TIER = [
 WAN_CORRECTNESS_TIER = [
     "tests/netsim/test_wan_tier.py",
 ]
+# The herd/drain/overhead gates mean nothing unless the primitives are
+# correct, the draws are deterministic, and the drill campaigns are clean.
+RESILIENCE_CORRECTNESS_TIER = [
+    "tests/resilience",
+    "tests/integration/test_resilience_drills.py",
+]
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_DIR = Path(__file__).resolve().parent
@@ -98,6 +118,7 @@ SUITES = {
     "stream": (STREAM_BENCHES, "BENCH_stream.json"),
     "scale": (SCALE_BENCHES, "BENCH_scale.json"),
     "wan": (WAN_BENCHES, "BENCH_wan.json"),
+    "resilience": (RESILIENCE_BENCHES, "BENCH_resilience.json"),
 }
 
 
@@ -173,6 +194,7 @@ def run_suite(suite: str, output: Path | None) -> int:
         "stream": STREAM_CORRECTNESS_TIER,
         "scale": SCALE_CORRECTNESS_TIER,
         "wan": WAN_CORRECTNESS_TIER,
+        "resilience": RESILIENCE_CORRECTNESS_TIER,
     }
     tier = gate_tiers.get(suite)
     if tier is not None:
@@ -181,6 +203,49 @@ def run_suite(suite: str, output: Path | None) -> int:
             print(f"{suite} test tier failed; skipping benches", file=sys.stderr)
             return tier_rc
     return run_benches(benches, destination)
+
+
+def audit_snapshot(suite: str, run_started: float) -> tuple[bool, str]:
+    """One suite's verdict line for the ``--suite all`` summary.
+
+    A snapshot is *stale* if this run did not rewrite it — the suite
+    crashed (or was interrupted) after the old file was already on disk,
+    so its numbers describe some earlier build, not this one.
+    """
+    _benches, default_output = SUITES[suite]
+    path = REPO_ROOT / default_output
+    if not path.exists():
+        return False, f"FAIL  {suite:12s} {default_output} missing"
+    if path.stat().st_mtime < run_started:
+        return False, f"FAIL  {suite:12s} {default_output} stale (not from this run)"
+    try:
+        snapshot = json.loads(path.read_text())
+        n_benches = len(snapshot["benches"])
+    except (json.JSONDecodeError, KeyError, TypeError) as err:
+        return False, f"FAIL  {suite:12s} {default_output} unreadable: {err}"
+    return True, f"ok    {suite:12s} {n_benches} benches -> {default_output}"
+
+
+def run_all() -> int:
+    """Every registered suite, then a loud snapshot audit + summary."""
+    import time
+
+    run_started = time.time()
+    suite_rcs = {suite: run_suite(suite, None) for suite in SUITES}
+    failed = False
+    print("\n--- suite summary " + "-" * 42)
+    for suite, rc in suite_rcs.items():
+        healthy, line = audit_snapshot(suite, run_started)
+        if rc != 0:
+            line = f"FAIL  {suite:12s} exit code {rc}"
+        if rc != 0 or not healthy:
+            failed = True
+        print(line)
+    if failed:
+        print("one or more suites failed or left a missing/stale snapshot",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def main() -> int:
@@ -203,10 +268,7 @@ def main() -> int:
         if args.output is not None:
             print("--output is ambiguous with --suite all", file=sys.stderr)
             return 2
-        rc = 0
-        for suite in SUITES:
-            rc = run_suite(suite, None) or rc
-        return rc
+        return run_all()
     return run_suite(args.suite, args.output)
 
 

@@ -23,6 +23,7 @@ methodology applied to this reproduction.
 from repro.chaos.actions import (
     ChaosAction,
     ControllerBlackout,
+    ControllerBrownout,
     CosmosBlackout,
     MemorySqueeze,
     PinglistKillSwitch,
@@ -39,6 +40,7 @@ from repro.chaos.invariants import InvariantChecker, Violation
 __all__ = [
     "ChaosAction",
     "ControllerBlackout",
+    "ControllerBrownout",
     "CosmosBlackout",
     "MemorySqueeze",
     "PinglistKillSwitch",

@@ -18,6 +18,7 @@ __all__ = [
     "ScenarioAction",
     "ReplicaFlap",
     "ControllerBlackout",
+    "ControllerBrownout",
     "PinglistKillSwitch",
     "CosmosBlackout",
     "PodsetPowerLoss",
@@ -114,6 +115,36 @@ class ControllerBlackout(ChaosAction):
     def end(self, system, t: float) -> None:
         for dip in system.controller.replicas:
             system.controller.recover_replica(dip)
+
+
+class ControllerBrownout(ChaosAction):
+    """Controller replicas answer, but slower than the agent request
+    timeout — slow, not dead.
+
+    The up/down health check keeps passing, so only the request-path
+    circuit breakers (fed by :class:`ControllerTimeoutError`) can eject
+    the browned-out replicas.  With every replica slow, agents see
+    timeouts, go STALE and keep probing their cached pinglists; no agent
+    may fail closed unless the brownout outlasts three spaced refresh
+    attempts.
+    """
+
+    def __init__(self, response_delay_s: float = 10.0, dips: list[str] | None = None) -> None:
+        scope = "all" if dips is None else ",".join(dips)
+        self.name = f"controller-brownout:{scope}"
+        self.response_delay_s = response_delay_s
+        self.dips = dips
+
+    def _targets(self, system) -> list[str]:
+        return self.dips if self.dips is not None else list(system.controller.replicas)
+
+    def start(self, system, t: float) -> None:
+        for dip in self._targets(system):
+            system.controller.brownout_replica(dip, self.response_delay_s)
+
+    def end(self, system, t: float) -> None:
+        for dip in self._targets(system):
+            system.controller.clear_brownout(dip)
 
 
 class PinglistKillSwitch(ChaosAction):

@@ -52,6 +52,9 @@ class PhaseReport:
     terminated_agents: int
     records_stored: int
     new_violations: int
+    # Agents probing a cached pinglist (degraded, not dead): the STALE
+    # plateau of a controller brownout is visible here.
+    stale_agents: int = 0
 
 
 @dataclass
@@ -270,6 +273,9 @@ class ChaosCampaign:
             total_probes_sent=system.total_probes_sent(),
             fail_closed_agents=sum(
                 1 for agent in agents if agent.safety.fail_closed
+            ),
+            stale_agents=sum(
+                1 for agent in agents if agent.pinglist_stale
             ),
             terminated_agents=sum(
                 1 for agent in agents if agent.terminated_reason is not None

@@ -10,6 +10,26 @@ campaign               claim under test
                        SLB; a full controller blackout must trip the
                        ``pinglists-generated`` watchdog within its bound,
                        and recovered replicas serve fresh-stamped files.
+``controller-brownout`` degraded modes — every replica answers slower than
+                       the agent timeout (slow, not dead): request-path
+                       breakers eject what the up/down health check cannot
+                       see, agents ride the window STALE on their cached
+                       pinglists, and nobody may fail closed.
+``replica-flap-storm`` degraded modes — one replica flaps repeatedly while
+                       health-check sweeps are too slow to notice: the
+                       per-DIP circuit breaker is the only ejection
+                       mechanism, failover absorbs every flap, agents
+                       stay FRESH throughout.
+``recovery-stampede``  resilience — a long controller blackout fails the
+                       fleet closed, then heals: jittered refresh periods
+                       and decorrelated backoff must keep the recovery
+                       herd under the ``refresh-herd-factor`` bound while
+                       every agent still recovers.
+``cosmos-blackout-heal`` spool-and-replay — a long Cosmos blackout forces
+                       retries over time, per-batch discards after the
+                       retry budget, and a replay of surviving spooled
+                       batches on heal with zero duplicates (the
+                       ``upload-replay-no-duplication`` ledger).
 ``kill-switch``        §3.4.2 — removing every pinglist file stops all
                        probing (agents fail closed, zero probes) and
                        regeneration restores it, no restarts needed.
@@ -56,6 +76,7 @@ from typing import Callable
 
 from repro.chaos.actions import (
     ControllerBlackout,
+    ControllerBrownout,
     CosmosBlackout,
     MemorySqueeze,
     PinglistKillSwitch,
@@ -77,6 +98,7 @@ from repro.netsim.faults import (
     WanPartialPartition,
 )
 from repro.netsim.topology import TopologySpec
+from repro.resilience import CircuitBreaker, CircuitBreakerConfig
 
 __all__ = ["CannedCampaign", "CAMPAIGNS", "build_campaign", "run_campaign"]
 
@@ -108,14 +130,18 @@ def _system(
     refresh_s: float = 200.0,
     upload_s: float = 120.0,
     vips: dict | None = None,
+    spec: TopologySpec | None = None,
+    **agent_kwargs,
 ) -> PingmeshSystem:
     return PingmeshSystem(
         PingmeshSystemConfig(
-            specs=(_SPEC,),
+            specs=(spec or _SPEC,),
             seed=seed,
             dsa=_FAST_DSA,
             agent=AgentConfig(
-                pinglist_refresh_s=refresh_s, upload_period_s=upload_s
+                pinglist_refresh_s=refresh_s,
+                upload_period_s=upload_s,
+                **agent_kwargs,
             ),
             vips=vips or {},
         )
@@ -147,13 +173,85 @@ def _controller_flap(seed: int, check_mode: str):
     return system, campaign
 
 
+def _controller_brownout(seed: int, check_mode: str):
+    # Refresh retry base 60 s guarantees a third consecutive failure is
+    # impossible inside the 80 s brownout window: failure #1 >= 360,
+    # failure #2 >= 420, so attempt #3 lands >= 480 — after the heal at
+    # 440 *and* after the last possible breaker-reopen tail (<= 460 with
+    # the 20 s breaker below).  Agents go STALE, never FAIL_CLOSED.
+    system = _system(
+        seed,
+        refresh_retry_base_s=60.0,
+        refresh_retry_cap_s=200.0,
+    )
+    quick = CircuitBreakerConfig(failure_threshold=3, open_duration_s=20.0)
+    for backend in system.controller.slb.backends.values():
+        backend.breaker = CircuitBreaker(quick)
+    campaign = ChaosCampaign(
+        system, name="controller-brownout", check_mode=check_mode
+    )
+    # The fleet's second refresh wave lands in [360, 440) — every agent
+    # that polls during the window sees a timeout, not a connect refusal.
+    campaign.add(ControllerBrownout(response_delay_s=10.0), start_t=360.0, end_t=440.0)
+    return system, campaign
+
+
+def _replica_flap_storm(seed: int, check_mode: str):
+    system = _system(seed)
+    # Stretch the up/down sweep interval past the drill: the per-DIP
+    # circuit breaker is the only mechanism left that can eject the
+    # flapping replica from rotation.
+    system.controller.slb.health_check_interval_s = 10_000.0
+    campaign = ChaosCampaign(
+        system, name="replica-flap-storm", check_mode=check_mode
+    )
+    # Each down window brackets one jittered refresh wave (~200 s grid),
+    # so live requests do hit the dead replica and fail over.
+    for start_t, end_t in ((170.0, 230.0), (350.0, 410.0), (530.0, 590.0)):
+        campaign.add(ReplicaFlap("controller0"), start_t=start_t, end_t=end_t)
+    return system, campaign
+
+
+# 32 agents: large enough that an unjittered recovery would stampede the
+# herd bound (peak 32/s vs limit 16), small enough to stay a fast drill.
+_STAMPEDE_SPEC = TopologySpec(n_podsets=2, pods_per_podset=2, servers_per_pod=8)
+
+
+def _recovery_stampede(seed: int, check_mode: str):
+    system = _system(seed, refresh_s=120.0, spec=_STAMPEDE_SPEC)
+    campaign = ChaosCampaign(
+        system, name="recovery-stampede", check_mode=check_mode
+    )
+    # Three refresh periods of blackout fail the whole fleet closed; the
+    # heal at 420 s must not produce a synchronized re-poll burst.
+    campaign.add(ControllerBlackout(), start_t=120.0, end_t=420.0)
+    return system, campaign
+
+
+def _cosmos_blackout_heal(seed: int, check_mode: str):
+    # Tight retry windows (30-90 s) against a 360 s blackout: early batches
+    # exhaust their three attempts and are discarded (accounted), the last
+    # pre-heal batch survives in the spool and replays exactly once.
+    system = _system(
+        seed,
+        upload_retry_base_s=30.0,
+        upload_retry_cap_s=90.0,
+    )
+    campaign = ChaosCampaign(
+        system, name="cosmos-blackout-heal", check_mode=check_mode
+    )
+    campaign.add(CosmosBlackout(), start_t=150.0, end_t=510.0)
+    return system, campaign
+
+
 def _kill_switch(seed: int, check_mode: str):
     system = _system(seed, refresh_s=120.0)
     campaign = ChaosCampaign(system, name="kill-switch", check_mode=check_mode)
-    # End at 620s, off the 120s refresh grid: the fleet stays fail-closed
-    # until its next refresh (720s), so the silent plateau is observable at
-    # the 630s checkpoint.
-    campaign.add(PinglistKillSwitch(), start_t=180.0, end_t=620.0)
+    # End at 650s, past the 630s checkpoint: fail-closed agents now retry
+    # on a jittered backoff (not the fixed refresh grid), so the files must
+    # stay gone through the checkpoint for the silent plateau to be
+    # observable there.  Recovery happens in (650, 840].
+    campaign.add(PinglistKillSwitch(), start_t=180.0, end_t=650.0)
     return system, campaign
 
 
@@ -271,6 +369,30 @@ CAMPAIGNS: dict[str, CannedCampaign] = {
             name="controller-flap",
             description="replica flap, then full controller blackout + recovery",
             build=_controller_flap,
+            duration_s=720.0,
+        ),
+        CannedCampaign(
+            name="controller-brownout",
+            description="slow replicas: breakers eject, agents ride STALE",
+            build=_controller_brownout,
+            duration_s=720.0,
+        ),
+        CannedCampaign(
+            name="replica-flap-storm",
+            description="flapping replica ejected by breakers, not sweeps",
+            build=_replica_flap_storm,
+            duration_s=720.0,
+        ),
+        CannedCampaign(
+            name="recovery-stampede",
+            description="fleet fails closed then recovers without a herd",
+            build=_recovery_stampede,
+            duration_s=720.0,
+        ),
+        CannedCampaign(
+            name="cosmos-blackout-heal",
+            description="upload retries over time, spool replay on heal",
+            build=_cosmos_blackout_heal,
             duration_s=720.0,
         ),
         CannedCampaign(

@@ -13,11 +13,12 @@ invariant                    claim
 ``dead-agent-silent``        a terminated or powered-off agent sends zero
                              probes (Figure 8(b)'s white cross is *absence*
                              of data, never fabricated data).
-``uploader-bounded``         §3.4.2 — the upload buffer and local log stay
-                             within their configured caps.
+``uploader-bounded``         §3.4.2 — the upload buffer, retry spool and
+                             local log stay within their configured caps.
 ``uploader-accounting``      §3.4.2 — every record added is uploaded,
-                             discarded, or still buffered; discards are
-                             visible in :class:`UploadStats`, never silent.
+                             discarded, still buffered, or parked in the
+                             retry spool; discards are visible in
+                             :class:`UploadStats`, never silent.
 ``drop-rate-honest``         §4.2 — a window with failed probes never
                              reports a 0.0 drop rate (the black-holed-
                              server-looks-perfect bug class).
@@ -44,6 +45,25 @@ invariant                    claim
                              emitted since the last check, ingest must have
                              advanced — detection latency stays bounded
                              whenever the plane *can* ingest.
+``upload-replay-no-duplication``  spool-and-replay — records landing in
+                             Cosmos since attach equal the records the
+                             fleet's uploaders report uploaded: a spooled
+                             batch replays exactly once after a blackout
+                             heals, never twice, and the store never gains
+                             records no uploader sent.  (Requires the
+                             agents to be the streams' only writers; pass
+                             ``exclusive_upload_writers=False`` where e.g.
+                             shard uploaders also write.)
+``staleness-state-machine``  §3.4.2 — the FRESH/STALE/FAIL_CLOSED tracker
+                             agrees with the fail-closed rule it asserts:
+                             FAIL_CLOSED exactly on the paper's triggers
+                             (3 consecutive connect failures, or a 404),
+                             STALE only with 1-2 failures, FRESH only with
+                             a clean streak.
+``refresh-herd-factor``      recovery must not stampede the controller —
+                             jittered refresh periods and decorrelated
+                             backoff keep the peak per-second pinglist
+                             request rate under half the fleet size.
 ===========================  ==============================================
 
 The checker registers on ``fabric.probe_observers`` — the fabric reports
@@ -57,8 +77,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.autopilot.watchdog import HealthStatus
-from repro.core.agent.safety import MAX_PAYLOAD_BYTES, MIN_PROBE_INTERVAL_S
+from repro.core.agent.safety import (
+    MAX_CONTROLLER_FAILURES,
+    MAX_PAYLOAD_BYTES,
+    MIN_PROBE_INTERVAL_S,
+)
+from repro.core.dsa.records import CLASS_STREAM, LATENCY_STREAM
 from repro.netsim.explain import explain_probe
+from repro.resilience import PinglistState
 
 __all__ = ["Violation", "InvariantChecker"]
 
@@ -95,6 +121,7 @@ class InvariantChecker:
         system,
         watchdog_grace_s: float | None = None,
         explain_sample_pairs: int = 4,
+        exclusive_upload_writers: bool = True,
     ) -> None:
         self.system = system
         # Default bound: two watchdog sweeps plus slack — a fault must be
@@ -119,6 +146,15 @@ class InvariantChecker:
         # (emitted, ingested, dropped, rejected) at the previous phase
         # check — the freshness invariant reasons about the delta since.
         self._stream_baseline = (0, 0, 0, 0)
+        # Spool-and-replay ledger: (stored latency, stored class, uploaded
+        # latency, uploaded class) at attach time.  Only meaningful when the
+        # agents are the streams' exclusive writers.
+        self.exclusive_upload_writers = exclusive_upload_writers
+        self._upload_baseline = (0, 0, 0, 0)
+        # Herd telemetry: the bucket the checker attached in is excluded
+        # (a synchronous fleet start legitimately lands in one second).
+        self._herd_attach_second = -1
+        self._herd_reported_seconds: set[int] = set()
 
     # -- probe-path hook ---------------------------------------------------
 
@@ -141,6 +177,8 @@ class InvariantChecker:
             fabric.probes_carried_batched,
             self.probes_observed,
         )
+        self._upload_baseline = self._upload_ledger()
+        self._herd_attach_second = int(self.system.clock.now)
 
     def detach(self) -> None:
         if not self._attached:
@@ -231,33 +269,12 @@ class InvariantChecker:
         self._dirty_agents.clear()
 
     def _check_agent(self, agent, now: float) -> None:
-        uploader = agent.uploader
-        if uploader.buffered_records > uploader.max_buffer_records:
-            self._violate(
-                now,
-                "uploader-bounded",
-                f"{agent.server_id} buffers {uploader.buffered_records} records "
-                f"(cap {uploader.max_buffer_records})",
-            )
-        if uploader.local_log_bytes > uploader.log_cap_bytes:
-            self._violate(
-                now,
-                "uploader-bounded",
-                f"{agent.server_id} local log at {uploader.local_log_bytes} B "
-                f"(cap {uploader.log_cap_bytes} B)",
-            )
-        stats = uploader.stats
-        accounted = (
-            stats.records_uploaded + stats.records_discarded + uploader.buffered_records
-        )
-        if accounted != stats.records_added:
-            self._violate(
-                now,
-                "uploader-accounting",
-                f"{agent.server_id}: {stats.records_added} added but "
-                f"{stats.records_uploaded} uploaded + {stats.records_discarded} "
-                f"discarded + {uploader.buffered_records} buffered = {accounted}",
-            )
+        uploaders = [agent.uploader]
+        if getattr(agent, "class_uploader", None) is not None:
+            uploaders.append(agent.class_uploader)
+        for uploader in uploaders:
+            self._check_uploader(agent.server_id, uploader, now)
+        self._check_staleness_machine(agent, now)
         counters = agent.counters
         if counters.probes_failed > 0 and counters.drop_rate() <= 0.0:
             self._violate(
@@ -266,6 +283,85 @@ class InvariantChecker:
                 f"{agent.server_id}: {counters.probes_failed} failed probes in "
                 f"window but drop rate {counters.drop_rate()}",
             )
+
+    def _check_uploader(self, server_id: str, uploader, now: float) -> None:
+        if uploader.buffered_records > uploader.max_buffer_records:
+            self._violate(
+                now,
+                "uploader-bounded",
+                f"{server_id} buffers {uploader.buffered_records} records "
+                f"(cap {uploader.max_buffer_records})",
+            )
+        if uploader.spooled_records > uploader.spool.cap_records:
+            self._violate(
+                now,
+                "uploader-bounded",
+                f"{server_id} spools {uploader.spooled_records} records "
+                f"(cap {uploader.spool.cap_records})",
+            )
+        if uploader.local_log_bytes > uploader.log_cap_bytes:
+            self._violate(
+                now,
+                "uploader-bounded",
+                f"{server_id} local log at {uploader.local_log_bytes} B "
+                f"(cap {uploader.log_cap_bytes} B)",
+            )
+        stats = uploader.stats
+        accounted = (
+            stats.records_uploaded
+            + stats.records_discarded
+            + uploader.buffered_records
+            + uploader.spooled_records
+        )
+        if accounted != stats.records_added:
+            self._violate(
+                now,
+                "uploader-accounting",
+                f"{server_id}: {stats.records_added} added but "
+                f"{stats.records_uploaded} uploaded + {stats.records_discarded} "
+                f"discarded + {uploader.buffered_records} buffered + "
+                f"{uploader.spooled_records} spooled = {accounted}",
+            )
+
+    def _check_staleness_machine(self, agent, now: float) -> None:
+        """The tracker must agree with the fail-closed rule it asserts."""
+        safety = agent.safety
+        tracker = safety.staleness
+        if safety.fail_closed != tracker.fail_closed:
+            self._violate(
+                now,
+                "staleness-state-machine",
+                f"{agent.server_id}: fail_closed={safety.fail_closed} but "
+                f"pinglist state is {tracker.state.value}",
+            )
+            return
+        failures = safety.consecutive_failures
+        if tracker.state is PinglistState.FRESH and failures != 0:
+            self._violate(
+                now,
+                "staleness-state-machine",
+                f"{agent.server_id}: FRESH with {failures} consecutive "
+                f"controller failures",
+            )
+        elif tracker.state is PinglistState.STALE and not (
+            1 <= failures < MAX_CONTROLLER_FAILURES
+        ):
+            self._violate(
+                now,
+                "staleness-state-machine",
+                f"{agent.server_id}: STALE with {failures} consecutive "
+                f"controller failures (legal: 1-"
+                f"{MAX_CONTROLLER_FAILURES - 1})",
+            )
+        elif tracker.state is PinglistState.FAIL_CLOSED:
+            reason = tracker.transitions[-1][3] if tracker.transitions else ""
+            if failures < MAX_CONTROLLER_FAILURES and reason != "pinglist-404":
+                self._violate(
+                    now,
+                    "staleness-state-machine",
+                    f"{agent.server_id}: FAIL_CLOSED without a paper trigger "
+                    f"({failures} failures, last transition {reason!r})",
+                )
 
     # -- phase (full-catalogue) checks -------------------------------------
 
@@ -282,7 +378,90 @@ class InvariantChecker:
         self._check_sla_ground_truth(now)
         self._check_probe_conservation(now)
         self._check_stream_plane(now)
+        self._check_upload_replay(now)
+        self._check_refresh_herd(now)
         return self.violations[before:]
+
+    def _upload_ledger(self) -> tuple[int, int, int, int]:
+        """(stored latency, stored class, uploaded latency, uploaded class)."""
+        store = self.system.store
+        stored_latency = (
+            store.stream(LATENCY_STREAM).record_count
+            if store.has_stream(LATENCY_STREAM)
+            else 0
+        )
+        stored_class = (
+            store.stream(CLASS_STREAM).record_count
+            if store.has_stream(CLASS_STREAM)
+            else 0
+        )
+        uploaded_latency = 0
+        uploaded_class = 0
+        for agent in self.system.agents.values():
+            uploaded_latency += agent.uploader.stats.records_uploaded
+            class_uploader = getattr(agent, "class_uploader", None)
+            if class_uploader is not None:
+                uploaded_class += class_uploader.stats.records_uploaded
+        return stored_latency, stored_class, uploaded_latency, uploaded_class
+
+    def _check_upload_replay(self, now: float) -> None:
+        """Since attach, Cosmos gained exactly the records the uploaders
+        report uploaded — a spooled batch replays once, never twice, and
+        nothing lands that no uploader sent.  Assumes the agents are the
+        streams' only writers (campaigns are far shorter than the
+        two-month retention window, so expiry cannot shrink the store)."""
+        if not self._attached or not self.exclusive_upload_writers:
+            return
+        base_lat, base_cls, base_up_lat, base_up_cls = self._upload_baseline
+        stored_lat, stored_cls, up_lat, up_cls = self._upload_ledger()
+        for label, stored_delta, uploaded_delta in (
+            (LATENCY_STREAM, stored_lat - base_lat, up_lat - base_up_lat),
+            (CLASS_STREAM, stored_cls - base_cls, up_cls - base_up_cls),
+        ):
+            if stored_delta != uploaded_delta:
+                kind = "duplicated" if stored_delta > uploaded_delta else "lost"
+                self._violate(
+                    now,
+                    "upload-replay-no-duplication",
+                    f"{label}: store gained {stored_delta} records since "
+                    f"attach but uploaders sent {uploaded_delta} "
+                    f"({abs(stored_delta - uploaded_delta)} {kind})",
+                )
+
+    def _herd_limit(self) -> int:
+        agents = getattr(self.system, "agents", {})
+        fleet = len(agents)
+        if fleet == 0:
+            controller = self.system.controller
+            fleet = max(
+                (len(replica.files) for replica in controller.replicas.values()),
+                default=0,
+            )
+        return max(4, -(-fleet // 2))
+
+    def _check_refresh_herd(self, now: float) -> None:
+        """No post-attach second may see a pinglist-request stampede.
+
+        Jittered refresh periods and decorrelated backoff exist precisely
+        so that a fleet recovering from a controller outage does not hit
+        the VIP in one synchronized burst; the bound is half the fleet
+        (floored at 4 so tiny topologies aren't flagged for a coincidence).
+        """
+        if not self._attached:
+            return
+        limit = self._herd_limit()
+        buckets = self.system.controller.requests_by_second
+        for second, count in buckets.items():
+            if second <= self._herd_attach_second:
+                continue
+            if count > limit and second not in self._herd_reported_seconds:
+                self._herd_reported_seconds.add(second)
+                self._violate(
+                    now,
+                    "refresh-herd-factor",
+                    f"{count} pinglist requests in second {second} "
+                    f"(herd limit {limit})",
+                )
 
     def _check_stream_plane(self, now: float) -> None:
         """Streaming-plane conservation and freshness (see the catalogue)."""

@@ -41,6 +41,7 @@ from repro.core.dsa.records import (
     make_records,
 )
 from repro.netsim.fabric import Fabric
+from repro.resilience import PinglistState, RetryPolicy, derive_seed
 
 __all__ = ["AgentConfig", "PingmeshAgent"]
 
@@ -63,6 +64,17 @@ class AgentConfig:
     # False (scalar wins).
     round_mode: str = "fast"
     upload_threshold_records: int = 2000  # ... or the size threshold
+    # Degraded-mode resilience: jittered refresh scheduling + backoff on
+    # refresh failure (the STALE / FAIL_CLOSED recovery paths) and the
+    # uploader's spool-and-replay retry policy.  resilient_refresh=False
+    # reverts to fixed-period refresh — the stampede bench's control arm.
+    resilient_refresh: bool = True
+    refresh_jitter_fraction: float = 0.1  # period * U(1-f, 1+f)
+    refresh_retry_base_s: float = 30.0
+    refresh_retry_cap_s: float = 600.0
+    upload_retry_base_s: float = 60.0
+    upload_retry_cap_s: float = 600.0
+    upload_spool_cap_records: int = 20_000
     reservoir_size: int = 4096
     memory_cap_mb: float = 80.0
     cpu_cap_fraction: float = 0.05
@@ -79,6 +91,12 @@ class AgentConfig:
             raise ValueError(f"upload period must be positive: {self.upload_period_s}")
         if self.round_mode not in ("scalar", "fast", "class"):
             raise ValueError(f"unknown round mode: {self.round_mode!r}")
+        if not 0.0 <= self.refresh_jitter_fraction < 1.0:
+            raise ValueError(
+                f"jitter fraction must be in [0, 1): {self.refresh_jitter_fraction}"
+            )
+        if self.refresh_retry_base_s <= 0 or self.upload_retry_base_s <= 0:
+            raise ValueError("retry base delays must be positive")
 
 
 class PingmeshAgent(SharedService):
@@ -126,7 +144,19 @@ class PingmeshAgent(SharedService):
                 server_id,
                 stream=CLASS_STREAM,
                 flush_threshold_records=self.config.upload_threshold_records,
+                retry_base_s=self.config.upload_retry_base_s,
+                retry_cap_s=self.config.upload_retry_cap_s,
+                spool_cap_records=self.config.upload_spool_cap_records,
             )
+        # Refresh scheduling: a per-agent seeded RNG stream drives both the
+        # steady-state jittered period and the failure backoff, so a fleet
+        # recovering from a controller outage spreads its re-polls instead
+        # of thundering (and the schedule is identical run to run).
+        self.refresh_retry = RetryPolicy(
+            self.config.refresh_retry_base_s,
+            self.config.refresh_retry_cap_s,
+            seed=derive_seed(server_id, "pinglist-refresh"),
+        )
         self._class_plan: tuple | None = None  # (pinglist, version, plan)
         self.last_upload_t = 0.0
         self.probes_sent = 0
@@ -135,27 +165,51 @@ class PingmeshAgent(SharedService):
     # -- controller interaction ------------------------------------------------
 
     def refresh_pinglist(self, t: float) -> bool:
-        """Pull the pinglist; apply the fail-closed rules.  True on success."""
+        """Pull the pinglist; apply the fail-closed rules.  True on success.
+
+        Failures short of fail-closed leave the agent in STALE: it keeps
+        probing the cached pinglist (tagging the records), and the next
+        refresh is rescheduled on backoff via :meth:`next_refresh_delay`.
+        """
         if not self.running:
             return False
         current = self.pinglist.generation if self.pinglist else None
         try:
             pinglist = self.controller.get_pinglist(
-                self.server_id, if_generation=current
+                self.server_id, if_generation=current, t=t
             )
         except ControllerUnavailableError:
-            if self.safety.record_controller_failure():
+            if self.safety.record_controller_failure(t):
                 self._stop_probing()
             return False
         except PinglistNotFoundError:
             # "controller is up but there is no pinglist file available".
-            self.safety.record_pinglist_missing()
+            self.safety.record_pinglist_missing(t)
             self._stop_probing()
             return False
-        self.safety.record_controller_success()
+        self.safety.record_controller_success(t)
         if pinglist is not None:  # None = 304: ours is still current
             self.pinglist = pinglist
         return True
+
+    def next_refresh_delay(self) -> float:
+        """How long until the next pinglist refresh, per the state machine.
+
+        FRESH: the configured period with ±jitter so the fleet's polls
+        decorrelate.  STALE / FAIL_CLOSED: seeded exponential backoff,
+        capped by the refresh period so recovery is never slower than a
+        healthy cycle.  With ``resilient_refresh`` off this is the fixed
+        period (the no-jitter control arm).
+        """
+        period = self.config.pinglist_refresh_s
+        if not self.config.resilient_refresh:
+            return period
+        if self.safety.pinglist_state is PinglistState.FRESH:
+            self.refresh_retry.reset()
+            return self.refresh_retry.jitter_period(
+                period, self.config.refresh_jitter_fraction
+            )
+        return self.refresh_retry.next_delay(cap_s=period)
 
     def _stop_probing(self) -> None:
         """Remove all ping peers; keep running (and keep answering pings)."""
@@ -164,6 +218,28 @@ class PingmeshAgent(SharedService):
     @property
     def probing(self) -> bool:
         return self.running and self.pinglist is not None and len(self.pinglist) > 0
+
+    @property
+    def pinglist_state(self) -> PinglistState:
+        return self.safety.pinglist_state
+
+    @property
+    def pinglist_stale(self) -> bool:
+        """Probing a cached pinglist the controller has not re-confirmed."""
+        return self.safety.staleness.stale
+
+    def _tag_stale(self, record: dict) -> dict:
+        """Mark records produced under a stale pinglist (absent = fresh,
+        so healthy-run record bytes are unchanged)."""
+        if self.pinglist_stale:
+            record["pinglist_stale"] = True
+        return record
+
+    def _tag_stale_many(self, records: list[dict]) -> list[dict]:
+        if self.pinglist_stale:
+            for record in records:
+                record["pinglist_stale"] = True
+        return records
 
     @property
     def probe_interval_s(self) -> float:
@@ -212,7 +288,7 @@ class PingmeshAgent(SharedService):
             # The VIP is dark (no live DIP): that IS the measurement
             # VIP monitoring exists to make (§6.2).
             self.counters.add(False, 0.0)
-            self.uploader.add(self._vip_down_record(entry, t))
+            self.uploader.add(self._tag_stale(self._vip_down_record(entry, t)))
             if self.stream_aggregator is not None:
                 self.stream_aggregator.observe(t, "vip", False, 0.0)
             return 1
@@ -223,8 +299,10 @@ class PingmeshAgent(SharedService):
         )
         self.counters.add(result.success, result.rtt_s)
         self.uploader.add(
-            make_record(
-                self.fabric.topology, result, purpose=entry.purpose, qos=entry.qos
+            self._tag_stale(
+                make_record(
+                    self.fabric.topology, result, purpose=entry.purpose, qos=entry.qos
+                )
             )
         )
         if self.stream_aggregator is not None:
@@ -248,8 +326,10 @@ class PingmeshAgent(SharedService):
             )
             self.counters.add(result.success, result.rtt_s)
             self.uploader.add(
-                make_record(
-                    self.fabric.topology, result, purpose=entry.purpose, qos=entry.qos
+                self._tag_stale(
+                    make_record(
+                        self.fabric.topology, result, purpose=entry.purpose, qos=entry.qos
+                    )
                 )
             )
             if self.stream_aggregator is not None:
@@ -306,13 +386,15 @@ class PingmeshAgent(SharedService):
                     ),
                 )
             self.uploader.add_many(
-                make_records(
-                    self.fabric.topology,
-                    [
-                        (result, purpose, qos)
-                        for result, (purpose, qos) in zip(results, tags)
-                    ],
-                    server_cache=self._record_server_cache,
+                self._tag_stale_many(
+                    make_records(
+                        self.fabric.topology,
+                        [
+                            (result, purpose, qos)
+                            for result, (purpose, qos) in zip(results, tags)
+                        ],
+                        server_cache=self._record_server_cache,
+                    )
                 )
             )
             launched += len(results)
@@ -359,13 +441,15 @@ class PingmeshAgent(SharedService):
                     ),
                 )
             self.uploader.add_many(
-                make_records(
-                    self.fabric.topology,
-                    [
-                        (result, purpose, qos)
-                        for result, (purpose, qos) in zip(results, pass_tags)
-                    ],
-                    server_cache=self._record_server_cache,
+                self._tag_stale_many(
+                    make_records(
+                        self.fabric.topology,
+                        [
+                            (result, purpose, qos)
+                            for result, (purpose, qos) in zip(results, pass_tags)
+                        ],
+                        server_cache=self._record_server_cache,
+                    )
                 )
             )
             launched += len(results)
@@ -378,9 +462,11 @@ class PingmeshAgent(SharedService):
                         t, outcome.purpose, outcome.failed, outcome.rtt_s * 1e6
                     )
                 self.class_uploader.add(
-                    make_class_record(
-                        outcome, t, self.server_id,
-                        me.dc_index, me.podset_index, me.pod_index,
+                    self._tag_stale(
+                        make_class_record(
+                            outcome, t, self.server_id,
+                            me.dc_index, me.podset_index, me.pod_index,
+                        )
                     )
                 )
             launched += plan.n_class_probes
@@ -464,7 +550,15 @@ class PingmeshAgent(SharedService):
         class_due = (
             self.class_uploader is not None and self.class_uploader.should_flush
         )
-        if not timer_due and not self.uploader.should_flush and not class_due:
+        replay_due = self.uploader.replay_due(t) or (
+            self.class_uploader is not None and self.class_uploader.replay_due(t)
+        )
+        if (
+            not timer_due
+            and not self.uploader.should_flush
+            and not class_due
+            and not replay_due
+        ):
             return False
         uploaded = self.uploader.flush(t)
         if self.class_uploader is not None:
@@ -481,8 +575,11 @@ class PingmeshAgent(SharedService):
         counters["probes_sent_total"] = float(self.probes_sent)
         counters["peer_count"] = float(len(self.pinglist) if self.pinglist else 0)
         counters["fail_closed"] = 1.0 if self.safety.fail_closed else 0.0
+        counters["pinglist_stale"] = 1.0 if self.pinglist_stale else 0.0
         stats = self.uploader.stats
         counters["upload_records_uploaded"] = float(stats.records_uploaded)
         counters["upload_records_discarded"] = float(stats.records_discarded)
+        counters["upload_records_spooled"] = float(stats.records_spooled)
+        counters["upload_records_replayed"] = float(stats.records_replayed)
         counters["upload_failures"] = float(stats.upload_failures)
         return counters

@@ -16,6 +16,8 @@ and stop all its ping activities."
 
 from __future__ import annotations
 
+from repro.resilience import PinglistState, StalenessTracker
+
 __all__ = [
     "MIN_PROBE_INTERVAL_S",
     "MAX_PAYLOAD_BYTES",
@@ -36,12 +38,19 @@ class SafetyGuard:
     The clamps exist because the controller is *configuration*, and
     configuration can be wrong; the agent enforces its own worst-case
     bounds regardless of what the pinglist says.
+
+    The fail-closed rule is now asserted at the state-machine level: the
+    guard owns a :class:`~repro.resilience.StalenessTracker` and every
+    controller outcome drives a validated ``FRESH -> STALE ->
+    FAIL_CLOSED`` transition, so an illegal path (e.g. fail-closed
+    without the paper's triggers) raises instead of passing silently.
     """
 
     def __init__(self) -> None:
         self._consecutive_failures = 0
         self.fail_closed = False
         self.fail_closed_reason: str | None = None
+        self.staleness = StalenessTracker()
 
     # -- clamps ------------------------------------------------------------
 
@@ -57,15 +66,19 @@ class SafetyGuard:
 
     # -- controller reachability ------------------------------------------------
 
-    def record_controller_success(self) -> None:
+    def record_controller_success(self, t: float = 0.0) -> None:
         """A successful pinglist download resets the failure streak."""
         self._consecutive_failures = 0
         self.fail_closed = False
         self.fail_closed_reason = None
+        self.staleness.refresh_succeeded(t)
 
-    def record_controller_failure(self) -> bool:
+    def record_controller_failure(self, t: float = 0.0) -> bool:
         """A failed connect; returns True once the agent must fall closed."""
         self._consecutive_failures += 1
+        self.staleness.refresh_failed(
+            t, self._consecutive_failures, MAX_CONTROLLER_FAILURES
+        )
         if self._consecutive_failures >= MAX_CONTROLLER_FAILURES:
             self.fail_closed = True
             self.fail_closed_reason = (
@@ -73,12 +86,18 @@ class SafetyGuard:
             )
         return self.fail_closed
 
-    def record_pinglist_missing(self) -> None:
+    def record_pinglist_missing(self, t: float = 0.0) -> None:
         """Controller answered 404: immediate stop — this is the kill
         switch ("removing all the pinglist files from the controller")."""
         self.fail_closed = True
         self.fail_closed_reason = "controller has no pinglist for this server"
+        self.staleness.pinglist_missing(t)
 
     @property
     def consecutive_failures(self) -> int:
         return self._consecutive_failures
+
+    @property
+    def pinglist_state(self) -> PinglistState:
+        """Where the agent sits in FRESH / STALE / FAIL_CLOSED."""
+        return self.staleness.state

@@ -1,4 +1,4 @@
-"""Bounded-memory result upload with local log fallback (§3.4.2).
+"""Bounded-memory result upload with spool-and-replay fallback (§3.4.2).
 
 "Once a timer times out or the size of the measurement results exceeds a
 threshold, the Pingmesh Agent uploads the results to Cosmos. ... If a server
@@ -7,6 +7,14 @@ will stop trying and discard the in-memory data.  This is to ensure the
 Pingmesh Agent uses bounded memory resource.  The Pingmesh Agent also writes
 the latency data to local disk as log files.  The size of log files is
 limited to a configurable size."
+
+"Retry several times" here means retries *over time*: a failed transport
+attempt consumes one attempt per flush tick, with the batch parked in a
+bounded on-"disk" :class:`~repro.resilience.UploadSpool` between ticks and
+the next attempt gated by a seeded backoff
+:class:`~repro.resilience.RetryPolicy`.  A batch is only discarded once it
+has failed ``max_retries`` spaced attempts; when Cosmos heals, the spool
+replays oldest-first with no duplicates.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ from typing import Any, Callable
 
 from repro.core.agent.safety import MAX_UPLOAD_RETRIES
 from repro.core.dsa.records import LATENCY_STREAM
+from repro.resilience import RetryPolicy, SpooledBatch, UploadSpool, derive_seed
 
 __all__ = ["ResultUploader", "UploadStats"]
 
@@ -31,14 +40,19 @@ class UploadStats:
     """Counters describing the uploader's history.
 
     Conservation law (checked by the chaos invariant catalogue): every
-    record ever added is uploaded, discarded, or still buffered —
-    ``records_added == records_uploaded + records_discarded + buffered``.
+    record ever added is uploaded, discarded, buffered, or spooled —
+    ``records_added == records_uploaded + records_discarded + buffered +
+    spooled occupancy``.  ``records_spooled`` / ``records_replayed`` are
+    cumulative flow counters (entered the spool / uploaded from the
+    spool), not occupancy, so they sit outside the balance equation.
     """
 
     def __init__(self) -> None:
         self.records_added = 0
         self.records_uploaded = 0
         self.records_discarded = 0
+        self.records_spooled = 0
+        self.records_replayed = 0
         self.upload_attempts = 0
         self.upload_failures = 0
         self.flushes = 0
@@ -62,6 +76,9 @@ class ResultUploader:
         max_retries: int = MAX_UPLOAD_RETRIES,
         log_cap_bytes: int = 256 * 1024,
         upload_fn: Callable[[list[Record], float], None] | None = None,
+        retry_base_s: float = 60.0,
+        retry_cap_s: float = 600.0,
+        spool_cap_records: int = 20_000,
     ) -> None:
         if flush_threshold_records < 1:
             raise ValueError(
@@ -83,6 +100,13 @@ class ResultUploader:
         self._log: list[str] = []
         self._log_bytes = 0
         self.stats = UploadStats()
+        self.spool = UploadSpool(cap_records=spool_cap_records)
+        self.retry = RetryPolicy(
+            retry_base_s,
+            retry_cap_s,
+            seed=derive_seed(server_id, stream, "upload-retry"),
+        )
+        self._next_attempt_t = 0.0
 
     def _default_upload(self, records: list[Record], t: float) -> None:
         self.store.append(self.stream, records, t=t)
@@ -139,34 +163,95 @@ class ResultUploader:
         return len(self._buffer)
 
     @property
+    def spooled_records(self) -> int:
+        """Records parked on "disk" awaiting replay."""
+        return self.spool.records
+
+    @property
     def should_flush(self) -> bool:
         return len(self._buffer) >= self.flush_threshold_records
 
+    def replay_due(self, t: float) -> bool:
+        """Is there spooled backlog whose backoff window has elapsed?"""
+        return bool(self.spool) and t >= self._next_attempt_t
+
     # -- upload -------------------------------------------------------------
 
-    def flush(self, t: float) -> bool:
-        """Upload the buffer; on repeated failure, discard it (fail-closed).
+    def _stage_buffer(self, t: float) -> None:
+        """Park the in-memory buffer in the spool (bounded, oldest evicted)."""
+        if not self._buffer:
+            return
+        batch, self._buffer = self._buffer, []
+        self.stats.records_spooled += len(batch)
+        evicted = self.spool.push(SpooledBatch(records=batch, spooled_t=t))
+        self.stats.records_discarded += len(evicted)
 
-        Returns True when the data reached the store, False when it was
-        discarded after ``max_retries`` attempts.  An empty buffer is a
-        trivially successful flush.
+    def _attempt(self, records: list[Record], t: float) -> bool:
+        """One transport attempt; True on success."""
+        self.stats.upload_attempts += 1
+        try:
+            self._upload_fn(records, t)
+        except Exception:  # noqa: BLE001 - any failure counts as a miss
+            self.stats.upload_failures += 1
+            return False
+        return True
+
+    def flush(self, t: float, *, force: bool = False) -> bool:
+        """Upload spooled backlog (oldest first), then the buffer.
+
+        A *failed* transport attempt consumes exactly one of the failing
+        batch's ``max_retries`` attempts and ends this flush — the batch
+        waits in the spool until the backoff delay elapses, so "retry
+        several times" means retries over time, not a burst in one tick.
+        Successful attempts chain within one call, which is how a healed
+        store drains the whole backlog in a single flush.  A batch is
+        discarded only after ``max_retries`` spaced failures.
+
+        Returns True when everything (spool + buffer) reached the store;
+        False when data remains spooled or was discarded.  ``force``
+        bypasses the backoff gate (tests / explicit shutdown flushes).
         """
         self.stats.flushes += 1
-        if not self._buffer:
+        if not self._buffer and not self.spool:
             return True
-        batch, self._buffer = self._buffer, []
-        for _ in range(self.max_retries):
-            self.stats.upload_attempts += 1
-            try:
-                self._upload_fn(batch, t)
-            except Exception:  # noqa: BLE001 - any failure counts as a miss
-                self.stats.upload_failures += 1
+        if not force and t < self._next_attempt_t:
+            # Backoff window still open: stage new data and wait.
+            self._stage_buffer(t)
+            return False
+        while self.spool or self._buffer:
+            batch = self.spool.peek_oldest()
+            if batch is not None:
+                if self._attempt(batch.records, t):
+                    self.spool.pop_oldest()
+                    self.stats.records_uploaded += len(batch.records)
+                    self.stats.records_replayed += len(batch.records)
+                    continue
+                batch.attempts += 1
+                if batch.attempts >= self.max_retries:
+                    self.spool.pop_oldest()
+                    self.stats.records_discarded += len(batch.records)
+                    self.stats.failed_flushes += 1
+                self._next_attempt_t = t + self.retry.next_delay()
+                self._stage_buffer(t)
+                return False
+            records, self._buffer = self._buffer, []
+            if self._attempt(records, t):
+                self.stats.records_uploaded += len(records)
                 continue
-            self.stats.records_uploaded += len(batch)
-            return True
-        self.stats.records_discarded += len(batch)
-        self.stats.failed_flushes += 1
-        return False
+            if self.max_retries <= 1:
+                self.stats.records_discarded += len(records)
+                self.stats.failed_flushes += 1
+            else:
+                self.stats.records_spooled += len(records)
+                evicted = self.spool.push(
+                    SpooledBatch(records=records, spooled_t=t, attempts=1)
+                )
+                self.stats.records_discarded += len(evicted)
+            self._next_attempt_t = t + self.retry.next_delay()
+            return False
+        self.retry.reset()
+        self._next_attempt_t = 0.0
+        return True
 
     # -- local log ------------------------------------------------------------
 

@@ -12,6 +12,15 @@ configuration change (bumping a generation number) and serves them from its
 local file cache ("the files are then stored in SSD").  The set of replicas
 sits behind an SLB VIP; removing every pinglist file is the documented kill
 switch — agents that get 404s fall closed and stop probing (§3.4.2).
+
+Degraded modes are first-class here: a replica can be *browned out*
+(answering, but slower than the agent's request timeout) as well as down,
+requests fail over across replicas within one VIP call, and per-replica
+circuit breakers eject a replica on request evidence — which is how a
+slow-but-"up" replica leaves rotation even though the up/down health
+check still passes.  A 404 never fails over: it is an application-level
+answer (the kill switch), not a transport failure, and retrying it on a
+peer would mask the paper's fail-closed trigger.
 """
 
 from __future__ import annotations
@@ -22,9 +31,11 @@ from repro.core.controller.generator import GeneratorConfig, PingmeshGenerator
 from repro.core.controller.pinglist import Pinglist
 from repro.core.controller.slb import NoHealthyBackendError, SoftwareLoadBalancer
 from repro.netsim.topology import MultiDCTopology
+from repro.resilience import CircuitBreakerConfig
 
 __all__ = [
     "ControllerReplica",
+    "ControllerTimeoutError",
     "ControllerUnavailableError",
     "PinglistNotFoundError",
     "PingmeshControllerService",
@@ -33,6 +44,15 @@ __all__ = [
 
 class ControllerUnavailableError(Exception):
     """The controller VIP did not answer (connect failure)."""
+
+
+class ControllerTimeoutError(ControllerUnavailableError):
+    """A replica answered too slowly (brownout) — slow, not dead.
+
+    Subclasses :class:`ControllerUnavailableError` because to the agent's
+    fail-closed rule a timeout *is* a connect failure; the distinct type
+    exists so the SLB/breaker layer can tell brownouts from blackouts.
+    """
 
 
 class PinglistNotFoundError(Exception):
@@ -48,6 +68,9 @@ class ControllerReplica:
     generation: int = 0
     up: bool = True
     requests_served: int = 0
+    # Brownout model: how long this replica takes to answer.  The service
+    # compares it against the agent-side request timeout.
+    response_delay_s: float = 0.0
 
     def serve(self, server_id: str) -> str:
         if not self.up:
@@ -70,9 +93,16 @@ class PingmeshControllerService:
         config: GeneratorConfig | None = None,
         n_replicas: int = 2,
         vip: str = "pingmesh-controller.vip",
+        request_timeout_s: float = 1.0,
+        health_check_interval_s: float = 30.0,
+        breaker_config: CircuitBreakerConfig | None = CircuitBreakerConfig(
+            failure_threshold=3, open_duration_s=60.0
+        ),
     ) -> None:
         if n_replicas < 1:
             raise ValueError(f"need at least one replica: {n_replicas}")
+        if request_timeout_s <= 0:
+            raise ValueError(f"request timeout must be positive: {request_timeout_s}")
         self.topology = topology
         self.generator = PingmeshGenerator(topology, config)
         self.replicas: dict[str, ControllerReplica] = {
@@ -83,9 +113,15 @@ class PingmeshControllerService:
             vip,
             list(self.replicas),
             health_check=lambda dip: self.replicas[dip].up,
+            health_check_interval_s=health_check_interval_s,
+            breaker_config=breaker_config,
         )
+        self.request_timeout_s = request_timeout_s
         self.generation = 0
         self.last_generated_t = 0.0
+        # Herd telemetry: requests per whole sim-second, used by the
+        # recovery-stampede invariant/bench to measure peak QPS.
+        self.requests_by_second: dict[int, int] = {}
 
     # -- generation ------------------------------------------------------------
 
@@ -122,7 +158,10 @@ class PingmeshControllerService:
     # -- the RESTful API, as seen by agents ------------------------------------------
 
     def get_pinglist(
-        self, server_id: str, if_generation: int | None = None
+        self,
+        server_id: str,
+        if_generation: int | None = None,
+        t: float = 0.0,
     ) -> Pinglist | None:
         """GET /pinglist/<server_id> through the VIP.
 
@@ -132,31 +171,74 @@ class PingmeshControllerService:
         hundreds of thousands of agents polling, most polls find nothing
         new, and this is what keeps the controller cheap to run.
 
-        Raises :class:`ControllerUnavailableError` if no replica is in
-        rotation (or the picked one died mid-request), and
-        :class:`PinglistNotFoundError` on a 404 — the two failures the
-        agent's fail-closed logic distinguishes (§3.4.2).
+        One VIP call tries each replica at most once, failing over on
+        transport errors (down or browned out past the request timeout)
+        and feeding the per-replica circuit breakers.  A 404 is final —
+        it is the kill switch, not a transport failure.
+
+        Raises :class:`ControllerUnavailableError` when no replica could
+        answer (:class:`ControllerTimeoutError` when the last failure was
+        slowness rather than death), and :class:`PinglistNotFoundError`
+        on a 404 — the two failures the agent's fail-closed logic
+        distinguishes (§3.4.2).
         """
-        self.slb.run_health_checks()
-        try:
-            dip = self.slb.pick()
-        except NoHealthyBackendError as exc:
-            raise ControllerUnavailableError(str(exc)) from exc
-        replica = self.replicas[dip]
-        if (
-            if_generation is not None
-            and replica.generation == if_generation
-            and server_id in replica.files
-        ):
-            replica.requests_served += 1
-            return None  # 304 Not Modified
-        xml = replica.serve(server_id)
-        return Pinglist.from_xml(xml)
+        second = int(t)
+        self.requests_by_second[second] = self.requests_by_second.get(second, 0) + 1
+        self.slb.run_health_checks(t)
+        tried: set[str] = set()
+        last_exc: ControllerUnavailableError | None = None
+        for _ in range(len(self.replicas)):
+            try:
+                dip = self.slb.pick(t, exclude=tried)
+            except NoHealthyBackendError:
+                break
+            tried.add(dip)
+            replica = self.replicas[dip]
+            try:
+                if replica.up and replica.response_delay_s > self.request_timeout_s:
+                    raise ControllerTimeoutError(
+                        f"controller {dip} answered in {replica.response_delay_s}s"
+                        f" > timeout {self.request_timeout_s}s"
+                    )
+                if (
+                    replica.up
+                    and if_generation is not None
+                    and replica.generation == if_generation
+                    and server_id in replica.files
+                ):
+                    replica.requests_served += 1
+                    self.slb.report_success(dip, t)
+                    return None  # 304 Not Modified
+                xml = replica.serve(server_id)
+            except PinglistNotFoundError:
+                # The replica is functioning; the pinglist is deliberately
+                # absent.  Never fail over — agents must see the 404.
+                self.slb.report_success(dip, t)
+                raise
+            except ControllerUnavailableError as exc:
+                self.slb.report_failure(dip, t)
+                last_exc = exc
+                continue
+            self.slb.report_success(dip, t)
+            return Pinglist.from_xml(xml)
+        if last_exc is not None:
+            raise last_exc
+        raise ControllerUnavailableError(
+            f"no healthy backend behind {self.slb.vip}"
+        )
 
     # -- failure injection for tests/benches ------------------------------------------
 
     def fail_replica(self, dip: str) -> None:
         self.replicas[dip].up = False
+
+    def brownout_replica(self, dip: str, response_delay_s: float) -> None:
+        """Make a replica slow (still up) — the degraded mode §3.3.2's
+        up/down health check cannot see."""
+        self.replicas[dip].response_delay_s = response_delay_s
+
+    def clear_brownout(self, dip: str) -> None:
+        self.replicas[dip].response_delay_s = 0.0
 
     def recover_replica(self, dip: str, t: float | None = None) -> None:
         """Bring a replica back and rebuild its file cache.

@@ -76,12 +76,18 @@ class FleetShard:
             system.store,
             self.shard_id,
             flush_threshold_records=config.upload_threshold_records,
+            retry_base_s=config.upload_retry_base_s,
+            retry_cap_s=config.upload_retry_cap_s,
+            spool_cap_records=config.upload_spool_cap_records,
         )
         self.class_uploader = ResultUploader(
             system.store,
             self.shard_id,
             stream=CLASS_STREAM,
             flush_threshold_records=config.upload_threshold_records,
+            retry_base_s=config.upload_retry_base_s,
+            retry_cap_s=config.upload_retry_cap_s,
+            spool_cap_records=config.upload_spool_cap_records,
         )
         self.aggregator = (
             system.stream.shard_aggregator(dc, podset)
@@ -210,10 +216,12 @@ class FleetShard:
         """The agents' upload discipline at shard granularity."""
         config = self.fleet.system.config.agent
         timer_due = (t - self.last_upload_t) >= config.upload_period_s
+        replay_due = self.probe_uploader.replay_due(t) or self.class_uploader.replay_due(t)
         if (
             not timer_due
             and not self.probe_uploader.should_flush
             and not self.class_uploader.should_flush
+            and not replay_due
         ):
             return
         self.probe_uploader.flush(t)

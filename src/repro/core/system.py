@@ -156,6 +156,9 @@ class PingmeshSystem:
                 self.store,
                 server_id,
                 flush_threshold_records=self.config.agent.upload_threshold_records,
+                retry_base_s=self.config.agent.upload_retry_base_s,
+                retry_cap_s=self.config.agent.upload_retry_cap_s,
+                spool_cap_records=self.config.agent.upload_spool_cap_records,
             )
             return PingmeshAgent(
                 server_id,
@@ -220,8 +223,10 @@ class PingmeshSystem:
                 self.queue.schedule_after(
                     offset, lambda a=agent: self._agent_round(a), name="agent-round"
                 )
+            # Per-agent jittered refresh offsets: the fleet's polls (and
+            # its recovery retries) decorrelate instead of thundering.
             self.queue.schedule_after(
-                self.config.agent.pinglist_refresh_s,
+                agent.next_refresh_delay(),
                 lambda a=agent: self._agent_refresh(a),
                 name="agent-refresh",
             )
@@ -255,8 +260,10 @@ class PingmeshSystem:
     def _agent_refresh(self, agent: PingmeshAgent) -> None:
         if agent.running:
             agent.refresh_pinglist(self.clock.now)
+        # The next refresh follows the agent's staleness state machine:
+        # jittered period when FRESH, capped backoff when STALE/FAIL_CLOSED.
         self.queue.schedule_after(
-            self.config.agent.pinglist_refresh_s,
+            agent.next_refresh_delay(),
             lambda: self._agent_refresh(agent),
             name="agent-refresh",
         )
@@ -270,6 +277,13 @@ class PingmeshSystem:
 
     def _stream_tick(self) -> None:
         """One streaming-plane cycle: flush deltas, ingest, detect."""
+        if self.agents:
+            n_stale = sum(
+                1 for agent in self.agents.values() if agent.pinglist_stale
+            )
+            self.stream.observe_staleness(
+                self.clock.now, n_stale, len(self.agents)
+            )
         self.stream.tick(self.clock.now)
         self.queue.schedule_after(
             self.config.stream.window_s, self._stream_tick, name="stream-tick"
@@ -381,7 +395,7 @@ class PingmeshSystem:
                     offset, lambda a=agent: self._agent_round(a), name="agent-round"
                 )
             self.queue.schedule_after(
-                self.config.agent.pinglist_refresh_s,
+                agent.next_refresh_delay(),
                 lambda a=agent: self._agent_refresh(a),
                 name="agent-refresh",
             )

@@ -1,0 +1,47 @@
+"""Degraded-mode resilience primitives shared by every control-plane edge.
+
+The paper's availability story (§3.4.2) is a set of *rules* — fail closed
+after 3 controller misses or a 404, retry uploads a bounded number of
+times, keep the agent harmless no matter what the controller says.  This
+package supplies the *mechanisms* those rules run on when the deployment
+is degraded rather than dead:
+
+* :class:`RetryPolicy` — exponential backoff with seeded decorrelated
+  jitter, driven entirely by the simulation clock (no wall clock).  Every
+  component gets its own RNG stream via :func:`derive_seed`, so retry
+  schedules are bit-identical between full-suite and standalone runs.
+* :class:`CircuitBreaker` — closed → open → half-open per backend, so a
+  slow or flapping controller replica is ejected by *request* evidence
+  faster than a periodic health sweep could notice it.
+* :class:`UploadSpool` — the bounded on-"disk" batch queue behind the
+  uploader's spool-and-replay path.
+* :class:`StalenessTracker` — the agent-side pinglist state machine
+  ``FRESH -> STALE -> FAIL_CLOSED``, asserting the paper's exact
+  fail-closed triggers at the transition level.
+"""
+
+from repro.resilience.breaker import (
+    BreakerState,
+    CircuitBreaker,
+    CircuitBreakerConfig,
+)
+from repro.resilience.retry import RetryPolicy, derive_seed
+from repro.resilience.spool import SpooledBatch, UploadSpool
+from repro.resilience.staleness import (
+    IllegalTransitionError,
+    PinglistState,
+    StalenessTracker,
+)
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "CircuitBreakerConfig",
+    "RetryPolicy",
+    "derive_seed",
+    "SpooledBatch",
+    "UploadSpool",
+    "IllegalTransitionError",
+    "PinglistState",
+    "StalenessTracker",
+]

@@ -51,6 +51,7 @@ __all__ = [
     "EwmaDriftDetector",
     "StreamBlackholeCandidate",
     "StreamBlackholeFeed",
+    "PinglistStalenessGauge",
 ]
 
 
@@ -392,3 +393,45 @@ class StreamBlackholeFeed:
             "dismissed": sorted(candidate_keys - batch_keys),
             "missed": sorted(batch_keys - candidate_keys),
         }
+
+
+class PinglistStalenessGauge:
+    """Control-plane health gauge: fraction of agents on a STALE pinglist.
+
+    Unlike the latency detectors this one watches the *control* plane —
+    agents in the STALE state are still probing (on a cached pinglist),
+    so the data plane looks perfectly healthy while the controller is
+    degraded.  The gauge holds the latest fleet-wide fraction and drives
+    one episodic ``fleet/pinglist stale_fraction`` alert through the
+    shared engine: it breaches when more than ``alert_fraction`` of the
+    fleet is stale and pairs with a recovery once refreshes succeed again.
+    """
+
+    def __init__(self, alert_engine: AlertEngine, alert_fraction: float = 0.25) -> None:
+        if not 0 < alert_fraction < 1:
+            raise ValueError(f"alert_fraction must be in (0,1): {alert_fraction}")
+        self.alert_engine = alert_engine
+        self.alert_fraction = alert_fraction
+        self.stale_agents = 0
+        self.total_agents = 0
+
+    @property
+    def stale_fraction(self) -> float:
+        if self.total_agents == 0:
+            return 0.0
+        return self.stale_agents / self.total_agents
+
+    def observe(self, t: float, stale_agents: int, total_agents: int) -> Alert | None:
+        self.stale_agents = stale_agents
+        self.total_agents = total_agents
+        fraction = self.stale_fraction
+        return self.alert_engine.update_episode(
+            t,
+            scope="fleet",
+            key="pinglist",
+            metric="stale_fraction",
+            value=fraction,
+            threshold=self.alert_fraction,
+            violated=total_agents > 0 and fraction > self.alert_fraction,
+            plane="stream",
+        )

@@ -29,6 +29,7 @@ from repro.core.dsa.alerts import AlertEngine
 from repro.stream.aggregator import StreamAggregator
 from repro.stream.detectors import (
     EwmaDriftDetector,
+    PinglistStalenessGauge,
     StreamBlackholeFeed,
     StreamInterDcSlaDetector,
     StreamSlaDetector,
@@ -64,6 +65,9 @@ class StreamConfig:
     ewma_consecutive: int = 2
     # Streaming black-hole candidate feed.
     blackhole_min_failed: int = 5
+    # Pinglist staleness gauge: alert when this fraction of the fleet is
+    # probing a cached (controller-unconfirmed) pinglist.
+    staleness_alert_fraction: float = 0.25
     # Shard aggregation: one aggregator per (dc, podset) instead of one per
     # server.  Cuts the per-tick delta count from O(servers) to O(podsets)
     # for paper-scale fleets; server-granular detector feeds (black-hole
@@ -136,12 +140,31 @@ class StreamPlane:
             min_failed=config.blackhole_min_failed,
             eval_windows=config.eval_windows,
         )
+        self.staleness_gauge = PinglistStalenessGauge(
+            alert_engine,
+            alert_fraction=config.staleness_alert_fraction,
+        )
         self._aggregators: dict[str, StreamAggregator] = {}
         self.ticks = 0
         self.last_tick_t: float | None = None
         self.deltas_delivered = 0
         self.deltas_dropped = 0
         self.probes_dropped = 0
+
+    # -- control-plane health gauge ----------------------------------------
+
+    @property
+    def stale_fraction(self) -> float:
+        """Fraction of the fleet probing a stale (cached) pinglist."""
+        return self.staleness_gauge.stale_fraction
+
+    def observe_staleness(self, t: float, stale_agents: int, total_agents: int) -> None:
+        """Feed the staleness gauge (the system calls this each stream
+        tick with the fleet's STALE-agent count).  The gauge breaches an
+        episodic alert past ``staleness_alert_fraction`` — the operator
+        signal that the controller is degraded even though probing (on
+        cached pinglists) continues."""
+        self.staleness_gauge.observe(t, stale_agents, total_agents)
 
     # -- agent side --------------------------------------------------------
 

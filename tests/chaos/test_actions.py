@@ -52,10 +52,14 @@ def test_cosmos_blackout_swaps_the_upload_fn(system):
     action = CosmosBlackout()
     action.start(system, t=10.0)
     assert not agent.uploader.flush(t=10.0)
-    assert agent.uploader.stats.failed_flushes == 1
+    assert agent.uploader.stats.upload_failures == 1
+    assert agent.uploader.spooled_records == 1  # parked, not discarded
     action.end(system, t=20.0)
     agent.uploader.add({"n": 2})
-    assert agent.uploader.flush(t=20.0)
+    # force: skip the backoff window — we only care the transport healed.
+    assert agent.uploader.flush(t=20.0, force=True)
+    assert agent.uploader.stats.records_replayed == 1
+    assert agent.uploader.spooled_records == 0
 
 
 def test_podset_power_loss_round_trip(system):

@@ -229,7 +229,7 @@ class TestConditionalRefresh:
 class TestUploadFailurePath:
     """maybe_upload must propagate the flush outcome, not assume success."""
 
-    def test_failed_upload_reports_false_and_accounts_discard(self, world):
+    def test_failed_upload_reports_false_and_spools(self, world):
         fabric, controller, store = world
         agent = _agent(world, config=AgentConfig(upload_period_s=600.0))
 
@@ -241,13 +241,15 @@ class TestUploadFailurePath:
         agent.run_probe_round(t=10.0)
         assert agent.maybe_upload(t=700.0) is False
         assert not store.has_stream("pingmesh/latency")
-        assert agent.uploader.stats.records_discarded > 0
-        # The discard is published through the PA counter surface (§2.3).
+        # First failure spools (retry-over-time), nothing is discarded yet.
+        assert agent.uploader.spooled_records > 0
+        assert agent.uploader.stats.records_discarded == 0
+        # The failure is published through the PA counter surface (§2.3).
         counters = agent.perf_counters(now=700.0)
-        assert counters["upload_records_discarded"] > 0
+        assert counters["upload_records_spooled"] > 0
         assert counters["upload_failures"] > 0
 
-    def test_recovering_store_does_not_double_count(self, world):
+    def test_recovering_store_replays_without_duplicates(self, world):
         fabric, controller, store = world
         agent = _agent(world, config=AgentConfig(upload_period_s=600.0))
 
@@ -260,16 +262,17 @@ class TestUploadFailurePath:
         first_round_records = agent.uploader.buffered_records
         assert agent.maybe_upload(t=700.0) is False
 
-        # Cosmos comes back; only the NEW round's data may land.
+        # Cosmos comes back; the spooled round replays exactly once
+        # alongside the new round's data — no loss, no duplicates.
         agent.uploader.set_upload_fn(None)
         agent.run_probe_round(t=710.0)
         assert agent.maybe_upload(t=1400.0) is True
         landed = store.stream("pingmesh/latency").record_count
         assert landed == agent.uploader.stats.records_uploaded
-        assert landed + agent.uploader.stats.records_discarded == (
-            agent.uploader.stats.records_added
-        )
-        assert agent.uploader.stats.records_discarded == first_round_records
+        assert landed == agent.uploader.stats.records_added
+        assert agent.uploader.stats.records_replayed == first_round_records
+        assert agent.uploader.spooled_records == 0
+        assert agent.uploader.stats.records_discarded == 0
 
     def test_failed_upload_still_resets_the_window(self, world):
         agent = _agent(world, config=AgentConfig(upload_period_s=600.0))

@@ -127,9 +127,51 @@ class TestConditionalGet:
     def test_404_beats_304(self, service):
         """A removed pinglist must 404 even with a matching generation —
         the kill switch cannot be masked by caching."""
+        current = service.get_pinglist("dc0/ps0/pod0/srv0").generation
         service.remove_all_pinglists()
         with pytest.raises(PinglistNotFoundError):
-            service.get_pinglist("dc0/ps0/pod0/srv0", if_generation=1)
+            service.get_pinglist("dc0/ps0/pod0/srv0", if_generation=current)
+
+    def test_404_beats_304_on_every_replica(self, service):
+        """The failover loop must not find a replica willing to 304 a
+        deliberately removed pinglist — on any of them, in any order."""
+        current = service.get_pinglist("dc0/ps0/pod0/srv0").generation
+        service.remove_all_pinglists()
+        for _ in range(2 * len(service.replicas)):  # round-robin both
+            with pytest.raises(PinglistNotFoundError):
+                service.get_pinglist("dc0/ps0/pod0/srv0", if_generation=current)
+
+    def test_regeneration_after_kill_serves_full_body(self, service):
+        """Once the kill switch lifts, a cached generation from before the
+        kill is stale: the agent must get the new body, not a 304."""
+        before = service.get_pinglist("dc0/ps0/pod0/srv0").generation
+        service.remove_all_pinglists()
+        service.regenerate()
+        fresh = service.get_pinglist("dc0/ps0/pod0/srv0", if_generation=before)
+        assert fresh is not None
+        assert fresh.generation == before + 1
+
+    def test_brownout_beats_304(self, service):
+        """A browned-out replica cannot answer within the timeout, so it
+        cannot 304 either — slow must read as a transport failure even
+        when the agent's cached generation matches."""
+        current = service.get_pinglist("dc0/ps0/pod0/srv0").generation
+        for dip in service.replicas:
+            service.brownout_replica(
+                dip, response_delay_s=service.request_timeout_s + 1.0
+            )
+        with pytest.raises(ControllerUnavailableError):
+            service.get_pinglist("dc0/ps0/pod0/srv0", if_generation=current)
+
+    def test_one_browned_replica_still_304s_via_failover(self, service):
+        current = service.get_pinglist("dc0/ps0/pod0/srv0").generation
+        service.brownout_replica(
+            "controller0", response_delay_s=service.request_timeout_s + 1.0
+        )
+        assert (
+            service.get_pinglist("dc0/ps0/pod0/srv0", if_generation=current)
+            is None
+        )
 
 
 class TestTopologyGrowthConsistency:

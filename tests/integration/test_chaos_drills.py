@@ -57,8 +57,9 @@ def test_kill_switch_silences_then_resumes():
     report.assert_clean()
     by_t = {phase.t: phase for phase in report.phases}
     # Once every agent has refreshed into the 404 (window starts at 180s,
-    # refresh period 120s), the whole fleet is fail-closed and silent; the
-    # files come back at 620s but nobody re-reads them before 720s.
+    # refresh period 120s), the whole fleet is fail-closed and silent.
+    # Their backoff retries keep hitting 404s until the files return at
+    # 650s, so the plateau spans both mid-drill checkpoints.
     assert by_t[420.0].fail_closed_agents == len(system.agents)
     assert by_t[630.0].fail_closed_agents == len(system.agents)
     assert by_t[630.0].total_probes_sent == by_t[420.0].total_probes_sent
@@ -74,25 +75,32 @@ def test_cosmos_blackout_discards_are_accounted():
     system, report = _run("cosmos-blackout")
     report.assert_clean()
     stats = [agent.uploader.stats for agent in system.agents.values()]
-    # Every agent flushed into the dark Cosmos at least once: retries then
-    # a bounded discard, never an unbounded buffer.
-    assert all(s.failed_flushes > 0 for s in stats)
-    assert all(s.records_discarded > 0 for s in stats)
+    # Every agent hit the dark Cosmos: retries spread over time, spooled
+    # batches bounded, any exhausted batch discarded — never an unbounded
+    # buffer, never a silent loss.
+    assert all(s.upload_failures > 0 for s in stats)
     for agent in system.agents.values():
         s = agent.uploader.stats
         assert s.records_added == (
             s.records_uploaded
             + s.records_discarded
             + agent.uploader.buffered_records
+            + agent.uploader.spooled_records
         )
-    # The loss is visible through the PA side channel too (§2.3): watchdogs
-    # and dashboards see it even with the Cosmos path down.
-    discarded = system.env.perfcounter.aggregate_latest(
-        "upload_records_discarded", how="max"
+    # The degradation is visible through the PA side channel too (§2.3):
+    # watchdogs and dashboards see it even with the Cosmos path down.
+    spooled = system.env.perfcounter.aggregate_latest(
+        "upload_records_spooled", how="max"
     )
-    assert discarded is not None and discarded > 0
-    # Uploads resumed after the blackout lifted at 510s.
-    assert all(s.records_uploaded > 0 for s in stats)
+    assert spooled is not None and spooled > 0
+    # Uploads resumed after the blackout lifted at 510s.  An agent whose
+    # grown backoff window (cap 600s) reaches past the drill horizon may
+    # not have landed records yet — but then its backlog must be sitting
+    # in the spool awaiting replay, not lost.
+    for agent in system.agents.values():
+        if agent.uploader.stats.records_uploaded == 0:
+            assert agent.uploader.spooled_records > 0
+    assert sum(s.records_uploaded for s in stats) > 0
 
 
 def test_memory_squeeze_kills_then_restarts_within_budget():

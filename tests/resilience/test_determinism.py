@@ -1,0 +1,91 @@
+"""The determinism audit: every jitter/backoff draw is seed-derived.
+
+Resilience randomness (refresh jitter, retry backoff) must come from
+per-component ``random.Random`` streams seeded via :func:`derive_seed` —
+never from the global RNG or a wall clock.  The audit runs the same
+deployment twice under *different* ambient global-RNG states and asserts
+bit-identical schedules, then replays one agent's stream standalone.
+"""
+
+import random
+
+from repro.chaos.campaigns import run_campaign
+from repro.core.agent.agent import AgentConfig
+from repro.core.system import PingmeshSystem, PingmeshSystemConfig
+from repro.netsim.topology import TopologySpec
+from repro.resilience import RetryPolicy, derive_seed
+
+_SPEC = TopologySpec(n_podsets=2, pods_per_podset=2, servers_per_pod=2)
+
+
+def _draw_schedules(seed: int, duration_s: float = 500.0) -> dict:
+    system = PingmeshSystem(
+        PingmeshSystemConfig(
+            specs=(_SPEC,),
+            seed=seed,
+            agent=AgentConfig(pinglist_refresh_s=120.0, upload_period_s=100.0),
+        )
+    )
+    system.run_for(duration_s)
+    return {
+        server_id: {
+            "refresh": list(agent.refresh_retry.draws),
+            "upload": list(agent.uploader.retry.draws),
+        }
+        for server_id, agent in system.agents.items()
+    }
+
+
+class TestSeededStreams:
+    def test_schedules_survive_ambient_rng_state(self):
+        """Same seed, different global-RNG states: identical schedules.
+
+        This is what makes a drill reproduce identically standalone and
+        inside the full suite, where other tests have consumed arbitrary
+        amounts of the global stream.
+        """
+        random.seed(12345)
+        first = _draw_schedules(seed=11)
+        random.seed(99999)
+        random.random()  # perturb further: a different stream position
+        second = _draw_schedules(seed=11)
+        assert first == second
+
+    def test_every_agent_drew_a_jittered_schedule(self):
+        schedules = _draw_schedules(seed=11)
+        assert schedules
+        for server_id, draws in schedules.items():
+            assert draws["refresh"], f"{server_id} never drew a refresh"
+
+    def test_agents_do_not_share_a_stream(self):
+        schedules = _draw_schedules(seed=11)
+        first_draws = {draws["refresh"][0] for draws in schedules.values()}
+        assert len(first_draws) == len(schedules)
+
+    def test_standalone_replay_matches_the_deployed_stream(self):
+        """An agent's in-system draws replay from (server_id, component)."""
+        schedules = _draw_schedules(seed=11)
+        server_id, draws = sorted(schedules.items())[0]
+        config = AgentConfig(pinglist_refresh_s=120.0, upload_period_s=100.0)
+        policy = RetryPolicy(
+            config.refresh_retry_base_s,
+            config.refresh_retry_cap_s,
+            seed=derive_seed(server_id, "pinglist-refresh"),
+        )
+        replayed = [
+            policy.jitter_period(
+                config.pinglist_refresh_s, config.refresh_jitter_fraction
+            )
+            for _ in draws["refresh"]
+        ]
+        # A healthy run is all jittered steady-state periods, so the
+        # standalone policy reproduces the deployed schedule exactly.
+        assert replayed == draws["refresh"]
+
+
+class TestCampaignDeterminism:
+    def test_resilience_campaign_reproduces_exactly(self):
+        first = run_campaign("controller-brownout", seed=4)
+        second = run_campaign("controller-brownout", seed=4)
+        assert first.summary() == second.summary()
+        assert first.phases == second.phases

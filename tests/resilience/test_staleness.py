@@ -1,0 +1,89 @@
+"""Tests for the FRESH/STALE/FAIL_CLOSED staleness state machine."""
+
+import pytest
+
+from repro.resilience import (
+    IllegalTransitionError,
+    PinglistState,
+    StalenessTracker,
+)
+
+LIMIT = 3  # the paper's MAX_CONTROLLER_FAILURES
+
+
+class TestPaperRules:
+    def test_starts_fresh(self):
+        tracker = StalenessTracker()
+        assert tracker.state is PinglistState.FRESH
+        assert tracker.fresh and not tracker.stale and not tracker.fail_closed
+
+    def test_first_failures_go_stale_not_closed(self):
+        tracker = StalenessTracker()
+        tracker.refresh_failed(10.0, 1, LIMIT)
+        assert tracker.stale
+        tracker.refresh_failed(20.0, 2, LIMIT)
+        assert tracker.stale  # still probing the cached pinglist
+
+    def test_third_failure_fails_closed(self):
+        tracker = StalenessTracker()
+        for n in (1, 2, 3):
+            tracker.refresh_failed(10.0 * n, n, LIMIT)
+        assert tracker.fail_closed
+        assert tracker.transitions[-1][3] == "consecutive-failures"
+
+    def test_404_fails_closed_from_fresh(self):
+        tracker = StalenessTracker()
+        tracker.pinglist_missing(5.0)
+        assert tracker.fail_closed
+        assert tracker.transitions[-1][3] == "pinglist-404"
+
+    def test_404_fails_closed_from_stale(self):
+        tracker = StalenessTracker()
+        tracker.refresh_failed(10.0, 1, LIMIT)
+        tracker.pinglist_missing(20.0)
+        assert tracker.fail_closed
+
+    def test_success_recovers_from_stale(self):
+        tracker = StalenessTracker()
+        tracker.refresh_failed(10.0, 1, LIMIT)
+        tracker.refresh_succeeded(20.0)
+        assert tracker.fresh
+
+    def test_success_recovers_from_fail_closed(self):
+        tracker = StalenessTracker()
+        tracker.pinglist_missing(10.0)
+        tracker.refresh_succeeded(100.0)
+        assert tracker.fresh
+
+
+class TestStructure:
+    def test_same_state_is_a_silent_no_op(self):
+        tracker = StalenessTracker()
+        tracker.refresh_succeeded(1.0)  # FRESH -> FRESH
+        tracker.refresh_failed(2.0, 1, LIMIT)
+        tracker.refresh_failed(3.0, 2, LIMIT)  # STALE -> STALE
+        assert len(tracker.transitions) == 1
+
+    def test_connect_failure_after_fail_closed_stays_closed(self):
+        # 404 fail-closed, then the controller goes dark: the agent must
+        # stay closed (never "reopen" to STALE on new connect failures).
+        tracker = StalenessTracker()
+        tracker.pinglist_missing(1.0)
+        tracker.refresh_failed(2.0, 1, LIMIT)
+        assert tracker.fail_closed
+        assert tracker.transitions[-1][3] == "pinglist-404"
+
+    def test_illegal_transition_raises(self):
+        tracker = StalenessTracker()
+        tracker.pinglist_missing(1.0)
+        with pytest.raises(IllegalTransitionError):
+            tracker._move(2.0, PinglistState.STALE, "forced")
+
+    def test_transition_log_carries_times_and_reasons(self):
+        tracker = StalenessTracker()
+        tracker.refresh_failed(10.0, 1, LIMIT)
+        tracker.refresh_succeeded(30.0)
+        assert tracker.transitions == [
+            (10.0, PinglistState.FRESH, PinglistState.STALE, "refresh-failure"),
+            (30.0, PinglistState.STALE, PinglistState.FRESH, "refresh-success"),
+        ]
