@@ -20,8 +20,9 @@ batch-parity integration gate), then ``bench_stream`` (ingest throughput,
 the ≥50× detection-latency gate, constant sketch memory), and writes
 ``BENCH_stream.json``.  The ``scale`` suite first runs the class-round and
 sharded-fleet correctness tier, then ``bench_scale`` (a simulated
-10-minute window inside a wall-clock budget at 1k/4k/16k servers, plus the
-≥3x class-rounds-over-fast-path gate at 4k), and writes
+10-minute window inside a wall-clock budget at 1k/4k/16k/64k servers, the
+≥3x class-rounds-over-fast-path gate at 4k, plus the process-vs-thread
+executor ratio at 16k — gated ≥2x on ≥4-CPU machines), and writes
 ``BENCH_scale.json``.  The ``wan`` suite first runs the inter-DC
 correctness tier (``tests/netsim/test_wan_tier.py`` — directional WAN
 latency, WAN fault kinds, three-rung parity, cache invalidation), then
@@ -37,7 +38,11 @@ drain-time budget, the <10% steady-state overhead gate), and writes
 ``--suite all`` runs every registered suite in sequence and then audits
 the snapshots: a ``BENCH_*.json`` that is missing or was not rewritten
 by this run (stale) fails the audit loudly, and each suite gets a
-one-line pass/fail summary at the end.
+one-line pass/fail summary at the end.  ``--audit-only`` runs just the
+snapshot audit (presence/readability, no staleness — mtimes are
+meaningless in a fresh checkout) without executing anything: CI's cheap
+gate.  ``--profile`` wraps the bench run in cProfile and prints the
+top-20 cumulative hotspots afterwards.
 
 Each bench file carries its own hard assertions (e.g. the columnar path's
 ≥10× speedup gate), so the exit code is a pass/fail verdict, not just a
@@ -91,11 +96,14 @@ STREAM_CORRECTNESS_TIER = [
     "tests/integration/test_stream_plane.py",
 ]
 # The scale suite's budgets mean nothing unless class rounds match the
-# per-pair engines and sharded execution conserves probes exactly.
+# per-pair engines, sharded execution conserves probes exactly, every
+# executor is bit-identical, and the lazy controller serves eager bytes.
 SCALE_CORRECTNESS_TIER = [
     "tests/netsim/test_class_rounds.py",
     "tests/core/test_fast_path_parity.py",
     "tests/core/test_sharded_fleet.py",
+    "tests/core/test_executor_property.py",
+    "tests/core/test_lazy_generation.py",
 ]
 # The WAN envelopes mean nothing unless directional latency, WAN faults
 # and the three probing rungs agree on the inter-DC tier.
@@ -136,11 +144,14 @@ def run_test_tier(paths: list[str]) -> int:
     return subprocess.run(cmd, cwd=REPO_ROOT).returncode
 
 
-def run_benches(benches: list[str], output: Path) -> int:
+def run_benches(benches: list[str], output: Path, profile: bool = False) -> int:
     with tempfile.TemporaryDirectory() as tmp:
         raw = Path(tmp) / "benchmarks.json"
-        cmd = [
-            sys.executable,
+        cmd = [sys.executable]
+        profile_out = Path(tmp) / "bench.prof"
+        if profile:
+            cmd += ["-m", "cProfile", "-o", str(profile_out)]
+        cmd += [
             "-m",
             "pytest",
             "-q",
@@ -150,6 +161,8 @@ def run_benches(benches: list[str], output: Path) -> int:
             *[str(BENCH_DIR / name) for name in benches],
         ]
         proc = subprocess.run(cmd, cwd=REPO_ROOT)
+        if profile and profile_out.exists():
+            _print_hotspots(profile_out)
         if not raw.exists():
             print("no benchmark output produced", file=sys.stderr)
             return proc.returncode or 1
@@ -177,7 +190,16 @@ def run_benches(benches: list[str], output: Path) -> int:
     return proc.returncode
 
 
-def run_suite(suite: str, output: Path | None) -> int:
+def _print_hotspots(profile_out: Path, top: int = 20) -> None:
+    """The --profile report: top cumulative hotspots of the bench run."""
+    import pstats
+
+    print(f"\n--- profile: top {top} by cumulative time " + "-" * 24)
+    stats = pstats.Stats(str(profile_out))
+    stats.sort_stats("cumulative").print_stats(top)
+
+
+def run_suite(suite: str, output: Path | None, profile: bool = False) -> int:
     benches, default_output = SUITES[suite]
     destination = output or REPO_ROOT / default_output
     # Validate the destination up front: the benches take minutes, and a
@@ -202,36 +224,57 @@ def run_suite(suite: str, output: Path | None) -> int:
         if tier_rc != 0:
             print(f"{suite} test tier failed; skipping benches", file=sys.stderr)
             return tier_rc
-    return run_benches(benches, destination)
+    return run_benches(benches, destination, profile=profile)
 
 
-def audit_snapshot(suite: str, run_started: float) -> tuple[bool, str]:
+def audit_snapshot(suite: str, run_started: float | None) -> tuple[bool, str]:
     """One suite's verdict line for the ``--suite all`` summary.
 
     A snapshot is *stale* if this run did not rewrite it — the suite
     crashed (or was interrupted) after the old file was already on disk,
     so its numbers describe some earlier build, not this one.
+    ``run_started=None`` (the ``--audit-only`` mode) skips the staleness
+    check — in a fresh checkout every mtime is checkout time — and audits
+    presence and readability only.
     """
     _benches, default_output = SUITES[suite]
     path = REPO_ROOT / default_output
     if not path.exists():
         return False, f"FAIL  {suite:12s} {default_output} missing"
-    if path.stat().st_mtime < run_started:
+    if run_started is not None and path.stat().st_mtime < run_started:
         return False, f"FAIL  {suite:12s} {default_output} stale (not from this run)"
     try:
         snapshot = json.loads(path.read_text())
         n_benches = len(snapshot["benches"])
     except (json.JSONDecodeError, KeyError, TypeError) as err:
         return False, f"FAIL  {suite:12s} {default_output} unreadable: {err}"
+    if n_benches == 0:
+        return False, f"FAIL  {suite:12s} {default_output} has zero benches"
     return True, f"ok    {suite:12s} {n_benches} benches -> {default_output}"
 
 
-def run_all() -> int:
+def audit_all() -> int:
+    """``--audit-only``: verify every committed snapshot without running
+    anything — CI's cheap gate that no ``BENCH_*.json`` is missing,
+    unreadable or empty."""
+    failed = False
+    print("--- snapshot audit " + "-" * 41)
+    for suite in SUITES:
+        healthy, line = audit_snapshot(suite, None)
+        failed = failed or not healthy
+        print(line)
+    if failed:
+        print("one or more snapshots missing or unreadable", file=sys.stderr)
+        return 1
+    return 0
+
+
+def run_all(profile: bool = False) -> int:
     """Every registered suite, then a loud snapshot audit + summary."""
     import time
 
     run_started = time.time()
-    suite_rcs = {suite: run_suite(suite, None) for suite in SUITES}
+    suite_rcs = {suite: run_suite(suite, None, profile=profile) for suite in SUITES}
     failed = False
     print("\n--- suite summary " + "-" * 42)
     for suite, rc in suite_rcs.items():
@@ -263,13 +306,27 @@ def main() -> int:
         help="snapshot path (default: BENCH_<suite>.json at the repo root; "
         "only valid for a single suite)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the benches under cProfile and print the top-20 "
+        "cumulative hotspots after the suite",
+    )
+    parser.add_argument(
+        "--audit-only",
+        action="store_true",
+        help="audit the committed BENCH_*.json snapshots (presence, "
+        "readability, nonzero benches) without running anything",
+    )
     args = parser.parse_args()
+    if args.audit_only:
+        return audit_all()
     if args.suite == "all":
         if args.output is not None:
             print("--output is ambiguous with --suite all", file=sys.stderr)
             return 2
-        return run_all()
-    return run_suite(args.suite, args.output)
+        return run_all(profile=args.profile)
+    return run_suite(args.suite, args.output, profile=args.profile)
 
 
 if __name__ == "__main__":

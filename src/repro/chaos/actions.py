@@ -160,7 +160,10 @@ class PinglistKillSwitch(ChaosAction):
         system.controller.remove_all_pinglists()
 
     def end(self, system, t: float) -> None:
-        system.controller.regenerate(t=t)
+        # Pure generation bump — the kill switch changed no topology, so
+        # the lazy entry memo survives and the refresh is O(1) now and
+        # O(cache hit) at the agents' next GET.
+        system.controller.regenerate(t=t, changed_dcs=())
 
 
 class CosmosBlackout(ChaosAction):

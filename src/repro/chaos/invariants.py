@@ -432,11 +432,12 @@ class InvariantChecker:
         agents = getattr(self.system, "agents", {})
         fleet = len(agents)
         if fleet == 0:
+            # No agent table: size the herd bound from the topology.  The
+            # replicas' file caches are lazily populated and say nothing
+            # about fleet size anymore.
             controller = self.system.controller
-            fleet = max(
-                (len(replica.files) for replica in controller.replicas.values()),
-                default=0,
-            )
+            topology = getattr(controller, "topology", None)
+            fleet = getattr(topology, "n_servers", 0)
         return max(4, -(-fleet // 2))
 
     def _check_refresh_herd(self, now: float) -> None:

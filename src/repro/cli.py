@@ -12,6 +12,11 @@ Commands:
   always-on invariants); exits nonzero if any invariant was violated.
 * ``stream`` — streaming-plane demo: inject a fault mid-run and print the
   per-plane detection timeline plus live per-class latency quantiles.
+
+The top-level ``--profile`` flag (``python -m repro --profile simulate ...``)
+wraps any command in cProfile and prints the top-20 cumulative hotspots on
+exit.  (Distinct from ``simulate --profile``, which names a workload
+profile.)
 """
 
 from __future__ import annotations
@@ -26,6 +31,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Pingmesh (SIGCOMM 2015) reproduction",
+    )
+    # dest avoids colliding with `simulate --profile` (a workload profile).
+    parser.add_argument(
+        "--profile",
+        dest="cprofile",
+        action="store_true",
+        help="run the command under cProfile and print the top-20 "
+        "cumulative hotspots on exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -345,7 +358,21 @@ def main(argv: list[str] | None = None) -> int:
         "chaos": _cmd_chaos,
         "stream": _cmd_stream,
     }
-    return handlers[args.command](args)
+    handler = handlers[args.command]
+    if not args.cprofile:
+        return handler(args)
+
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    try:
+        rc = profiler.runcall(handler, args)
+    finally:
+        profiler.disable()
+        print("\n--- profile: top 20 by cumulative time " + "-" * 24)
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
+    return rc
 
 
 if __name__ == "__main__":

@@ -66,13 +66,95 @@ class GeneratorConfig:
 
 
 class PingmeshGenerator:
-    """Computes every server's pinglist from the topology."""
+    """Computes every server's pinglist from the topology.
+
+    Entry lists are memoized per server across generations: a generation
+    bump alone (kill-switch lift, config-free regenerate) re-stamps cached
+    entries into fresh XML without recomputing the graph, and a topology
+    delta invalidates only the servers it actually dirties (the changed
+    DCs, plus inter-DC participants when the frozen selection moves).
+    ``entries_computed`` counts real graph computations — the controller's
+    O(changed) refresh claim is asserted against it.
+    """
 
     def __init__(
         self, topology: MultiDCTopology, config: GeneratorConfig | None = None
     ) -> None:
         self.topology = topology
         self.config = config or GeneratorConfig()
+        self.entries_computed = 0
+        # dc_index -> server_id -> post-threshold entry list
+        self._entry_cache: dict[int, dict[str, list[PinglistEntry]]] = {}
+        self._cached_config: GeneratorConfig | None = self.config
+        # dc_index -> ((device_id, ip), ...): the inter-DC selection frozen
+        # at regeneration time, so a GET-time (lazy) computation cannot see
+        # a different liveness view than an eager regenerate would have.
+        self._inter_dc_frozen: dict[int, tuple] | None = None
+
+    # -- cache maintenance ------------------------------------------------------
+
+    def invalidate_all(self) -> None:
+        self._entry_cache.clear()
+
+    def invalidate_dcs(self, dc_indices) -> None:
+        for index in dc_indices:
+            self._entry_cache.pop(index, None)
+
+    def invalidate_servers(self, server_ids) -> None:
+        for dc_cache in self._entry_cache.values():
+            for server_id in server_ids:
+                dc_cache.pop(server_id, None)
+
+    def _inter_dc_live(self) -> dict[int, tuple]:
+        return {
+            dc.dc_index: tuple(
+                (server.device_id, str(server.ip))
+                for server in self.inter_dc_selection(dc)
+            )
+            for dc in self.topology.dcs
+        }
+
+    def refresh_inter_dc_snapshot(self) -> set:
+        """Freeze the inter-DC selection at the current liveness view.
+
+        Returns the ids of servers whose pinglists the move dirties: every
+        participant of a selection that changed — old and new, all DCs —
+        because a changed selection in one DC rewrites the inter-DC target
+        list of every selected server everywhere.
+        """
+        if len(self.topology.dcs) <= 1:
+            self._inter_dc_frozen = {}
+            return set()
+        new = self._inter_dc_live()
+        old = self._inter_dc_frozen
+        self._inter_dc_frozen = new
+        if old is None or old == new:
+            return set()
+        changed: set = set()
+        for snapshot in (old, new):
+            for selection in snapshot.values():
+                changed.update(sid for sid, _ip in selection)
+        return changed
+
+    def note_topology_delta(self, changed_dcs=None) -> None:
+        """Invalidate what one regeneration's delta dirties.
+
+        ``changed_dcs=None`` means "unknown delta" and clears everything
+        (safe default); an explicit iterable — possibly empty, e.g. a pure
+        generation bump when the kill switch lifts — clears only those
+        DCs' servers plus any inter-DC participants the refreshed
+        selection snapshot moved.
+        """
+        if self.config is not self._cached_config:
+            self._cached_config = self.config
+            self.invalidate_all()
+        if changed_dcs is None:
+            self.invalidate_all()
+        else:
+            self.invalidate_dcs(changed_dcs)
+        moved = self.refresh_inter_dc_snapshot()
+        if moved:
+            self.invalidate_servers(moved)
 
     # -- selection helpers ------------------------------------------------------
 
@@ -98,8 +180,27 @@ class PingmeshGenerator:
     def generate_for(
         self, server_id: str, generation: int = 1, t: float = 0.0
     ) -> Pinglist:
-        """Generate the pinglist of one server."""
+        """Generate the pinglist of one server (memoized entry graph)."""
         server = self.topology.server(server_id)
+        if self.config is not self._cached_config:
+            self._cached_config = self.config
+            self.invalidate_all()
+        dc_cache = self._entry_cache.setdefault(server.dc_index, {})
+        entries = dc_cache.get(server.device_id)
+        if entries is None:
+            entries = self._compute_entries(server)
+            dc_cache[server.device_id] = entries
+            self.entries_computed += 1
+        return Pinglist(
+            server_id=server.device_id,
+            generation=generation,
+            generated_at=t,
+            parameters=PingParameters(probe_interval_s=self.config.probe_interval_s),
+            entries=entries,
+        )
+
+    def _compute_entries(self, server) -> list[PinglistEntry]:
+        """The three-level graph for one server, post-threshold."""
         dc = self.topology.dc(server.dc_index)
         config = self.config
         entries: list[PinglistEntry] = []
@@ -159,21 +260,44 @@ class PingmeshGenerator:
                 for entry in tor_level[:: config.payload_every_nth_peer]
             )
 
-        # Level 3: inter-DC complete graph over selected servers.
+        # Level 3: inter-DC complete graph over selected servers.  The
+        # frozen regeneration-time snapshot wins over a live computation:
+        # liveness may have drifted between regenerate and this (lazy) GET,
+        # and eager/lazy byte parity requires one consistent view.
         if len(self.topology.dcs) > 1:
-            my_selection = {s.device_id for s in self.inter_dc_selection(dc)}
-            if server.device_id in my_selection:
-                for other_dc in self.topology.dcs:
-                    if other_dc.dc_index == server.dc_index:
-                        continue
-                    for peer in self.inter_dc_selection(other_dc):
-                        entries.append(
-                            PinglistEntry(
-                                peer_id=peer.device_id,
-                                peer_ip=str(peer.ip),
-                                purpose="inter-dc",
+            frozen = self._inter_dc_frozen
+            if frozen:
+                my_selection = {
+                    sid for sid, _ip in frozen.get(server.dc_index, ())
+                }
+                if server.device_id in my_selection:
+                    for other_dc in self.topology.dcs:
+                        if other_dc.dc_index == server.dc_index:
+                            continue
+                        for peer_id, peer_ip in frozen.get(
+                            other_dc.dc_index, ()
+                        ):
+                            entries.append(
+                                PinglistEntry(
+                                    peer_id=peer_id,
+                                    peer_ip=peer_ip,
+                                    purpose="inter-dc",
+                                )
                             )
-                        )
+            else:
+                my_selection = {s.device_id for s in self.inter_dc_selection(dc)}
+                if server.device_id in my_selection:
+                    for other_dc in self.topology.dcs:
+                        if other_dc.dc_index == server.dc_index:
+                            continue
+                        for peer in self.inter_dc_selection(other_dc):
+                            entries.append(
+                                PinglistEntry(
+                                    peer_id=peer.device_id,
+                                    peer_ip=str(peer.ip),
+                                    purpose="inter-dc",
+                                )
+                            )
 
         # §6.2 VIP monitoring: extra logical targets.
         entries.extend(
@@ -181,14 +305,7 @@ class PingmeshGenerator:
             for vip in config.vip_targets
         )
 
-        entries = self._apply_threshold(entries)
-        return Pinglist(
-            server_id=server.device_id,
-            generation=generation,
-            generated_at=t,
-            parameters=PingParameters(probe_interval_s=config.probe_interval_s),
-            entries=entries,
-        )
+        return self._apply_threshold(entries)
 
     def _apply_threshold(self, entries: list[PinglistEntry]) -> list[PinglistEntry]:
         """Trim to ``max_peers_per_server``, dropping lowest priority first.

@@ -61,7 +61,16 @@ class PinglistNotFoundError(Exception):
 
 @dataclass
 class ControllerReplica:
-    """One controller server: an SSD-backed cache of pinglist XML files."""
+    """One controller server: an SSD-backed cache of pinglist XML files.
+
+    The cache is *lazy*: ``files`` starts empty after every (re)generation
+    and each pinglist is rendered on its first GET through ``loader`` —
+    regeneration and recovery are O(1), and the rendering work a replica
+    does is exactly the set of pinglists agents actually fetched from it.
+    ``killed`` marks the kill switch (§3.4.2): a killed replica must 404
+    every GET, and laziness must never mask that — an empty cache and a
+    deliberately emptied one are different states.
+    """
 
     dip: str
     files: dict[str, str] = field(default_factory=dict)  # server_id -> XML
@@ -71,17 +80,26 @@ class ControllerReplica:
     # Brownout model: how long this replica takes to answer.  The service
     # compares it against the agent-side request timeout.
     response_delay_s: float = 0.0
+    killed: bool = False
+    stamp_t: float = 0.0  # generatedAt for lazily rendered files
+    # (server_id, generation, stamp_t) -> XML | None; None means 404.
+    loader: object = None
 
     def serve(self, server_id: str) -> str:
         if not self.up:
             raise ControllerUnavailableError(f"controller {self.dip} is down")
         self.requests_served += 1
-        try:
-            return self.files[server_id]
-        except KeyError:
-            raise PinglistNotFoundError(
-                f"no pinglist for {server_id} on {self.dip}"
-            ) from None
+        xml = self.files.get(server_id)
+        if xml is not None:
+            return xml
+        if not self.killed and self.loader is not None:
+            xml = self.loader(server_id, self.generation, self.stamp_t)
+            if xml is not None:
+                self.files[server_id] = xml
+                return xml
+        raise PinglistNotFoundError(
+            f"no pinglist for {server_id} on {self.dip}"
+        )
 
 
 class PingmeshControllerService:
@@ -106,7 +124,9 @@ class PingmeshControllerService:
         self.topology = topology
         self.generator = PingmeshGenerator(topology, config)
         self.replicas: dict[str, ControllerReplica] = {
-            f"controller{i}": ControllerReplica(dip=f"controller{i}")
+            f"controller{i}": ControllerReplica(
+                dip=f"controller{i}", loader=self._render_pinglist
+            )
             for i in range(n_replicas)
         }
         self.slb = SoftwareLoadBalancer(
@@ -125,30 +145,62 @@ class PingmeshControllerService:
 
     # -- generation ------------------------------------------------------------
 
-    def regenerate(self, t: float = 0.0) -> int:
-        """Run the generation algorithm on every replica.
+    def _render_pinglist(
+        self, server_id: str, generation: int, t: float
+    ) -> str | None:
+        """Render one server's pinglist XML, or None for an unknown server.
 
-        Every replica independently produces the identical file set
-        (determinism is what keeps the service stateless).  Returns the new
-        generation number.
+        The replicas' lazy loader.  Determinism keeps the replicas
+        stateless: every replica rendering (generation, stamp, server)
+        gets byte-identical XML, because the generator's entry memo and
+        frozen inter-DC selection are shared and liveness-independent.
+        """
+        try:
+            self.topology.server(server_id)
+        except (KeyError, TypeError):
+            return None
+        return self.generator.generate_for(
+            server_id, generation=generation, t=t
+        ).to_xml()
+
+    def _server_known(self, server_id: str) -> bool:
+        try:
+            self.topology.server(server_id)
+        except (KeyError, TypeError):
+            return False
+        return True
+
+    def regenerate(self, t: float = 0.0, changed_dcs=None) -> int:
+        """Start a new generation on every replica — O(changed), not O(N).
+
+        No pinglist is rendered here: each replica's cache is cleared and
+        repopulated lazily on GET, and the generator's entry memo is
+        invalidated only for the servers ``changed_dcs`` (plus any moved
+        inter-DC participants) actually dirty.  ``changed_dcs=None`` means
+        "unknown delta" and invalidates everything — still O(1) rendering
+        work now, just no memo reuse later.  Returns the new generation.
         """
         self.generation += 1
         self.last_generated_t = t
-        pinglists = self.generator.generate_all(generation=self.generation, t=t)
-        files = {
-            server_id: pinglist.to_xml() for server_id, pinglist in pinglists.items()
-        }
+        self.generator.note_topology_delta(changed_dcs)
         for replica in self.replicas.values():
             if replica.up:
-                replica.files = dict(files)
+                replica.files = {}
                 replica.generation = self.generation
+                replica.stamp_t = t
+                replica.killed = False
         return self.generation
 
     def remove_all_pinglists(self) -> None:
         """The kill switch: "we can stop the Pingmesh Agent from working by
-        simply removing all the pinglist files from the controller"."""
+        simply removing all the pinglist files from the controller".
+
+        Sets ``killed`` as well as clearing the caches — under lazy
+        rendering an empty cache would otherwise just repopulate itself.
+        """
         for replica in self.replicas.values():
             replica.files = {}
+            replica.killed = True
 
     def reconfigure(self, config: GeneratorConfig, t: float = 0.0) -> int:
         """Swap the generator config and regenerate (§6.2 extensions)."""
@@ -204,7 +256,8 @@ class PingmeshControllerService:
                     replica.up
                     and if_generation is not None
                     and replica.generation == if_generation
-                    and server_id in replica.files
+                    and not replica.killed
+                    and self._server_known(server_id)
                 ):
                     replica.requests_served += 1
                     self.slb.report_success(dip, t)
@@ -241,24 +294,21 @@ class PingmeshControllerService:
         self.replicas[dip].response_delay_s = 0.0
 
     def recover_replica(self, dip: str, t: float | None = None) -> None:
-        """Bring a replica back and rebuild its file cache.
+        """Bring a replica back at the current generation — O(1).
 
-        ``t`` stamps the regenerated files; it defaults to the time of the
-        fleet's last generation so a recovered replica serves byte-identical
-        files — it must never re-stamp the current generation with a stale
-        t=0.0 (agents would see "new" files that are actually old).
+        No eager rebuild: the recovered replica renders each pinglist on
+        first GET through the shared (memoized) generator, so recovery
+        cost no longer scales with fleet size.  ``t`` stamps the lazily
+        rendered files; it defaults to the time of the fleet's last
+        generation so a recovered replica serves byte-identical files —
+        it must never re-stamp the current generation with a stale t=0.0
+        (agents would see "new" files that are actually old).
         """
         replica = self.replicas[dip]
         replica.up = True
-        # A recovering stateless replica regenerates its file cache from
-        # the same deterministic algorithm.
-        stamp = self.last_generated_t if t is None else t
-        pinglists = self.generator.generate_all(
-            generation=self.generation, t=stamp
-        )
-        replica.files = {
-            server_id: pinglist.to_xml() for server_id, pinglist in pinglists.items()
-        }
+        replica.files = {}
+        replica.killed = False
+        replica.stamp_t = self.last_generated_t if t is None else t
         replica.generation = self.generation
 
     def healthy_replica_count(self) -> int:

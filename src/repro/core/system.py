@@ -167,8 +167,14 @@ class PingmeshSystem:
                 uploader,
                 config=self.config.agent,
                 vip_resolver=vip_resolver,
+                # Agents always hold pair-granularity aggregators: what an
+                # agent feeds directly (VIP probes, per-agent rounds, the
+                # sharded fleet's degraded passthrough) is exactly the
+                # traffic detectors may need to localize per pod.  The
+                # class-granular shard aggregators are fed only by
+                # FleetShard's closed-form outcomes.
                 stream_aggregator=(
-                    self.stream.aggregator_for(server_id)
+                    self.stream.pair_aggregator_for(server_id)
                     if self.stream is not None
                     else None
                 ),
@@ -377,8 +383,13 @@ class PingmeshSystem:
         """
         if not self._started:
             raise RuntimeError("start the system before growing it")
-        new_servers = self.topology.dc(dc).add_podset()
-        self.controller.regenerate(t=self.clock.now)
+        grown = self.topology.dc(dc)
+        new_servers = grown.add_podset()
+        # The delta hint keeps the controller refresh O(changed): only the
+        # grown DC's entry memos (plus moved inter-DC participants) drop.
+        self.controller.regenerate(
+            t=self.clock.now, changed_dcs=(grown.dc_index,)
+        )
 
         new_ids = [server.device_id for server in new_servers]
         agents = self.env.deploy_shared_service(

@@ -68,7 +68,15 @@ class IPv4Address:
         return ((v >> 24) & 0xFF, (v >> 16) & 0xFF, (v >> 8) & 0xFF, v & 0xFF)
 
     def __str__(self) -> str:
-        return ".".join(str(octet) for octet in self.octets)
+        # Memoized: pinglist generation stringifies every peer IP of every
+        # server (millions of calls at 64k servers), always for the same
+        # few-thousand distinct addresses.
+        text = self.__dict__.get("_text")
+        if text is None:
+            v = self.value
+            text = f"{(v >> 24) & 0xFF}.{(v >> 16) & 0xFF}.{(v >> 8) & 0xFF}.{v & 0xFF}"
+            object.__setattr__(self, "_text", text)
+        return text
 
     def __int__(self) -> int:
         return self.value

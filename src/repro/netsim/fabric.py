@@ -64,6 +64,7 @@ __all__ = [
     "ClassOutcome",
     "ClassLedger",
     "merge_class_plans",
+    "execute_class_groups",
     "DEFAULT_PROBE_PORT",
 ]
 
@@ -338,6 +339,64 @@ def merge_class_plans(plans: Sequence[ClassRoundPlan]) -> ClassRoundPlan:
         n_class_probes=sum(group.n for group in merged_groups),
         counter_increments=[(c, k) for c, k in acc.values()],
     )
+
+
+def execute_class_groups(groups, latency_models, t, draw) -> list[ClassOutcome]:
+    """One round of closed-form class draws — the pure-math core.
+
+    ``groups`` is any sequence of objects carrying the :class:`ClassGroup`
+    model fields (``purpose``, ``qos``, ``scope``, ``n``, ``p_attempt``,
+    ``dc_index``, ``n_hops``, ``wan_rtt``, ``dst_dc``); ``latency_models``
+    maps ``dc_index`` -> :class:`~repro.netsim.latency.LatencyModel`.  The
+    draw sequence per group is fixed (multinomial, then the latency
+    sample), so two callers holding generators in the same state produce
+    bit-identical outcomes — this is what lets a process-pool shard worker
+    replay a shard's round from a shipped RNG state and have the driver
+    adopt its results as if they were drawn in-process.
+
+    Shared-state side effects (conservation ledger, SNMP counters, probe
+    observers) are the caller's job; this function touches only ``draw``.
+    """
+    sig1 = tcp.syn_rtt_signature(1)
+    sig2 = tcp.syn_rtt_signature(2)
+    sig3 = tcp.syn_rtt_signature(3)
+    outcomes: list[ClassOutcome] = []
+    for group in groups:
+        m = group.n
+        p = group.p_attempt
+        p0 = 1.0 - p
+        counts = draw.multinomial(m, (p0, p * p0, p * p * p0, p * p * p))
+        n0, n1, n2, n_fail = (int(c) for c in counts)
+        n_ok = n0 + n1 + n2
+        if n_ok:
+            rtt = latency_models[group.dc_index].sample(
+                draw, group.n_hops, t=t, n=n_ok
+            )
+            if group.wan_rtt:
+                rtt += group.wan_rtt
+            if n1:
+                rtt[n0:n0 + n1] += sig1
+            if n2:
+                rtt[n0 + n1:] += sig2
+            one_drop = int(((rtt >= sig1) & (rtt < sig2)).sum())
+            two_drops = int(((rtt >= sig2) & (rtt < sig3)).sum())
+        else:
+            rtt = np.empty(0)
+            one_drop = two_drops = 0
+        outcomes.append(
+            ClassOutcome(
+                purpose=group.purpose,
+                qos=group.qos,
+                scope=group.scope,
+                n=m,
+                failed=n_fail,
+                one_drop=one_drop,
+                two_drops=two_drops,
+                rtt_s=rtt,
+                dst_dc=group.dst_dc,
+            )
+        )
+    return outcomes
 
 
 class Fabric:
@@ -1240,51 +1299,14 @@ class Fabric:
                 "run observed rounds on the main thread"
             )
         draw = rng if rng is not None else self.rng
-        notify = bool(self.probe_observers)
-        sig1 = tcp.syn_rtt_signature(1)
-        sig2 = tcp.syn_rtt_signature(2)
-        sig3 = tcp.syn_rtt_signature(3)
-        outcomes: list[ClassOutcome] = []
+        outcomes = execute_class_groups(plan.groups, self._latency, t, draw)
         total = 0
-        for group in plan.groups:
-            m = group.n
-            p = group.p_attempt
-            p0 = 1.0 - p
-            counts = draw.multinomial(m, (p0, p * p0, p * p * p0, p * p * p))
-            n0, n1, n2, n_fail = (int(c) for c in counts)
-            n_ok = n0 + n1 + n2
-            if n_ok:
-                rtt = self._latency[group.dc_index].sample(
-                    draw, group.n_hops, t=t, n=n_ok
-                )
-                if group.wan_rtt:
-                    rtt += group.wan_rtt
-                if n1:
-                    rtt[n0:n0 + n1] += sig1
-                if n2:
-                    rtt[n0 + n1:] += sig2
-                one_drop = int(((rtt >= sig1) & (rtt < sig2)).sum())
-                two_drops = int(((rtt >= sig2) & (rtt < sig3)).sum())
-            else:
-                rtt = np.empty(0)
-                one_drop = two_drops = 0
-            outcomes.append(
-                ClassOutcome(
-                    purpose=group.purpose,
-                    qos=group.qos,
-                    scope=group.scope,
-                    n=m,
-                    failed=n_fail,
-                    one_drop=one_drop,
-                    two_drops=two_drops,
-                    rtt_s=rtt,
-                    dst_dc=group.dst_dc,
-                )
-            )
-            total += m
-            if notify:
+        if self.probe_observers:
+            for group in plan.groups:
                 for member_src, member_dst, dst_port in group.members:
                     self._notify_probe(member_src, member_dst, t, 0, dst_port)
+        for group in plan.groups:
+            total += group.n
         if ledger is None:
             self.probes_carried += total
             for counters, packets in plan.counter_increments:

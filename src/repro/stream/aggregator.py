@@ -41,6 +41,11 @@ class StreamDelta:
     window_end: float
     classes: dict
     probes: int
+    # "pair": one server's per-peer-class outcomes (pod-resolvable);
+    # "class": a (dc, podset) shard's fault-untouched bulk, pod-agnostic
+    # (``pod == -1``).  Consumers needing pod localization (the black-hole
+    # feed) use pair deltas; DC-level rollups merge both.
+    granularity: str = "pair"
 
 
 class StreamAggregator:
@@ -55,13 +60,17 @@ class StreamAggregator:
         window_s: float = 10.0,
         relative_accuracy: float = 0.01,
         max_buckets: int = 2048,
+        granularity: str = "pair",
     ) -> None:
         if window_s <= 0:
             raise ValueError(f"window must be positive: {window_s}")
+        if granularity not in ("pair", "class"):
+            raise ValueError(f"unknown granularity: {granularity!r}")
         self.server_id = server_id
         self.dc = dc
         self.podset = podset
         self.pod = pod
+        self.granularity = granularity
         self.window_s = window_s
         self.relative_accuracy = relative_accuracy
         self.max_buckets = max_buckets
@@ -131,6 +140,7 @@ class StreamAggregator:
             window_end=(window_id + 1) * self.window_s,
             classes={cls: stats.to_payload() for cls, stats in window.items()},
             probes=probes,
+            granularity=self.granularity,
         )
         self.probes_emitted += probes
         self.deltas_emitted += 1

@@ -360,6 +360,11 @@ class StreamBlackholeFeed:
             dc_success[dc] = dc_success.get(dc, 0) + stats.success
         new: list[StreamBlackholeCandidate] = []
         for (dc, podset, pod), stats in sorted(pods.items()):
+            if pod < 0:
+                # Class-granularity shard roll-up: no pod to localize.  It
+                # still counted toward dc_success above — the healthy bulk
+                # is what proves the DC "succeeded somewhere".
+                continue
             dark = (
                 stats.success == 0
                 and stats.failed >= self.min_failed

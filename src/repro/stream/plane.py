@@ -178,6 +178,17 @@ class StreamPlane:
         if self.config.shard_aggregation:
             server = self.topology.server(server_id)
             return self.shard_aggregator(server.dc_index, server.podset_index)
+        return self.pair_aggregator_for(server_id)
+
+    def pair_aggregator_for(self, server_id: str) -> StreamAggregator:
+        """One server's pair-granularity aggregator, always — regardless
+        of ``shard_aggregation``.
+
+        This is where degraded/faulted/VIP outcomes go under the sharded
+        fleet: the healthy bulk flows class-granular through the shard
+        aggregators, but anything a detector may need to *localize* (the
+        black-hole feed resolves pods) keeps per-server resolution.
+        """
         aggregator = self._aggregators.get(server_id)
         if aggregator is None:
             server = self.topology.server(server_id)
@@ -189,11 +200,13 @@ class StreamPlane:
                 window_s=self.config.window_s,
                 relative_accuracy=self.config.relative_accuracy,
                 max_buckets=self.config.max_buckets,
+                granularity="pair",
             )
         return aggregator
 
     def shard_aggregator(self, dc: int, podset: int) -> StreamAggregator:
-        """The (memoized) aggregator for one (dc, podset) shard.
+        """The (memoized) class-granularity aggregator for one (dc,
+        podset) shard.
 
         Registered in the same table as per-server aggregators (keyed by a
         synthetic ``shard:`` id), so the plane's conservation ledger and
@@ -211,6 +224,7 @@ class StreamPlane:
                 window_s=self.config.window_s,
                 relative_accuracy=self.config.relative_accuracy,
                 max_buckets=self.config.max_buckets,
+                granularity="class",
             )
         return aggregator
 
@@ -223,7 +237,11 @@ class StreamPlane:
         """
         deltas = []
         for aggregator in self._aggregators.values():
-            deltas.extend(aggregator.flush_closed(t))
+            # Fast-skip idle aggregators: at 64k servers most per-server
+            # (pair) aggregators are empty every tick — only degraded
+            # pairs fold into them — and the flush must not pay O(fleet).
+            if aggregator._open:
+                deltas.extend(aggregator.flush_closed(t))
         self.ingest_slb.run_health_checks()
         for delta in deltas:
             try:

@@ -37,12 +37,21 @@ def test_controller_blackout_downs_every_replica(system):
 
 
 def test_kill_switch_empties_and_regenerates_files(system):
+    from repro.core.controller.service import PinglistNotFoundError
+
+    server_id = next(iter(system.agents))
     action = PinglistKillSwitch()
     action.start(system, t=10.0)
-    assert all(not r.files for r in system.controller.replicas.values())
+    # Killed, not just empty: lazy rendering must not resurrect the files.
+    assert all(
+        r.killed and not r.files for r in system.controller.replicas.values()
+    )
+    with pytest.raises(PinglistNotFoundError):
+        system.controller.get_pinglist(server_id, t=10.0)
     action.end(system, t=99.0)
     for replica in system.controller.replicas.values():
-        assert replica.files
+        assert not replica.killed
+        assert replica.serve(server_id)
     assert system.controller.last_generated_t == 99.0
 
 

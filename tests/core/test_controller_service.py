@@ -25,18 +25,31 @@ def service(topology):
 
 
 class TestGeneration:
-    def test_regenerate_populates_all_replicas(self, service, topology):
+    def test_regenerate_is_lazy_until_served(self, service):
+        """Regeneration renders nothing: each replica's cache fills on
+        first GET, holding exactly what was actually served."""
         for replica in service.replicas.values():
-            assert len(replica.files) == topology.n_servers
+            assert replica.files == {}
             assert replica.generation == 1
+        replica = service.replicas["controller0"]
+        assert replica.serve("dc0/ps0/pod0/srv0")
+        assert set(replica.files) == {"dc0/ps0/pod0/srv0"}
+
+    def test_every_server_servable_after_regenerate(self, service, topology):
+        replica = service.replicas["controller0"]
+        for server in topology.all_servers():
+            assert replica.serve(server.device_id)
+        assert len(replica.files) == topology.n_servers
 
     def test_regenerate_bumps_generation(self, service):
         assert service.regenerate() == 2
         assert service.get_pinglist("dc0/ps0/pod0/srv0").generation == 2
 
-    def test_replicas_serve_identical_content(self, service):
-        files = [replica.files for replica in service.replicas.values()]
-        assert files[0] == files[1]
+    def test_replicas_serve_identical_content(self, service, topology):
+        first, second = service.replicas.values()
+        for server in topology.all_servers():
+            assert first.serve(server.device_id) == second.serve(server.device_id)
+        assert first.files == second.files
 
     def test_needs_at_least_one_replica(self, topology):
         with pytest.raises(ValueError):
@@ -72,14 +85,17 @@ class TestServing:
         with pytest.raises(ControllerUnavailableError):
             service.get_pinglist("dc0/ps0/pod0/srv0")
 
-    def test_recovered_replica_regenerates_same_files(self, service):
+    def test_recovered_replica_regenerates_same_files(self, service, topology):
         service.fail_replica("controller0")
         service.regenerate()  # only controller1 gets generation 2
         service.recover_replica("controller0")
-        assert (
-            service.replicas["controller0"].files
-            == service.replicas["controller1"].files
-        )
+        recovered = service.replicas["controller0"]
+        survivor = service.replicas["controller1"]
+        assert recovered.generation == survivor.generation
+        for server in topology.all_servers():
+            assert recovered.serve(server.device_id) == survivor.serve(
+                server.device_id
+            )
 
 
 class TestKillSwitch:
@@ -181,9 +197,11 @@ class TestTopologyGrowthConsistency:
         agent (§3.3.2)."""
         topology.dc(0).add_podset()
         service.regenerate()
-        files = [replica.files for replica in service.replicas.values()]
-        assert files[0] == files[1]
-        assert len(files[0]) == topology.n_servers
+        first, second = service.replicas.values()
+        for server in topology.all_servers():
+            assert first.serve(server.device_id) == second.serve(server.device_id)
+        assert len(first.files) == topology.n_servers
+        assert first.files == second.files
 
     def test_new_servers_served_after_growth(self, service, topology):
         new_servers = topology.dc(0).add_podset()
@@ -208,15 +226,18 @@ class TestReplicaRecoveryStamps:
     byte-different XML for the "identical file set" the paper promises.
     """
 
-    def test_recovered_files_match_siblings_bytewise(self, service):
+    def test_recovered_files_match_siblings_bytewise(self, service, topology):
         service.regenerate(t=500.0)
         service.fail_replica("controller0")
         service.regenerate(t=900.0)
         service.recover_replica("controller0")
-        assert (
-            service.replicas["controller0"].files
-            == service.replicas["controller1"].files
-        )
+        recovered = service.replicas["controller0"]
+        survivor = service.replicas["controller1"]
+        for server in topology.all_servers():
+            assert recovered.serve(server.device_id) == survivor.serve(
+                server.device_id
+            )
+        assert recovered.files == survivor.files
 
     def test_recovered_stamp_is_the_fleet_generation_time(self, service):
         service.regenerate(t=900.0)

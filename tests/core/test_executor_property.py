@@ -1,0 +1,102 @@
+"""Property test: process execution is bit-identical to serial.
+
+Hypothesis drives a random script of fleet rounds interleaved with the
+events that most plausibly break RNG-state accounting — fault injection
+(degrading class pairs to the serial per-pair path), replica flaps
+(touching the controller mid-run) and topology growth (new shards joining
+between rounds).  Whatever the script, a process-pool fleet must produce
+the same probes, the same uploaded rows, the same SNMP sums and the same
+per-shard RNG end states as a serial fleet under the same seed.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.agent.agent import AgentConfig
+from repro.core.dsa.records import CLASS_STREAM
+from repro.core.sharded import ShardedFleet
+from repro.core.system import PingmeshSystem, PingmeshSystemConfig
+from repro.netsim.faults import SilentRandomDrop
+from repro.netsim.topology import TopologySpec
+from repro.stream.plane import StreamConfig
+
+_SPEC = TopologySpec(n_podsets=2, pods_per_podset=2, servers_per_pod=2, n_spines=4)
+
+OPS = ("round", "fault", "clear", "grow", "flap")
+
+
+def _fingerprint(system, fleet):
+    for key in sorted(fleet.shards):
+        shard = fleet.shards[key]
+        shard.probe_uploader.flush(1e9)
+        shard.class_uploader.flush(1e9)
+    rows = {}
+    for stream in ("pingmesh/latency", CLASS_STREAM):
+        try:
+            rows[stream] = sorted(
+                json.dumps(row, sort_keys=True, default=str)
+                for row in system.store.read(stream)
+            )
+        except KeyError:  # stream never written (e.g. no degraded pairs)
+            rows[stream] = []
+    rng_states = {
+        key: json.dumps(
+            fleet.shards[key].rng.bit_generator.state, sort_keys=True, default=str
+        )
+        for key in sorted(fleet.shards)
+    }
+    snmp = [
+        (s.device_id, s.counters.packets_forwarded, s.counters.silent_drops)
+        for s in system.topology.dc(0).all_switches()
+    ]
+    return (fleet.probes_sent, system.fabric.probes_carried, rows, rng_states, snmp)
+
+
+def _run_script(ops, seed, executor, workers):
+    system = PingmeshSystem(
+        PingmeshSystemConfig(
+            specs=(_SPEC,),
+            seed=seed,
+            agent=AgentConfig(round_mode="class"),
+            stream=StreamConfig(shard_aggregation=True),
+        )
+    )
+    with ShardedFleet(system, workers=workers, executor=executor) as fleet:
+        t = 0.0
+        fault = None
+        grown = False
+        for op in ops:
+            if op == "round":
+                fleet.run_round(t)
+                t += 30.0
+            elif op == "fault" and fault is None:
+                spine = system.topology.dc(0).spines[0]
+                fault = system.fabric.faults.inject(
+                    SilentRandomDrop(switch_id=spine.device_id, drop_prob=0.25)
+                )
+            elif op == "clear" and fault is not None:
+                system.fabric.faults.clear(fault)
+                fault = None
+            elif op == "grow" and not grown:
+                system.add_podset(0)  # one growth keeps examples cheap
+                grown = True
+            elif op == "flap":
+                system.controller.fail_replica("controller0")
+                system.controller.recover_replica("controller0")
+        fleet.run_round(t)
+        return _fingerprint(system, fleet)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    ops=st.lists(st.sampled_from(OPS), min_size=1, max_size=5),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_process_pool_matches_serial_bit_for_bit(ops, seed):
+    serial = _run_script(ops, seed, "serial", 0)
+    process = _run_script(ops, seed, "process", 2)
+    assert serial == process

@@ -1,0 +1,205 @@
+"""Lazy pinglist generation: byte parity with eager, O(changed) work.
+
+The lazy controller must be *invisible* to agents: every XML it serves is
+byte-identical to what an eager regenerate-everything controller would
+have produced at the same instant.  A fresh :class:`PingmeshGenerator`
+over the same topology is the eager ground truth here — no memo, no
+frozen snapshot carried over, just the three-level graph recomputed from
+scratch at every call.
+
+``entries_computed`` is the work meter: regeneration and recovery must do
+O(1) graph work until agents actually GET, pure generation bumps must
+re-stamp cached entries without recomputation, and growth must recompute
+only the DCs it dirtied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.controller.generator import PingmeshGenerator
+from repro.core.controller.service import (
+    PinglistNotFoundError,
+    PingmeshControllerService,
+)
+from repro.netsim.topology import MultiDCTopology, TopologySpec
+
+_SPEC = TopologySpec(n_podsets=2, pods_per_podset=2, servers_per_pod=4, n_spines=4)
+
+
+def _eager_xml(service, server_id):
+    """What an eager controller would serve right now: a from-scratch
+    generator at the service's generation and stamp."""
+    fresh = PingmeshGenerator(service.topology, service.generator.config)
+    fresh.refresh_inter_dc_snapshot()
+    return fresh.generate_for(
+        server_id,
+        generation=service.generation,
+        t=service.last_generated_t,
+    ).to_xml()
+
+
+def _assert_parity(service):
+    replica = next(iter(service.replicas.values()))
+    for server in service.topology.all_servers():
+        assert replica.serve(server.device_id) == _eager_xml(
+            service, server.device_id
+        )
+
+
+class TestLazyEagerByteParity:
+    def test_parity_after_initial_regenerate(self):
+        topology = MultiDCTopology.single(_SPEC)
+        service = PingmeshControllerService(topology)
+        service.regenerate(t=10.0)
+        _assert_parity(service)
+
+    def test_parity_across_growth(self):
+        topology = MultiDCTopology.single(_SPEC)
+        service = PingmeshControllerService(topology)
+        service.regenerate(t=10.0)
+        _assert_parity(service)
+        topology.dc(0).add_podset()
+        service.regenerate(t=20.0, changed_dcs=(0,))
+        _assert_parity(service)
+
+    def test_parity_across_generation_bumps(self):
+        topology = MultiDCTopology.single(_SPEC)
+        service = PingmeshControllerService(topology)
+        service.regenerate(t=10.0)
+        _assert_parity(service)
+        # Pure bumps (no topology delta): re-stamped XML, same graph.
+        service.regenerate(t=20.0, changed_dcs=())
+        service.regenerate(t=30.0, changed_dcs=())
+        _assert_parity(service)
+
+    def test_parity_across_kill_switch_cycle(self):
+        topology = MultiDCTopology.single(_SPEC)
+        service = PingmeshControllerService(topology)
+        service.regenerate(t=10.0)
+        server_id = topology.all_servers()[0].device_id
+        service.remove_all_pinglists()
+        with pytest.raises(PinglistNotFoundError):
+            service.get_pinglist(server_id)
+        service.regenerate(t=50.0, changed_dcs=())
+        _assert_parity(service)
+
+    def test_parity_multi_dc(self):
+        topology = MultiDCTopology((_SPEC, replace(_SPEC, name="dc1")))
+        service = PingmeshControllerService(topology)
+        service.regenerate(t=10.0)
+        _assert_parity(service)
+
+    def test_frozen_inter_dc_selection_survives_liveness_drift(self):
+        """Liveness drift between regenerate and a lazy GET must not leak
+        into the XML: the selection is frozen at regeneration time, so a
+        pivot going down later changes nothing until the next regenerate."""
+        topology = MultiDCTopology((_SPEC, replace(_SPEC, name="dc1")))
+        service = PingmeshControllerService(topology)
+        service.regenerate(t=10.0)
+        pivot = service.generator.inter_dc_selection(topology.dc(0))[0]
+        observer = [
+            s
+            for s in service.generator.inter_dc_selection(topology.dc(1))
+            if s.device_id != pivot.device_id
+        ][0]
+        before = service.replicas["controller0"].serve(observer.device_id)
+        pivot_server = topology.server(pivot.device_id)
+        pivot_server.bring_down()
+        # A cold replica (recovery) renders lazily *after* the drift — and
+        # must still serve the regeneration-time view, bytes and all.
+        service.fail_replica("controller1")
+        service.recover_replica("controller1")
+        assert service.replicas["controller1"].serve(observer.device_id) == before
+        assert pivot.device_id in before
+        # The next regeneration adopts the new liveness: the downed pivot
+        # leaves the selection and the observer's target list changes.
+        service.regenerate(t=20.0, changed_dcs=())
+        after = service.replicas["controller0"].serve(observer.device_id)
+        assert pivot.device_id not in after
+        pivot_server.bring_up()
+
+
+class TestGenerationWorkMeter:
+    def test_regenerate_does_no_graph_work(self):
+        topology = MultiDCTopology.single(_SPEC)
+        service = PingmeshControllerService(topology)
+        service.regenerate(t=10.0)
+        assert service.generator.entries_computed == 0
+
+    def test_first_get_computes_exactly_one(self):
+        topology = MultiDCTopology.single(_SPEC)
+        service = PingmeshControllerService(topology)
+        service.regenerate(t=10.0)
+        server_id = topology.all_servers()[0].device_id
+        service.get_pinglist(server_id)
+        assert service.generator.entries_computed == 1
+        # The entry memo is shared across replicas: the other replica
+        # rendering the same server re-stamps, never recomputes.
+        for replica in service.replicas.values():
+            replica.serve(server_id)
+        assert service.generator.entries_computed == 1
+
+    def test_pure_bump_reuses_the_memo(self):
+        topology = MultiDCTopology.single(_SPEC)
+        service = PingmeshControllerService(topology)
+        service.regenerate(t=10.0)
+        for server in topology.all_servers():
+            service.get_pinglist(server.device_id)
+        computed = service.generator.entries_computed
+        assert computed == topology.n_servers
+        service.regenerate(t=20.0, changed_dcs=())
+        for server in topology.all_servers():
+            service.get_pinglist(server.device_id)
+        assert service.generator.entries_computed == computed
+
+    def test_growth_recomputes_only_the_changed_dc(self):
+        topology = MultiDCTopology((_SPEC, replace(_SPEC, name="dc1")))
+        service = PingmeshControllerService(topology)
+        service.regenerate(t=10.0)
+        for server in topology.all_servers():
+            service.get_pinglist(server.device_id)
+        computed = service.generator.entries_computed
+        topology.dc(0).add_podset()
+        service.regenerate(t=20.0, changed_dcs=(0,))
+        for server in topology.all_servers():
+            service.get_pinglist(server.device_id)
+        # dc0 recomputed (grown); dc1 came from the memo, except any
+        # inter-DC participants the refreshed selection snapshot moved.
+        moved_dc1 = {
+            sid
+            for sid, _ip in service.generator._inter_dc_frozen.get(1, ())
+        }
+        expected = computed + topology.dc(0).spec.n_servers + len(moved_dc1)
+        assert service.generator.entries_computed <= expected
+        assert (
+            service.generator.entries_computed
+            >= computed + topology.dc(0).spec.n_servers
+        )
+
+
+class TestRecoveryIsO1At16k:
+    """The satellite regression: kill-switch regeneration and replica
+    recovery at 16k servers do O(1) generation work until agents GET."""
+
+    SPEC_16K = TopologySpec(
+        n_podsets=16, pods_per_podset=32, servers_per_pod=32, n_spines=32
+    )
+
+    def test_regenerate_fail_recover_compute_nothing(self):
+        topology = MultiDCTopology.single(self.SPEC_16K)
+        assert topology.n_servers == 16_384
+        service = PingmeshControllerService(topology)
+        service.regenerate(t=10.0)
+        service.fail_replica("controller0")
+        service.regenerate(t=20.0, changed_dcs=())
+        service.recover_replica("controller0")
+        service.remove_all_pinglists()
+        service.regenerate(t=30.0, changed_dcs=())
+        assert service.generator.entries_computed == 0
+        # The first GET does exactly one server's graph work.
+        server_id = topology.all_servers()[0].device_id
+        assert service.replicas["controller0"].serve(server_id)
+        assert service.generator.entries_computed == 1

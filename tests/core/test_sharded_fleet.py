@@ -186,6 +186,111 @@ class TestWorkerPool:
             ShardedFleet(system)
 
 
+def _fingerprint(system, fleet):
+    """Everything a round materializes, in comparable form: per-shard RNG
+    end states, the probe ledger, and every uploaded row (bit-for-bit —
+    floats included — so any draw-sequence divergence shows up)."""
+    import json
+
+    for key in sorted(fleet.shards):
+        shard = fleet.shards[key]
+        shard.probe_uploader.flush(1e9)
+        shard.class_uploader.flush(1e9)
+    rows = {
+        stream: sorted(
+            json.dumps(row, sort_keys=True, default=str)
+            for row in system.store.read(stream)
+        )
+        for stream in ("pingmesh/latency", CLASS_STREAM)
+    }
+    rng_states = {
+        key: json.dumps(
+            fleet.shards[key].rng.bit_generator.state, sort_keys=True, default=str
+        )
+        for key in sorted(fleet.shards)
+    }
+    switch_counters = [
+        (s.device_id, s.counters.packets_forwarded, s.counters.silent_drops)
+        for s in system.topology.dc(0).all_switches()
+    ]
+    return (
+        fleet.probes_sent,
+        system.fabric.probes_carried,
+        system.fabric.probes_refused,
+        rows,
+        rng_states,
+        switch_counters,
+    )
+
+
+def _run_executor_script(executor, workers, seed=11):
+    """One fixed scenario — rounds, a mid-run fault, growth — under the
+    given executor.  Same seed must mean the same fingerprint."""
+    system = _system(seed=seed)
+    with ShardedFleet(system, workers=workers, executor=executor) as fleet:
+        fleet.run_round(0.0)
+        spine = system.topology.dc(0).spines[0]
+        fault = system.fabric.faults.inject(
+            SilentRandomDrop(switch_id=spine.device_id, drop_prob=0.3)
+        )
+        fleet.run_round(30.0)
+        system.fabric.faults.clear(fault)
+        system.add_podset(0)
+        fleet.run_round(60.0)
+        fleet.run_round(90.0)
+        return _fingerprint(system, fleet)
+
+
+class TestExecutorParity:
+    """serial / thread / process must be bit-identical under one seed —
+    the contract that makes the executor a pure deployment knob."""
+
+    def test_three_executors_bit_identical(self):
+        serial = _run_executor_script("serial", 0)
+        thread = _run_executor_script("thread", 2)
+        process = _run_executor_script("process", 2)
+        assert serial == thread
+        assert serial == process
+
+    def test_probe_conservation_exact_per_executor(self):
+        """launched == carried + refused - batched for every executor —
+        the fabric ledger balances to the probe no matter who runs the
+        draws or which process they run in."""
+        for executor, workers in (("serial", 0), ("thread", 2), ("process", 2)):
+            system = _system(seed=5)
+            with ShardedFleet(system, workers=workers, executor=executor) as fleet:
+                before = (
+                    system.fabric.probes_carried,
+                    system.fabric.probes_refused,
+                    system.fabric.probes_carried_batched,
+                )
+                launched = fleet.run_round(0.0)
+                assert launched > 0
+                ledger = (
+                    (system.fabric.probes_carried - before[0])
+                    + (system.fabric.probes_refused - before[1])
+                    - (system.fabric.probes_carried_batched - before[2])
+                )
+                assert ledger == launched, executor
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            ShardedFleet(_system(), workers=2, executor="fiber")
+
+    def test_pooled_executor_requires_workers(self):
+        with pytest.raises(ValueError, match="workers >= 1"):
+            ShardedFleet(_system(), workers=0, executor="process")
+
+    def test_close_reaps_the_process_pool(self):
+        fleet = ShardedFleet(_system(), workers=2, executor="process")
+        fleet.run_round(0.0)
+        assert fleet._pool is not None
+        fleet.close()
+        assert fleet._pool is None
+        # And close() is idempotent.
+        fleet.close()
+
+
 class TestScaleSmoke:
     def test_scale_smoke_1k_window(self):
         """Tier-1 smoke of the scale suite: 1024 servers, one simulated
