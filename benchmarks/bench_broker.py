@@ -1,0 +1,214 @@
+"""Engineering benchmark: the on-demand measurement plane under load.
+
+Gates, straight from the broker issue's acceptance criteria:
+
+* **10k-tenant load generator** — 10 000 synthetic tenants submit mixed
+  request shapes (single-pair bursts, multi-pair bursts, SCOPE and
+  stream-plane reads) against a live 1024-server sharded fleet over one
+  simulated 10-minute window.  Gates: the run finishes inside a
+  wall-clock budget, p99 request→result latency stays under the bound,
+  every tenant credit ledger conserves exactly, and admission is fair —
+  a Jain index over identical tenants' launched probes near 1.0.
+* **No interference** — the same fleet, same seed, with an idle broker
+  attached must launch a bit-identical baseline probe count: attaching
+  the request plane costs the closed loop nothing until tenants speak.
+
+Run under pytest-benchmark (see ``check_regressions.py --suite broker``).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import numpy as np
+
+from repro.broker import (
+    AdmissionConfig,
+    BrokerConfig,
+    MeasurementBroker,
+    RequestState,
+    TenantQuota,
+)
+from repro.core.agent.agent import AgentConfig
+from repro.core.controller.generator import GeneratorConfig
+from repro.core.dsa.pipeline import DsaConfig
+from repro.core.sharded import ShardedFleet
+from repro.core.system import PingmeshSystem, PingmeshSystemConfig
+from repro.netsim.topology import TopologySpec
+from repro.stream.plane import StreamConfig
+
+N_TENANTS = 10_000
+N_WAVES = 10
+MAX_WALL_S = 300.0
+# Two fleet rounds finish a 2-probes-per-pair burst; four rounds of
+# headroom absorb rotation and per-source contention under full load.
+MAX_P99_LATENCY_S = 240.0
+MIN_JAIN_FAIRNESS = 0.90
+
+# The tier-1 scale-smoke fleet: 1024 servers, sharded class rounds.
+_1K_SPEC = TopologySpec(n_podsets=4, pods_per_podset=16, servers_per_pod=16, n_spines=8)
+_FAST_DSA = DsaConfig(ingestion_delay_s=0.0, near_real_time_period_s=300.0)
+
+
+def _build_1k(seed: int = 0) -> PingmeshSystem:
+    return PingmeshSystem(
+        PingmeshSystemConfig(
+            specs=(_1K_SPEC,),
+            seed=seed,
+            agent=AgentConfig(round_mode="class", upload_period_s=600.0),
+            generator=GeneratorConfig(max_peers_per_server=32),
+            stream=StreamConfig(shard_aggregation=True),
+            dsa=_FAST_DSA,
+        )
+    )
+
+
+# -- 10k-tenant load generator -------------------------------------------------
+
+
+def _run_load():
+    """Drive N_TENANTS tenants against a 1k fleet; return the metrics."""
+    system = _build_1k(seed=0)
+    fleet = ShardedFleet(system)
+    # The default in-flight cap (1024) is a load-shedding knob; the load
+    # gen raises it so the gate measures scheduling, not shedding.
+    broker = MeasurementBroker(
+        system,
+        BrokerConfig(admission=AdmissionConfig(max_inflight_requests=4096)),
+    )
+    servers = [s.device_id for s in system.topology.dc(0).servers]
+    rng = random.Random(1729)
+    for i in range(N_TENANTS):
+        broker.register_tenant(f"tenant-{i:05d}", TenantQuota(credits_per_window=32))
+
+    uniform: list = []  # identical single-pair tenants, for the Jain gate
+    per_wave = N_TENANTS // N_WAVES
+    started = time.perf_counter()
+    for wave in range(N_WAVES):
+        for j in range(per_wave):
+            i = wave * per_wave + j
+            tenant = f"tenant-{i:05d}"
+            shape = i % 10
+            if shape == 7:
+                broker.submit(tenant, kind="scope")
+            elif shape == 8:
+                broker.submit(tenant, kind="stream")
+            elif shape == 9:
+                pairs = [tuple(rng.sample(servers, 2)) for _ in range(4)]
+                broker.submit(tenant, pairs=pairs, probes_per_pair=2)
+            else:
+                pair = tuple(rng.sample(servers, 2))
+                uniform.append(
+                    broker.submit(tenant, pairs=[pair], probes_per_pair=2)
+                )
+        fleet.run_for(600.0 / N_WAVES)
+    # Drain: the last wave needs two more rounds to finish its bursts.
+    fleet.run_for(180.0)
+    wall_s = time.perf_counter() - started
+
+    bursts = [ch for ch in broker.channels.values() if ch.kind == "burst"]
+    finished = [
+        ch
+        for ch in bursts
+        if ch.state in (RequestState.COMPLETED, RequestState.TRUNCATED)
+    ]
+    latencies = [ch.latency_s for ch in finished]
+    launched = [float(ch.probes_launched) for ch in uniform]
+    jain = sum(launched) ** 2 / (len(launched) * sum(x * x for x in launched))
+    return {
+        "wall_s": wall_s,
+        "tenants": len(broker.accounts),
+        "submitted": broker.requests_submitted,
+        "admitted": broker.requests_admitted,
+        "bursts_finished": len(finished),
+        "bursts_unfinished": len(bursts) - len(finished),
+        "probes_launched": broker.probes_launched,
+        "p50_latency_s": float(np.percentile(latencies, 50)),
+        "p99_latency_s": float(np.percentile(latencies, 99)),
+        "jain_fairness": jain,
+        "ledgers_conserved": all(a.conserved() for a in broker.accounts.values()),
+        "launched_equals_delivered": (
+            broker.probes_launched == broker.probes_delivered
+        ),
+        "fleet_ledger_matches": (
+            fleet.broker_probes_sent == broker.probes_launched
+        ),
+    }
+
+
+def bench_broker_load_10k_tenants(benchmark):
+    """10k tenants, one 10-minute window: latency, fairness, ledger gates."""
+    metrics = benchmark.pedantic(_run_load, rounds=1, iterations=1)
+    for key, value in metrics.items():
+        benchmark.extra_info[key] = value
+    print(
+        f"\nbroker load: {metrics['submitted']} requests from "
+        f"{metrics['tenants']} tenants, {metrics['probes_launched']} probes "
+        f"injected; p99 request->result {metrics['p99_latency_s']:.0f}s "
+        f"(gate <={MAX_P99_LATENCY_S:.0f}s), Jain fairness "
+        f"{metrics['jain_fairness']:.4f} (gate >={MIN_JAIN_FAIRNESS:.2f}), "
+        f"wall {metrics['wall_s']:.1f}s (gate <={MAX_WALL_S:.0f}s)"
+    )
+    assert metrics["wall_s"] <= MAX_WALL_S, (
+        f"load gen took {metrics['wall_s']:.1f}s wall "
+        f"(budget {MAX_WALL_S:.0f}s)"
+    )
+    assert metrics["bursts_unfinished"] == 0, (
+        f"{metrics['bursts_unfinished']} admitted bursts never reached a "
+        "terminal state inside the window + drain"
+    )
+    assert metrics["p99_latency_s"] <= MAX_P99_LATENCY_S, (
+        f"p99 request->result latency {metrics['p99_latency_s']:.0f}s "
+        f"(gate {MAX_P99_LATENCY_S:.0f}s)"
+    )
+    assert metrics["jain_fairness"] >= MIN_JAIN_FAIRNESS, (
+        f"Jain fairness over identical tenants {metrics['jain_fairness']:.4f} "
+        f"(gate {MIN_JAIN_FAIRNESS:.2f})"
+    )
+    assert metrics["ledgers_conserved"], "a tenant credit ledger failed to conserve"
+    assert metrics["launched_equals_delivered"], (
+        "broker launched and delivered probe counts diverged"
+    )
+    assert metrics["fleet_ledger_matches"], (
+        "fleet broker_probes_sent disagrees with the broker's own ledger"
+    )
+
+
+# -- no interference -----------------------------------------------------------
+
+
+def _baseline_probes(with_broker: bool) -> tuple[int, int]:
+    """(baseline probes, broker probes) for one 600 s 1k-fleet window."""
+    system = _build_1k(seed=0)
+    fleet = ShardedFleet(system)
+    if with_broker:
+        broker = MeasurementBroker(system)
+        for i in range(64):
+            broker.register_tenant(f"idle-{i}", TenantQuota(credits_per_window=32))
+    fleet.run_for(600.0)
+    return fleet.probes_sent, fleet.broker_probes_sent
+
+
+def bench_broker_no_interference(benchmark):
+    """Idle broker on the 1k fleet: baseline probe count bit-identical."""
+
+    def measure() -> dict:
+        bare, _zero = _baseline_probes(with_broker=False)
+        idle, injected = _baseline_probes(with_broker=True)
+        return {"bare": bare, "idle": idle, "injected": injected}
+
+    counts = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info.update(counts)
+    print(
+        f"\nno-interference: baseline {counts['bare']} probes without a "
+        f"broker, {counts['idle']} with one idle "
+        f"({counts['injected']} injected)"
+    )
+    assert counts["injected"] == 0, (
+        f"an idle broker injected {counts['injected']} probes"
+    )
+    assert counts["idle"] == counts["bare"], (
+        f"attaching an idle broker changed the baseline probe count: "
+        f"{counts['bare']} -> {counts['idle']}"
+    )

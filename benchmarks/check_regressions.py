@@ -35,6 +35,14 @@ determinism audit — plus the four resilience drill campaigns), then
 drain-time budget, the <10% steady-state overhead gate), and writes
 ``BENCH_resilience.json``.
 
+The ``broker`` suite first runs the on-demand-plane correctness tier
+(``tests/broker`` — admission/quota/lifecycle units — plus the live-fleet
+integration and storm-drill gates), then ``bench_broker`` (a 10k-tenant
+load generator against a 1k-server fleet: wall-clock budget, gated p99
+request→result latency, exact credit-ledger conservation, admission
+fairness, and the baseline no-interference gate), and writes
+``BENCH_broker.json``.
+
 ``--suite all`` runs every registered suite in sequence and then audits
 the snapshots: a ``BENCH_*.json`` that is missing or was not rewritten
 by this run (stale) fails the audit loudly, and each suite gets a
@@ -82,6 +90,9 @@ WAN_BENCHES = [
 RESILIENCE_BENCHES = [
     "bench_resilience.py",
 ]
+BROKER_BENCHES = [
+    "bench_broker.py",
+]
 CHAOS_DRILL_TIER = ["tests/integration/test_chaos_drills.py"]
 # Correctness before speed: the fleet suite's bench numbers mean nothing
 # unless cached paths equal fresh paths and fast rounds match scalar rounds.
@@ -116,6 +127,13 @@ RESILIENCE_CORRECTNESS_TIER = [
     "tests/resilience",
     "tests/integration/test_resilience_drills.py",
 ]
+# The broker's latency/fairness gates mean nothing unless admission,
+# quotas and the request lifecycle are correct and the live-fleet
+# integration (no-interference, invariants, storm drill) holds.
+BROKER_CORRECTNESS_TIER = [
+    "tests/broker",
+    "tests/integration/test_broker_plane.py",
+]
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_DIR = Path(__file__).resolve().parent
@@ -127,6 +145,7 @@ SUITES = {
     "scale": (SCALE_BENCHES, "BENCH_scale.json"),
     "wan": (WAN_BENCHES, "BENCH_wan.json"),
     "resilience": (RESILIENCE_BENCHES, "BENCH_resilience.json"),
+    "broker": (BROKER_BENCHES, "BENCH_broker.json"),
 }
 
 
@@ -217,6 +236,7 @@ def run_suite(suite: str, output: Path | None, profile: bool = False) -> int:
         "scale": SCALE_CORRECTNESS_TIER,
         "wan": WAN_CORRECTNESS_TIER,
         "resilience": RESILIENCE_CORRECTNESS_TIER,
+        "broker": BROKER_CORRECTNESS_TIER,
     }
     tier = gate_tiers.get(suite)
     if tier is not None:

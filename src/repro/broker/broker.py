@@ -1,0 +1,692 @@
+"""The measurement broker: an on-demand, multi-tenant probe-request plane.
+
+Pingmesh as published is a closed loop — the controller decides what gets
+probed, users consume CDFs after the fact.  :class:`MeasurementBroker`
+opens it up, Globalping-style: registered tenants submit one-shot probe
+bursts (between arbitrary server/DC/podset/service targets) and read-side
+queries, admission control debits per-tenant credit ledgers and clamps
+every burst to global safety bounds, and accepted work is scheduled onto
+the *running* fleet by piggybacking on the existing round engines:
+
+* under a :class:`~repro.core.sharded.ShardedFleet`, injected pairs are
+  compiled into extra class-plan groups (tagged ``broker:<request_id>``
+  so groups never mix requests and outcomes self-attribute) and executed
+  right after the baseline round, with per-pair degraded work routed
+  through :meth:`~repro.netsim.fabric.Fabric.probe_many`;
+* under per-agent rounds, each agent's hook drains that server's queue
+  through ``probe_many``.
+
+Nothing bypasses the fabric: every injected probe flows through the same
+probe observers and conservation ledger as baseline traffic, so the whole
+chaos invariant catalogue (spacing floor, payload cap, fail-closed
+silence, probe conservation) covers tenant traffic for free, and three
+broker-specific invariants (tenant quota conservation, injected-probe
+ledger parity, no starvation of the baseline round) audit the broker's
+own ledgers.
+
+Safety-limit interaction, in one place:
+
+* rounds fire at the fleet's (safety-clamped, >= 10 s) interval and each
+  work item yields at most one probe per round, so the per-pair spacing
+  floor holds by construction; a per-round (src, dst, port) collision set
+  defers would-be duplicates to the next round;
+* payloads pass :meth:`SafetyGuard.clamp_payload` at admission;
+* a source whose agent is dead, terminated or fail-closed contributes
+  nothing (items wait, then time out) — the broker may never make a
+  silenced agent speak;
+* per-agent and per-fleet-round injection caps bound the extra traffic
+  any round can carry, so baseline probing is never starved.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.broker.admission import AdmissionConfig
+from repro.broker.quota import TenantAccount, TenantQuota
+from repro.broker.requests import (
+    MeasurementRequest,
+    RequestState,
+    ResultChannel,
+)
+from repro.core.agent.safety import SafetyGuard
+from repro.core.dsa.records import LATENCY_STREAM
+from repro.netsim.fabric import merge_class_plans
+from repro.resilience import CircuitBreaker, RetryPolicy, derive_seed
+
+__all__ = ["BrokerConfig", "MeasurementBroker"]
+
+# Work-item field indices: [src, dst, dst_port, payload, remaining].
+_SRC, _DST, _PORT, _PAYLOAD, _REMAINING = range(5)
+
+# Bounded per-round injection log for the no-starvation invariant.
+_ROUND_LOG_CAP = 512
+
+
+@dataclass(frozen=True)
+class BrokerConfig:
+    """Everything configurable about the broker."""
+
+    default_quota: TenantQuota = field(default_factory=TenantQuota)
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    # Housekeeping cadence: deadline sweeps, window refills, fleet-health
+    # evaluation.  Jittered (RetryPolicy) so a fleet of brokers would not
+    # tick in lockstep.
+    tick_interval_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.tick_interval_s <= 0:
+            raise ValueError(
+                f"tick_interval_s must be positive: {self.tick_interval_s}"
+            )
+
+
+class MeasurementBroker:
+    """The request plane over one running :class:`PingmeshSystem`."""
+
+    def __init__(self, system, config: BrokerConfig | None = None) -> None:
+        if getattr(system, "broker", None) is not None:
+            raise RuntimeError("system already has a broker attached")
+        self.system = system
+        self.config = config or BrokerConfig()
+        self.admission = self.config.admission
+        self.accounts: dict[str, TenantAccount] = {}
+        self.channels: dict[int, ResultChannel] = {}
+        self.inflight: dict[int, MeasurementRequest] = {}
+        self._work: dict[int, list[list]] = {}  # rid -> live work items
+        self._rotation: deque[int] = deque()  # fleet-round fairness order
+        self._src_index: dict[str, deque] = {}  # src -> (rid, item) queue
+        self._next_request_id = 0
+        # Broker-wide telemetry / invariant ledgers.
+        self.requests_submitted = 0
+        self.requests_admitted = 0
+        self.requests_rejected = 0
+        self.probes_launched = 0
+        self.probes_delivered = 0
+        self.round_log: deque[tuple[float, int, int]] = deque(maxlen=_ROUND_LOG_CAP)
+        self._round_injected_total = 0
+        self.breaker = CircuitBreaker(self.admission.breaker)
+        self._tick_jitter = RetryPolicy(
+            base_s=self.config.tick_interval_s,
+            cap_s=2 * self.config.tick_interval_s,
+            seed=derive_seed("broker", "tick"),
+        )
+        self._tick_scheduled = False
+        system.broker = self
+        self._schedule_tick()
+
+    # -- tenants -----------------------------------------------------------
+
+    def register_tenant(
+        self, tenant_id: str, quota: TenantQuota | None = None, t: float | None = None
+    ) -> TenantAccount:
+        """Open a tenant's credit account (idempotent per tenant id)."""
+        account = self.accounts.get(tenant_id)
+        if account is None:
+            account = self.accounts[tenant_id] = TenantAccount(
+                tenant_id,
+                quota or self.config.default_quota,
+                t if t is not None else self.system.clock.now,
+            )
+        return account
+
+    # -- submission / admission --------------------------------------------
+
+    def submit(
+        self,
+        tenant_id: str,
+        kind: str = "burst",
+        src: str | None = None,
+        dst: str | None = None,
+        pairs=None,
+        probes_per_pair: int = 1,
+        payload_bytes: int = 0,
+        qos: str = "high",
+        params: dict | None = None,
+        deadline_s: float | None = None,
+        t: float | None = None,
+    ) -> ResultChannel:
+        """Submit one measurement request; returns its result channel.
+
+        Burst targets come either as explicit ``pairs`` or as ``src`` /
+        ``dst`` selectors (``server:<id>``, ``dc:<index-or-name>``,
+        ``podset:<dc>/<podset>``, ``service:<name>``), expanded to a
+        deterministic pair sample.  Admission happens synchronously: a
+        returned channel is already ``ADMITTED`` (burst), ``COMPLETED``
+        (read query) or ``REJECTED``.
+        """
+        if kind not in ("burst", "scope", "stream"):
+            raise ValueError(f"unknown request kind: {kind!r}")
+        now = self.system.clock.now if t is None else t
+        rid = self._next_request_id
+        self._next_request_id += 1
+        channel = ResultChannel(
+            request_id=rid, tenant_id=tenant_id, kind=kind, submitted_t=now
+        )
+        self.channels[rid] = channel
+        self.requests_submitted += 1
+
+        account = self.accounts.get(tenant_id)
+        if account is None:
+            return self._reject(channel, now, "unknown-tenant")
+        account.requests_submitted += 1
+        if len(self.inflight) >= self.admission.max_inflight_requests:
+            return self._reject(channel, now, "broker-overloaded", account)
+        if kind in ("scope", "stream"):
+            return self._run_read_query(channel, account, kind, params or {}, now)
+
+        # Burst path: fail closed when the fleet is degraded.
+        healthy = self._fleet_healthy()
+        if healthy:
+            self.breaker.record_success(now)
+        else:
+            self.breaker.record_failure(now)
+        if not healthy or not self.breaker.allow(now):
+            return self._reject(channel, now, "fleet-degraded", account)
+
+        try:
+            expanded, requested_pairs = self._expand_pairs(rid, src, dst, pairs)
+        except (ValueError, KeyError, TypeError, IndexError):
+            return self._reject(channel, now, "bad-target", account)
+        if not expanded:
+            return self._reject(channel, now, "empty-target", account)
+
+        requested_ppp = max(1, int(probes_per_pair))
+        admitted_ppp = min(requested_ppp, self.admission.max_probes_per_pair)
+        channel.probes_requested = requested_pairs * requested_ppp
+        channel.truncated = (
+            len(expanded) < requested_pairs or admitted_ppp < requested_ppp
+        )
+        cost = len(expanded) * admitted_ppp * self.admission.credit_cost_per_probe
+        if not account.try_debit(cost, now):
+            channel.truncated = False
+            return self._reject(channel, now, "insufficient-credits", account)
+
+        payload = SafetyGuard.clamp_payload(int(payload_bytes))
+        port = self.admission.dst_port_for(rid)
+        request = MeasurementRequest(
+            request_id=rid,
+            tenant_id=tenant_id,
+            kind="burst",
+            pairs=tuple(expanded),
+            probes_per_pair=admitted_ppp,
+            payload_bytes=payload,
+            qos=qos,
+            params=dict(params or {}),
+            submitted_t=now,
+            deadline_s=(
+                deadline_s
+                if deadline_s is not None
+                else self.admission.request_timeout_s
+            ),
+        )
+        items = [
+            [pair_src, pair_dst, port, payload, admitted_ppp]
+            for pair_src, pair_dst in expanded
+        ]
+        self.inflight[rid] = request
+        self._work[rid] = items
+        self._rotation.append(rid)
+        for item in items:
+            self._src_index.setdefault(item[_SRC], deque()).append((rid, item))
+        channel.probes_admitted = len(expanded) * admitted_ppp
+        channel.state = RequestState.ADMITTED
+        self.requests_admitted += 1
+        return channel
+
+    def _reject(
+        self,
+        channel: ResultChannel,
+        t: float,
+        reason: str,
+        account: TenantAccount | None = None,
+    ) -> ResultChannel:
+        channel.reject_reason = reason
+        channel.finish(t, RequestState.REJECTED)
+        self.requests_rejected += 1
+        if account is not None:
+            account.requests_rejected += 1
+        return channel
+
+    # -- target expansion --------------------------------------------------
+
+    def _select(self, selector: str) -> list[str]:
+        """Expand one target selector to a sorted list of server ids."""
+        if ":" not in selector:
+            raise ValueError(f"bad target selector: {selector!r}")
+        scheme, _, key = selector.partition(":")
+        topology = self.system.topology
+        if scheme == "server":
+            topology.server(key)  # raises KeyError for unknown servers
+            return [key]
+        if scheme == "dc":
+            dc = topology.dc(int(key) if key.isdigit() else key)
+            return [server.device_id for server in dc.servers]
+        if scheme == "podset":
+            dc_key, _, podset = key.partition("/")
+            dc = topology.dc(int(dc_key) if dc_key.isdigit() else dc_key)
+            return [
+                server.device_id
+                for server in dc.servers_in_podset(int(podset))
+            ]
+        if scheme == "service":
+            for service in self.system.config.services:
+                if service.name == key:
+                    return sorted(service.server_ids)
+            raise ValueError(f"unknown service: {key!r}")
+        raise ValueError(f"bad target selector: {selector!r}")
+
+    def _expand_pairs(
+        self, rid: int, src: str | None, dst: str | None, pairs
+    ) -> tuple[list[tuple[str, str]], int]:
+        """(admitted pairs, requested pair count) for one burst.
+
+        The cross product is sampled with a per-request seeded generator
+        (``derive_seed``, CRC-based) so expansion is deterministic across
+        runs and processes; self-pairs are dropped, duplicates collapse.
+        """
+        cap = self.admission.max_pairs_per_request
+        if pairs is not None:
+            unique = list(dict.fromkeys((s, d) for s, d in pairs if s != d))
+            requested = len(unique)
+        else:
+            if src is None or dst is None:
+                raise ValueError("burst needs src and dst selectors (or pairs)")
+            sources = self._select(src)
+            targets = self._select(dst)
+            rng = random.Random(derive_seed("broker-pairs", rid))
+            n_total = len(sources) * len(targets)
+            if n_total <= 4 * cap:
+                unique = list(
+                    dict.fromkeys(
+                        (s, d) for s in sources for d in targets if s != d
+                    )
+                )
+                requested = len(unique)
+                if len(unique) > cap:
+                    unique = rng.sample(unique, cap)
+            else:
+                # Too big to enumerate: sample flat indices without
+                # replacement, dedupe, keep the first `cap` valid pairs.
+                requested = n_total
+                indices = rng.sample(range(n_total), min(n_total, 4 * cap))
+                seen: set[tuple[str, str]] = set()
+                unique = []
+                for index in indices:
+                    pair = (
+                        sources[index // len(targets)],
+                        targets[index % len(targets)],
+                    )
+                    if pair[0] == pair[1] or pair in seen:
+                        continue
+                    seen.add(pair)
+                    unique.append(pair)
+                    if len(unique) >= cap:
+                        break
+        if len(unique) > cap:
+            unique = unique[:cap]
+        for pair_src, pair_dst in unique:
+            self.system.topology.server(pair_src)
+            self.system.topology.server(pair_dst)
+        return unique, max(requested, len(unique))
+
+    # -- read-side queries -------------------------------------------------
+
+    def _run_read_query(
+        self,
+        channel: ResultChannel,
+        account: TenantAccount,
+        kind: str,
+        params: dict,
+        now: float,
+    ) -> ResultChannel:
+        """SCOPE / stream-plane reads: synchronous, zero fabric draws."""
+        if kind == "stream" and self.system.stream is None:
+            return self._reject(channel, now, "stream-unavailable", account)
+        if not account.try_debit(self.admission.read_query_cost, now):
+            return self._reject(channel, now, "insufficient-credits", account)
+        if kind == "scope":
+            channel.rows = self._scope_rows(params, now)
+        else:
+            channel.rows = self._stream_rows(params)
+        channel.finish(now, RequestState.COMPLETED)
+        return channel
+
+    def _scope_rows(self, params: dict, now: float) -> list[dict]:
+        """Per-DC latency/drop summary over the batch store's raw rows."""
+        since = now - float(params.get("since_s", 600.0))
+        store = self.system.store
+        if not store.has_stream(LATENCY_STREAM):
+            return []
+        by_dc: dict[int, list] = {}
+        for record in store.read_where(
+            LATENCY_STREAM, lambda r: r["t"] >= since, copy=False
+        ):
+            by_dc.setdefault(record["src_dc"], []).append(record)
+        rows = []
+        for dc in sorted(by_dc):
+            records = by_dc[dc]
+            successes = [r["rtt_us"] for r in records if r["success"]]
+            rows.append(
+                {
+                    "dc": dc,
+                    "probes": len(records),
+                    "drop_rate": 1.0 - len(successes) / len(records),
+                    "p50_us": (
+                        float(np.percentile(successes, 50)) if successes else None
+                    ),
+                    "p99_us": (
+                        float(np.percentile(successes, 99)) if successes else None
+                    ),
+                }
+            )
+        return rows
+
+    def _stream_rows(self, params: dict) -> list[dict]:
+        """Per-DC quantiles from the streaming merge tree's recent windows."""
+        ingest = self.system.stream.ingest
+        windows = ingest.latest_windows(int(params.get("windows", 3)))
+        if not windows:
+            return []
+        merged = ingest.merged_by_dc(
+            windows,
+            cls=params.get("cls"),
+            exclude_cls=params.get("exclude_cls"),
+        )
+        rows = []
+        for dc in sorted(merged):
+            stats = merged[dc]
+            rows.append(
+                {
+                    "dc": dc,
+                    "probes": stats.probes,
+                    "drop_rate": stats.drop_rate(),
+                    "p50_us": stats.quantile_us(50),
+                    "p99_us": stats.quantile_us(99),
+                }
+            )
+        return rows
+
+    # -- fleet health ------------------------------------------------------
+
+    def _fleet_healthy(self) -> bool:
+        """Is the fleet in shape to carry injected traffic?"""
+        if self.system.controller.healthy_replica_count() == 0:
+            return False
+        stream = self.system.stream
+        if (
+            stream is not None
+            and stream.stale_fraction > self.admission.max_stale_fraction
+        ):
+            return False
+        return True
+
+    def _src_allowed(self, src_id: str) -> bool:
+        """May injected probes originate from this server right now?
+
+        Mirrors the fleet's own silence rules: no agent, a terminated
+        agent, a fail-closed agent or a powered-off host must send
+        nothing — the broker included.
+        """
+        agent = self.system.agents.get(src_id)
+        if agent is None or not agent.running or agent.safety.fail_closed:
+            return False
+        return self.system.topology.server(src_id).is_up
+
+    # -- execution: per-agent rounds ---------------------------------------
+
+    def on_agent_round(self, agent, t: float) -> int:
+        """Drain one server's injected work during its probe round.
+
+        Called by :meth:`PingmeshSystem._agent_round` right after the
+        baseline round; at most ``max_injected_per_agent_round`` probes,
+        one per work item, through :meth:`Fabric.probe_many` (observers
+        and the conservation ledger see every one).
+        """
+        queue = self._src_index.get(agent.server_id)
+        if not queue:
+            return 0
+        if not self._src_allowed(agent.server_id):
+            return 0
+        budget = self.admission.max_injected_per_agent_round
+        chosen: list[tuple[int, list]] = []
+        deferred: list[tuple[int, list]] = []
+        seen: set[tuple[str, int]] = set()
+        while queue and len(chosen) < budget:
+            rid, item = queue.popleft()
+            if rid not in self.inflight or item[_REMAINING] <= 0:
+                continue  # terminal request / exhausted item: drop
+            key = (item[_DST], item[_PORT])
+            if key in seen:
+                deferred.append((rid, item))  # same pair+port this round
+                continue
+            seen.add(key)
+            chosen.append((rid, item))
+        if not chosen:
+            queue.extendleft(reversed(deferred))
+            return 0
+        entries = [
+            (item[_DST], item[_PORT], item[_PAYLOAD]) for _rid, item in chosen
+        ]
+        results = self.system.fabric.probe_many(agent.server_id, entries, t=t)
+        touched: set[int] = set()
+        for (rid, item), result in zip(chosen, results):
+            item[_REMAINING] -= 1
+            channel = self.channels[rid]
+            channel.probes_launched += 1
+            self.probes_launched += 1
+            channel.record_outcome(
+                t, result.src, result.dst, result.success, result.rtt_s
+            )
+            self.probes_delivered += 1
+            touched.add(rid)
+        # Deferred items go back to the front (they were skipped, not
+        # served); part-done items re-queue at the back for the next round.
+        queue.extendleft(reversed(deferred))
+        for rid, item in chosen:
+            if item[_REMAINING] > 0:
+                queue.append((rid, item))
+        injected = len(chosen)
+        self.round_log.append((t, injected, budget))
+        self._round_injected_total += injected
+        for rid in touched:
+            self._maybe_complete(rid, t)
+        return injected
+
+    # -- execution: sharded fleet rounds -----------------------------------
+
+    def on_fleet_round(self, fleet, t: float) -> int:
+        """Inject this round's admitted burst work after the baseline round.
+
+        Runs on the main thread with the fabric's own RNG, strictly after
+        every baseline draw — an idle broker therefore draws nothing and
+        baseline probe streams are bit-identical with or without a broker
+        attached.  Work is picked round-robin over requests (the rotation
+        advances every round), clamped per source agent and per fleet
+        round, compiled per source into class plans tagged
+        ``broker:<request_id>`` and merged; pairs the class engine cannot
+        serve degrade to :meth:`probe_many`, exactly like baseline rounds.
+        """
+        if not self.inflight:
+            return 0
+        fabric = self.system.fabric
+        fleet_cap = self.admission.max_injected_per_fleet_round
+        per_src_cap = self.admission.max_injected_per_agent_round
+        self._rotation.rotate(-1)
+        chosen_by_src: dict[str, list[tuple[int, list]]] = {}
+        per_src: dict[str, int] = {}
+        seen: set[tuple[str, str, int]] = set()
+        total = 0
+        dead_rids = []
+        for rid in self._rotation:
+            if total >= fleet_cap:
+                break
+            if rid not in self.inflight:
+                dead_rids.append(rid)
+                continue
+            taken_for_rid = 0
+            for item in self._work[rid]:
+                if total >= fleet_cap or taken_for_rid >= per_src_cap:
+                    break
+                if item[_REMAINING] <= 0:
+                    continue
+                src = item[_SRC]
+                if per_src.get(src, 0) >= per_src_cap:
+                    continue
+                if not self._src_allowed(src):
+                    continue
+                key = (src, item[_DST], item[_PORT])
+                if key in seen:
+                    continue
+                seen.add(key)
+                chosen_by_src.setdefault(src, []).append((rid, item))
+                per_src[src] = per_src.get(src, 0) + 1
+                taken_for_rid += 1
+                total += 1
+        for rid in dead_rids:
+            try:
+                self._rotation.remove(rid)
+            except ValueError:
+                pass
+        if not chosen_by_src:
+            return 0
+
+        touched: set[int] = set()
+        plans = []
+        plan_sources: list[tuple[str, list]] = []
+        for src in sorted(chosen_by_src):
+            chosen = chosen_by_src[src]
+            entries = [
+                (item[_DST], item[_PORT], item[_PAYLOAD]) for _rid, item in chosen
+            ]
+            tags = [(f"broker:{rid}", self.inflight[rid].qos) for rid, _ in chosen]
+            plan = fabric.build_class_plan(src, entries, tags)
+            if plan.groups:
+                plans.append(plan)
+            if plan.passthrough:
+                pt_entries = [entries[i] for i in plan.passthrough]
+                results = fabric.probe_many(src, pt_entries, t=t)
+                for index, result in zip(plan.passthrough, results):
+                    rid, item = chosen[index]
+                    channel = self.channels[rid]
+                    channel.probes_launched += 1
+                    self.probes_launched += 1
+                    channel.record_outcome(
+                        t, result.src, result.dst, result.success, result.rtt_s
+                    )
+                    self.probes_delivered += 1
+                    touched.add(rid)
+            plan_sources.append((src, chosen))
+            for _rid, item in chosen:
+                item[_REMAINING] -= 1
+
+        if plans:
+            merged = merge_class_plans(plans)
+            outcomes = fabric.run_class_plan(merged, t=t)
+            for outcome in outcomes:
+                rid = int(outcome.purpose.partition(":")[2])
+                channel = self.channels[rid]
+                channel.probes_launched += outcome.n
+                self.probes_launched += outcome.n
+                channel.record_aggregate(outcome.success, outcome.failed)
+                self.probes_delivered += outcome.n
+                touched.add(rid)
+
+        self.round_log.append((t, total, fleet_cap))
+        self._round_injected_total += total
+        for rid in touched:
+            self._maybe_complete(rid, t)
+        return total
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _maybe_complete(self, rid: int, t: float) -> None:
+        channel = self.channels.get(rid)
+        if channel is None or channel.done:
+            return
+        if channel.probes_launched >= channel.probes_admitted:
+            self._retire(rid)
+            account = self.accounts.get(channel.tenant_id)
+            if account is not None:
+                account.probes_launched += channel.probes_launched
+            channel.finish(
+                t,
+                RequestState.TRUNCATED
+                if channel.truncated
+                else RequestState.COMPLETED,
+            )
+
+    def _retire(self, rid: int) -> None:
+        """Drop a request's scheduling state (items die via remaining=0)."""
+        for item in self._work.pop(rid, ()):
+            item[_REMAINING] = 0
+        self.inflight.pop(rid, None)
+        try:
+            self._rotation.remove(rid)
+        except ValueError:
+            pass
+
+    def tick(self, t: float | None = None) -> None:
+        """Housekeeping: deadlines, window refills, fleet-health evidence."""
+        now = self.system.clock.now if t is None else t
+        if self._fleet_healthy():
+            self.breaker.record_success(now)
+        else:
+            self.breaker.record_failure(now)
+        for account in self.accounts.values():
+            account.refill(now)
+        for rid, request in list(self.inflight.items()):
+            if now < request.deadline_t:
+                continue
+            channel = self.channels[rid]
+            self._retire(rid)
+            unlaunched = channel.probes_admitted - channel.probes_launched
+            account = self.accounts.get(channel.tenant_id)
+            if account is not None:
+                if unlaunched > 0:
+                    account.refund(
+                        unlaunched * self.admission.credit_cost_per_probe
+                    )
+                account.probes_launched += channel.probes_launched
+            if channel.probes_completed > 0:
+                channel.truncated = True
+                channel.finish(now, RequestState.TRUNCATED)
+            else:
+                channel.finish(now, RequestState.TIMED_OUT)
+
+    def _schedule_tick(self) -> None:
+        if self._tick_scheduled:
+            return
+        self._tick_scheduled = True
+
+        def broker_tick() -> None:
+            self.tick(self.system.clock.now)
+            self.system.queue.schedule_after(
+                self._tick_jitter.jitter_period(self.config.tick_interval_s, 0.1),
+                broker_tick,
+                name="broker-tick",
+            )
+
+        self.system.queue.schedule_after(
+            self._tick_jitter.jitter_period(self.config.tick_interval_s, 0.1),
+            broker_tick,
+            name="broker-tick",
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "tenants": len(self.accounts),
+            "requests_submitted": self.requests_submitted,
+            "requests_admitted": self.requests_admitted,
+            "requests_rejected": self.requests_rejected,
+            "inflight": len(self.inflight),
+            "probes_launched": self.probes_launched,
+            "probes_delivered": self.probes_delivered,
+            "breaker_state": self.breaker.state.value,
+        }

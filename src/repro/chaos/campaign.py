@@ -55,6 +55,11 @@ class PhaseReport:
     # Agents probing a cached pinglist (degraded, not dead): the STALE
     # plateau of a controller brownout is visible here.
     stale_agents: int = 0
+    # Pinglist-download telemetry (answered requests and the cheap-304
+    # share of them): a refresh stampede or a kill-switch 404 storm is
+    # visible at each phase boundary.
+    pinglist_requests: int = 0
+    pinglist_304s: int = 0
 
 
 @dataclass
@@ -266,6 +271,7 @@ class ChaosCampaign:
     ) -> PhaseReport:
         system = self.system
         agents = system.agents.values()
+        downloads = system.controller.download_stats()
         return PhaseReport(
             t=system.clock.now,
             label=label,
@@ -286,4 +292,6 @@ class ChaosCampaign:
                 else 0
             ),
             new_violations=new_violations,
+            pinglist_requests=downloads["requests"],
+            pinglist_304s=downloads["responses_304"],
         )

@@ -63,6 +63,12 @@ campaign               claim under test
                        blackholes both ways (partial partition): partial
                        failure is measured honestly, unaffected flows and
                        all intra-DC traffic stay clean.
+``broker-storm``       on-demand plane — a dozen tenants storm the broker
+                       with mixed bursts and read queries across a
+                       controller blackout: admission fails closed while
+                       the fleet is degraded, deadlines truncate with
+                       exact refunds, and the whole invariant catalogue
+                       (the three broker invariants included) stays clean.
 =====================  ====================================================
 
 Every campaign builds its own small deterministic system; drive them via
@@ -344,6 +350,61 @@ def _wan_dci_congestion(seed: int, check_mode: str):
     return system, campaign
 
 
+def _broker_storm(seed: int, check_mode: str):
+    from repro.broker import BrokerConfig, MeasurementBroker, TenantQuota
+
+    system = _system(seed)
+    broker = MeasurementBroker(system, BrokerConfig())
+    for i in range(12):
+        broker.register_tenant(f"tenant-{i:02d}", TenantQuota(600, 3600.0))
+    broker.register_tenant("freeloader", TenantQuota(0, 3600.0))
+    first_src = system.topology.dc(0).servers_in_podset(0)[0].device_id
+    submissions = [
+        # The opening storm: every funded tenant bursts at once.
+        *(
+            (30.0 + i, f"tenant-{i:02d}", dict(src="podset:0/0", dst="podset:0/1"))
+            for i in range(12)
+        ),
+        # A zero-credit tenant and an unregistered one must bounce.
+        (40.0, "freeloader", dict(src="podset:0/0", dst="podset:0/1")),
+        (45.0, "gatecrasher", dict(src="podset:0/0", dst="podset:0/1")),
+        # One source, many probes, a tight deadline: the broker may only
+        # serve one probe per work item per round, so this must end
+        # TRUNCATED at a housekeeping tick, with the remainder refunded.
+        (
+            60.0,
+            "tenant-00",
+            dict(
+                src=f"server:{first_src}",
+                dst="podset:0/1",
+                probes_per_pair=8,
+                deadline_s=35.0,
+            ),
+        ),
+        # Read queries ride through everything, blackout included.
+        (200.0, "tenant-01", dict(kind="scope")),
+        (210.0, "tenant-01", dict(kind="stream")),
+        # Bursts during the controller blackout: admission fails closed
+        # (and the repeated degraded evidence trips the breaker open).
+        (330.0, "tenant-02", dict(src="podset:0/0", dst="podset:0/1")),
+        (350.0, "tenant-03", dict(src="podset:0/0", dst="podset:0/1")),
+        (360.0, "tenant-04", dict(kind="scope")),
+        # Shortly after the heal the breaker is still open (hysteresis)...
+        (450.0, "tenant-05", dict(src="podset:0/0", dst="podset:0/1")),
+        # ...and well after it, admission reopens and bursts complete.
+        (620.0, "tenant-06", dict(src="podset:0/0", dst="podset:0/1")),
+    ]
+    for when, tenant, kwargs in submissions:
+        system.queue.schedule_at(
+            when,
+            lambda tenant=tenant, kwargs=kwargs: broker.submit(tenant, **kwargs),
+            name="broker-storm-submit",
+        )
+    campaign = ChaosCampaign(system, name="broker-storm", check_mode=check_mode)
+    campaign.add(ControllerBlackout(), start_t=300.0, end_t=420.0)
+    return system, campaign
+
+
 def _wan_partition(seed: int, check_mode: str):
     system = _wan_system(seed)
     campaign = ChaosCampaign(system, name="wan-partition", check_mode=check_mode)
@@ -449,6 +510,12 @@ CAMPAIGNS: dict[str, CannedCampaign] = {
             name="wan-partition",
             description="partial WAN partition: a flow slice blackholes both ways",
             build=_wan_partition,
+            duration_s=720.0,
+        ),
+        CannedCampaign(
+            name="broker-storm",
+            description="tenant request storm across a controller blackout",
+            build=_broker_storm,
             duration_s=720.0,
         ),
     )

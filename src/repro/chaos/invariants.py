@@ -64,6 +64,21 @@ invariant                    claim
                              jittered refresh periods and decorrelated
                              backoff keep the peak per-second pinglist
                              request rate under half the fleet size.
+``tenant-quota-conservation``  broker — every tenant credit account obeys
+                             ``balance == granted - debited + refunded -
+                             expired`` with a non-negative balance: no
+                             admission decision mints, loses, or
+                             double-spends credits.
+``injected-probe-ledger``    broker — launched == delivered broker-wide,
+                             and no request channel ever launches more
+                             probes than its admission granted: injected
+                             work cannot leak past its credit grant or
+                             vanish without reaching a result channel.
+``broker-no-starvation``     broker — every round's injection stays
+                             within the configured per-round cap (the
+                             baseline pinglist round always keeps its
+                             share), and the per-round log sums exactly
+                             to the launch ledger.
 ===========================  ==============================================
 
 The checker registers on ``fabric.probe_observers`` — the fabric reports
@@ -380,6 +395,7 @@ class InvariantChecker:
         self._check_stream_plane(now)
         self._check_upload_replay(now)
         self._check_refresh_herd(now)
+        self._check_broker(now)
         return self.violations[before:]
 
     def _upload_ledger(self) -> tuple[int, int, int, int]:
@@ -463,6 +479,58 @@ class InvariantChecker:
                     f"{count} pinglist requests in second {second} "
                     f"(herd limit {limit})",
                 )
+
+    def _check_broker(self, now: float) -> None:
+        """The three broker invariants (no-ops without an attached broker).
+
+        ``tenant-quota-conservation``: every credit account's ledger
+        balances exactly.  ``injected-probe-ledger``: launched probes all
+        reach a result channel, and no channel exceeds its admission
+        grant.  ``broker-no-starvation``: per-round injection stays within
+        the configured cap and the round log accounts for every launch.
+        """
+        broker = getattr(self.system, "broker", None)
+        if broker is None:
+            return
+        for account in broker.accounts.values():
+            if not account.conserved():
+                self._violate(
+                    now,
+                    "tenant-quota-conservation",
+                    f"tenant {account.tenant_id} ledger does not balance: "
+                    f"{account.ledger()}",
+                )
+        if broker.probes_launched != broker.probes_delivered:
+            self._violate(
+                now,
+                "injected-probe-ledger",
+                f"{broker.probes_launched} probes launched but "
+                f"{broker.probes_delivered} delivered to result channels",
+            )
+        for channel in broker.channels.values():
+            if channel.probes_launched > channel.probes_admitted:
+                self._violate(
+                    now,
+                    "injected-probe-ledger",
+                    f"request {channel.request_id} launched "
+                    f"{channel.probes_launched} probes past its grant of "
+                    f"{channel.probes_admitted}",
+                )
+        for t, injected, cap in broker.round_log:
+            if injected > cap:
+                self._violate(
+                    now,
+                    "broker-no-starvation",
+                    f"round at t={t:.0f} injected {injected} probes past "
+                    f"the per-round cap {cap}",
+                )
+        if broker._round_injected_total != broker.probes_launched:
+            self._violate(
+                now,
+                "broker-no-starvation",
+                f"round log accounts for {broker._round_injected_total} "
+                f"injected probes but {broker.probes_launched} launched",
+            )
 
     def _check_stream_plane(self, now: float) -> None:
         """Streaming-plane conservation and freshness (see the catalogue)."""

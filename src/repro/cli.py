@@ -114,6 +114,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--minutes", type=float, default=20.0, help="simulated minutes"
     )
 
+    broker = sub.add_parser(
+        "broker", help="on-demand measurement plane demo: tenants vs the fleet"
+    )
+    broker.add_argument("--seed", type=int, default=0)
+    broker.add_argument(
+        "--tenants", type=int, default=8, help="synthetic tenants to register"
+    )
+    broker.add_argument(
+        "--minutes", type=float, default=10.0, help="simulated minutes"
+    )
+
     return parser
 
 
@@ -348,6 +359,74 @@ def _cmd_stream(args) -> int:
     return 0
 
 
+def _cmd_broker(args) -> int:
+    """Demo the on-demand measurement plane against a live sharded fleet."""
+    from repro.broker import MeasurementBroker, TenantQuota
+    from repro.core.agent.agent import AgentConfig
+    from repro.core.dsa.pipeline import DsaConfig
+    from repro.core.sharded import ShardedFleet
+    from repro.core.system import PingmeshSystem, PingmeshSystemConfig
+    from repro.netsim.topology import TopologySpec
+
+    system = PingmeshSystem(
+        PingmeshSystemConfig(
+            specs=(TopologySpec(n_podsets=2, pods_per_podset=2, servers_per_pod=8),),
+            seed=args.seed,
+            agent=AgentConfig(round_mode="class", upload_period_s=300.0),
+            dsa=DsaConfig(ingestion_delay_s=0.0, near_real_time_period_s=300.0),
+        )
+    )
+    fleet = ShardedFleet(system)
+    broker = MeasurementBroker(system)
+    n_tenants = max(1, args.tenants)
+    for i in range(n_tenants):
+        broker.register_tenant(f"tenant-{i:03d}", TenantQuota(2000, 3600.0))
+    print(f"fleet: {len(system.agents)} servers; tenants: {n_tenants}")
+
+    channels = []
+    for i in range(n_tenants):
+        tenant = f"tenant-{i:03d}"
+        kind = ("burst", "burst", "scope", "stream")[i % 4]
+        if kind == "burst":
+            channels.append(
+                broker.submit(
+                    tenant,
+                    src=f"podset:0/{i % 2}",
+                    dst=f"podset:0/{(i + 1) % 2}",
+                    probes_per_pair=2,
+                )
+            )
+        else:
+            channels.append(broker.submit(tenant, kind=kind))
+    fleet.run_for(args.minutes * 60.0)
+
+    print(f"\n{'request':>8s} {'tenant':>12s} {'kind':>7s} {'state':>10s} "
+          f"{'probes':>7s} {'ok':>6s} {'latency':>8s}")
+    for channel in channels:
+        latency = channel.latency_s
+        print(
+            f"{channel.request_id:>8d} {channel.tenant_id:>12s} "
+            f"{channel.kind:>7s} {channel.state.value:>10s} "
+            f"{channel.probes_completed:>7d} {channel.successes:>6d} "
+            f"{latency:>7.0f}s" if latency is not None else
+            f"{channel.request_id:>8d} {channel.tenant_id:>12s} "
+            f"{channel.kind:>7s} {channel.state.value:>10s} "
+            f"{channel.probes_completed:>7d} {channel.successes:>6d} "
+            f"{'-':>8s}"
+        )
+    stats = broker.stats()
+    print(
+        f"\nbroker: {stats['requests_admitted']} admitted / "
+        f"{stats['requests_rejected']} rejected of "
+        f"{stats['requests_submitted']} submitted; "
+        f"{stats['probes_launched']} probes launched "
+        f"(baseline {fleet.probes_sent}, broker {fleet.broker_probes_sent})"
+    )
+    conserved = all(a.conserved() for a in broker.accounts.values())
+    print(f"credit ledgers conserved: {conserved}")
+    return 0 if conserved else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -357,6 +436,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "chaos": _cmd_chaos,
         "stream": _cmd_stream,
+        "broker": _cmd_broker,
     }
     handler = handlers[args.command]
     if not args.cprofile:

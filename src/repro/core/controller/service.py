@@ -77,6 +77,13 @@ class ControllerReplica:
     generation: int = 0
     up: bool = True
     requests_served: int = 0
+    # Download telemetry (the ROADMAP's "one-shot and unmeasured" gap):
+    # response-class counters plus accumulated serving time, per replica.
+    responses_200: int = 0
+    responses_304: int = 0
+    responses_404: int = 0
+    responses_timeout: int = 0
+    serve_time_s: float = 0.0
     # Brownout model: how long this replica takes to answer.  The service
     # compares it against the agent-side request timeout.
     response_delay_s: float = 0.0
@@ -89,14 +96,18 @@ class ControllerReplica:
         if not self.up:
             raise ControllerUnavailableError(f"controller {self.dip} is down")
         self.requests_served += 1
+        self.serve_time_s += self.response_delay_s
         xml = self.files.get(server_id)
         if xml is not None:
+            self.responses_200 += 1
             return xml
         if not self.killed and self.loader is not None:
             xml = self.loader(server_id, self.generation, self.stamp_t)
             if xml is not None:
                 self.files[server_id] = xml
+                self.responses_200 += 1
                 return xml
+        self.responses_404 += 1
         raise PinglistNotFoundError(
             f"no pinglist for {server_id} on {self.dip}"
         )
@@ -248,6 +259,7 @@ class PingmeshControllerService:
             replica = self.replicas[dip]
             try:
                 if replica.up and replica.response_delay_s > self.request_timeout_s:
+                    replica.responses_timeout += 1
                     raise ControllerTimeoutError(
                         f"controller {dip} answered in {replica.response_delay_s}s"
                         f" > timeout {self.request_timeout_s}s"
@@ -260,6 +272,8 @@ class PingmeshControllerService:
                     and self._server_known(server_id)
                 ):
                     replica.requests_served += 1
+                    replica.responses_304 += 1
+                    replica.serve_time_s += replica.response_delay_s
                     self.slb.report_success(dip, t)
                     return None  # 304 Not Modified
                 xml = replica.serve(server_id)
@@ -313,3 +327,41 @@ class PingmeshControllerService:
 
     def healthy_replica_count(self) -> int:
         return sum(1 for replica in self.replicas.values() if replica.up)
+
+    def download_stats(self) -> dict:
+        """Aggregate pinglist-download telemetry across replicas.
+
+        ``requests`` counts answered requests (200 + 304 + 404); timeouts
+        are replica attempts that browned out past the agent deadline and
+        failed over, so they are reported separately, not double-counted.
+        """
+        stats = {
+            "requests": 0,
+            "responses_200": 0,
+            "responses_304": 0,
+            "responses_404": 0,
+            "responses_timeout": 0,
+            "serve_time_s": 0.0,
+            "per_replica": {},
+        }
+        for dip, replica in self.replicas.items():
+            answered = (
+                replica.responses_200
+                + replica.responses_304
+                + replica.responses_404
+            )
+            stats["requests"] += answered
+            stats["responses_200"] += replica.responses_200
+            stats["responses_304"] += replica.responses_304
+            stats["responses_404"] += replica.responses_404
+            stats["responses_timeout"] += replica.responses_timeout
+            stats["serve_time_s"] += replica.serve_time_s
+            stats["per_replica"][dip] = {
+                "requests": answered,
+                "responses_200": replica.responses_200,
+                "responses_304": replica.responses_304,
+                "responses_404": replica.responses_404,
+                "responses_timeout": replica.responses_timeout,
+                "serve_time_s": replica.serve_time_s,
+            }
+        return stats

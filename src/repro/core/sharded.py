@@ -332,6 +332,10 @@ class ShardedFleet:
         self._scheduled = False
         self.probes_sent = 0
         self.rounds_run = 0
+        # On-demand probes injected by an attached broker are accounted
+        # separately so baseline probe streams stay bit-identical with the
+        # broker idle (the no-interference gate).
+        self.broker_probes_sent = 0
         if not system._started:
             system.start(schedule_probe_rounds=False)
         elif system._schedule_probe_rounds:
@@ -411,6 +415,12 @@ class ShardedFleet:
             agent.maybe_upload(t)
         self.probes_sent += launched
         self.rounds_run += 1
+        broker = self.system.broker
+        if broker is not None:
+            # On-demand work runs strictly after every baseline draw, on the
+            # main thread with the fabric's own RNG: an idle broker draws
+            # nothing, so baseline streams are bit-identical either way.
+            self.broker_probes_sent += broker.on_fleet_round(self, t)
         return launched
 
     def _run_class_parts_process(self, ordered: list[FleetShard], t: float) -> list:

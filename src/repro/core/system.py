@@ -117,6 +117,8 @@ class PingmeshSystem:
             config=self.config.dsa,
         )
         self.agents: dict[str, PingmeshAgent] = {}
+        # On-demand measurement broker (repro.broker); attaches itself.
+        self.broker = None
         self._started = False
         self._schedule_probe_rounds = True
 
@@ -249,6 +251,10 @@ class PingmeshSystem:
         if agent.running:
             try:
                 agent.run_probe_round(t)
+                if self.broker is not None:
+                    # Injected on-demand work rides the agent's round so the
+                    # per-pair spacing floor holds by construction.
+                    self.broker.on_agent_round(agent, t)
                 agent.maybe_upload(t)
             except ResourceBudgetExceeded:
                 # The OS killed the agent (fail-closed, §3.4.2).  The rest
@@ -290,6 +296,9 @@ class PingmeshSystem:
             self.stream.observe_staleness(
                 self.clock.now, n_stale, len(self.agents)
             )
+        self.stream.observe_downloads(
+            self.clock.now, self.controller.download_stats()
+        )
         self.stream.tick(self.clock.now)
         self.queue.schedule_after(
             self.config.stream.window_s, self._stream_tick, name="stream-tick"

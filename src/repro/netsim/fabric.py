@@ -439,9 +439,11 @@ class Fabric:
         # Conservation ledger (checked by the chaos invariant catalogue):
         # probes_carried entered the network; probes_refused were turned
         # away at the source host (agent down) and never touched a wire;
-        # probes_carried_batched were carried via batch_probe's unobserved
-        # bulk path.  carried + refused - batched == probes the per-probe
-        # observers saw.
+        # probes_carried_batched were carried by batch_probe's bulk path
+        # while NO observer was attached (with observers, the bulk path
+        # notifies per probe and counts as observed, so every probe source
+        # — scalar, fast-path, class rounds, bulk — is covered).
+        # carried + refused - batched == probes the per-probe observers saw.
         self.probes_carried = 0
         self.probes_refused = 0
         self.probes_carried_batched = 0
@@ -782,7 +784,16 @@ class Fabric:
         for hop in forward.hops:
             hop.counters.packets_forwarded += n
         self.probes_carried += n
-        self.probes_carried_batched += n
+        if self.probe_observers:
+            # With observers attached, the bulk path reports every probe
+            # individually (same contract as the scalar and probe_many
+            # paths) and counts as observed; only unobserved bulk carries
+            # land in the ``batched`` ledger column.
+            src_id, dst_id = src_server.device_id, dst_server.device_id
+            for _ in range(n):
+                self._notify_probe(src_id, dst_id, t, payload_bytes, dst_port)
+        else:
+            self.probes_carried_batched += n
         return BatchProbeResult(
             src=src_server.device_id,
             dst=dst_server.device_id,

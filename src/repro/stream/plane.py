@@ -150,6 +150,11 @@ class StreamPlane:
         self.deltas_delivered = 0
         self.deltas_dropped = 0
         self.probes_dropped = 0
+        # Control-plane download telemetry: the latest per-tick snapshot of
+        # the controller's pinglist-serving counters plus per-tick rates
+        # (requests and 304 share since the previous snapshot).
+        self.download_snapshot: dict | None = None
+        self.download_rates: dict | None = None
 
     # -- control-plane health gauge ----------------------------------------
 
@@ -165,6 +170,29 @@ class StreamPlane:
         signal that the controller is degraded even though probing (on
         cached pinglists) continues."""
         self.staleness_gauge.observe(t, stale_agents, total_agents)
+
+    def observe_downloads(self, t: float, stats: dict) -> None:
+        """Feed the controller's pinglist-download counters (the system
+        calls this each stream tick with ``controller.download_stats()``).
+        Keeps the latest snapshot and derives per-tick deltas, so the
+        stream plane can answer "how hot is the controller right now" and
+        "what fraction of polls are cheap 304s" without touching the
+        controller."""
+        previous = self.download_snapshot
+        requests = stats["requests"]
+        delta_requests = requests - (previous["requests"] if previous else 0)
+        delta_304 = stats["responses_304"] - (
+            previous["responses_304"] if previous else 0
+        )
+        self.download_rates = {
+            "t": t,
+            "requests": delta_requests,
+            "responses_304": delta_304,
+            "not_modified_fraction": (
+                delta_304 / delta_requests if delta_requests else None
+            ),
+        }
+        self.download_snapshot = dict(stats)
 
     # -- agent side --------------------------------------------------------
 

@@ -1,0 +1,111 @@
+"""Tenant credit-ledger tests: the conservation law under every edge."""
+
+import pytest
+
+from repro.broker import TenantAccount, TenantQuota
+
+
+@pytest.fixture()
+def account():
+    return TenantAccount("acme", TenantQuota(credits_per_window=100, window_s=60.0))
+
+
+class TestTenantAccount:
+    def test_opens_with_one_window_grant(self, account):
+        assert account.balance == 100
+        assert account.granted == 100
+        assert account.conserved()
+
+    def test_debit_within_balance(self, account):
+        assert account.try_debit(40, t=0.0)
+        assert account.balance == 60
+        assert account.debited == 40
+        assert account.conserved()
+
+    def test_debit_past_balance_refused_without_side_effects(self, account):
+        assert not account.try_debit(101, t=0.0)
+        assert account.balance == 100
+        assert account.debited == 0
+        assert account.conserved()
+
+    def test_zero_credit_tenant_can_never_debit(self):
+        broke = TenantAccount("broke", TenantQuota(credits_per_window=0))
+        assert not broke.try_debit(1, t=0.0)
+        # Even across a window boundary: the refill grants another zero.
+        assert not broke.try_debit(1, t=10_000.0)
+        assert broke.balance == 0
+        assert broke.conserved()
+
+    def test_refill_is_top_up_not_carry_over(self, account):
+        account.try_debit(70, t=0.0)
+        account.refill(60.0)
+        # The unspent 30 expired; a fresh 100 landed.
+        assert account.balance == 100
+        assert account.expired == 30
+        assert account.granted == 200
+        assert account.conserved()
+
+    def test_refill_before_window_boundary_is_a_noop(self, account):
+        account.try_debit(10, t=0.0)
+        account.refill(59.9)
+        assert account.balance == 90
+        assert account.expired == 0
+
+    def test_refill_across_many_quiet_windows_grants_once(self, account):
+        """Loop-free catch-up: N skipped windows leave the same ledger as
+        N single steps — one expiry of the old balance, one fresh grant."""
+        account.try_debit(25, t=0.0)
+        account.refill(60.0 * 7 + 5.0)
+        assert account.window_start == 60.0 * 7
+        assert account.balance == 100
+        assert account.expired == 75
+        assert account.conserved()
+
+    def test_debit_refills_first(self, account):
+        account.try_debit(100, t=0.0)
+        assert account.balance == 0
+        # A debit in the next window sees the fresh grant.
+        assert account.try_debit(100, t=61.0)
+        assert account.balance == 0
+        assert account.conserved()
+
+    def test_refund_returns_credits(self, account):
+        account.try_debit(50, t=0.0)
+        account.refund(20)
+        assert account.balance == 70
+        assert account.refunded == 20
+        assert account.conserved()
+
+    def test_refund_cannot_exceed_debits(self, account):
+        account.try_debit(10, t=0.0)
+        with pytest.raises(ValueError):
+            account.refund(11)
+
+    def test_negative_amounts_rejected(self, account):
+        with pytest.raises(ValueError):
+            account.try_debit(-1, t=0.0)
+        with pytest.raises(ValueError):
+            account.refund(-1)
+
+    def test_ledger_snapshot(self, account):
+        account.try_debit(30, t=0.0)
+        account.refund(5)
+        ledger = account.ledger()
+        assert ledger == {
+            "tenant": "acme",
+            "granted": 100,
+            "debited": 30,
+            "refunded": 5,
+            "expired": 0,
+            "balance": 75,
+        }
+
+
+class TestTenantQuota:
+    def test_rejects_negative_credits(self):
+        with pytest.raises(ValueError):
+            TenantQuota(credits_per_window=-1)
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            TenantQuota(window_s=0.0)

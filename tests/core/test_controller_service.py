@@ -257,3 +257,65 @@ class TestReplicaRecoveryStamps:
         assert service.last_generated_t == 0.0
         service.regenerate(t=777.0)
         assert service.last_generated_t == 777.0
+
+
+class TestDownloadTelemetry:
+    """Pinglist downloads are measured: per-replica 200/304/404/timeout
+    counters and serving time, aggregated by ``download_stats()``."""
+
+    def test_fresh_get_counts_a_200(self, service):
+        assert service.get_pinglist("dc0/ps0/pod0/srv0", t=1.0) is not None
+        stats = service.download_stats()
+        assert stats["requests"] == 1
+        assert stats["responses_200"] == 1
+        assert stats["responses_304"] == 0
+
+    def test_conditional_get_counts_a_304(self, service):
+        pinglist = service.get_pinglist("dc0/ps0/pod0/srv0", t=1.0)
+        cached = service.get_pinglist(
+            "dc0/ps0/pod0/srv0", if_generation=pinglist.generation, t=2.0
+        )
+        assert cached is None
+        stats = service.download_stats()
+        assert stats["responses_200"] == 1
+        assert stats["responses_304"] == 1
+        assert stats["requests"] == 2
+
+    def test_kill_switch_404s_are_counted(self, service):
+        service.remove_all_pinglists()
+        with pytest.raises(PinglistNotFoundError):
+            service.get_pinglist("dc0/ps0/pod0/srv0", t=1.0)
+        stats = service.download_stats()
+        assert stats["responses_404"] == 1
+        assert stats["responses_200"] == 0
+
+    def test_brownout_timeouts_counted_separately_not_as_requests(self, service):
+        """A browned-out replica attempt fails over: it is a timeout on
+        that replica, not an answered request, so it must not inflate
+        the answered-request total."""
+        service.brownout_replica("controller0", response_delay_s=10.0)
+        service.brownout_replica("controller1", response_delay_s=10.0)
+        with pytest.raises(ControllerUnavailableError):
+            service.get_pinglist("dc0/ps0/pod0/srv0", t=1.0)
+        stats = service.download_stats()
+        assert stats["responses_timeout"] == 2
+        assert stats["requests"] == 0
+
+    def test_serve_time_accumulates_response_delays(self, service):
+        service.request_timeout_s = 60.0  # slow, but inside the deadline
+        service.brownout_replica("controller0", response_delay_s=2.0)
+        service.brownout_replica("controller1", response_delay_s=2.0)
+        service.get_pinglist("dc0/ps0/pod0/srv0", t=1.0)
+        stats = service.download_stats()
+        assert stats["serve_time_s"] == 2.0
+
+    def test_per_replica_breakdown_sums_to_totals(self, service):
+        for i in range(6):
+            service.get_pinglist("dc0/ps0/pod0/srv0", t=float(i))
+        stats = service.download_stats()
+        assert stats["requests"] == sum(
+            r["requests"] for r in stats["per_replica"].values()
+        )
+        assert stats["responses_200"] == sum(
+            r["responses_200"] for r in stats["per_replica"].values()
+        )

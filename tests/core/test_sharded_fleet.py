@@ -311,10 +311,26 @@ class TestScaleSmoke:
         )
         assert len(system.topology.dc(0).servers) == 1024
         fleet = ShardedFleet(system)
+        # An on-demand broker rides the same fleet: one tenant burst must
+        # complete inside the window without perturbing baseline rounds.
+        from repro.broker import MeasurementBroker, RequestState, TenantQuota
+
+        broker = MeasurementBroker(system)
+        broker.register_tenant("smoke", TenantQuota(credits_per_window=500))
+        dc = system.topology.dc(0)
+        pairs = [
+            (a.device_id, b.device_id)
+            for a, b in zip(dc.servers_in_pod(0)[:8], dc.servers_in_pod(16)[:8])
+        ]
+        channel = broker.submit("smoke", pairs=pairs, probes_per_pair=2)
         fleet.run_for(600.0)
         assert fleet.rounds_run >= 1
         assert fleet.probes_sent > 0
         assert len(fleet.shards) == 4
+        assert channel.state is RequestState.COMPLETED
+        assert channel.probes_completed == channel.probes_admitted
+        assert fleet.broker_probes_sent == broker.probes_launched
+        assert broker.accounts["smoke"].conserved()
         # The stream plane folded shard deltas, conserved.
         ledger = system.stream.conservation()
         assert ledger["probes_folded"] == (

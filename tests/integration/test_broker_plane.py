@@ -1,0 +1,175 @@
+"""Integration: the on-demand measurement plane over a live sharded fleet.
+
+The contract under test is the tentpole's safety story: injected tenant
+work rides the existing round engines (class plans + scalar passthrough),
+never bypasses the probe-conservation ledger, never perturbs the baseline
+pinglist rounds, and the invariant catalogue — the three broker
+invariants included — stays clean while tenants hammer the system.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker import MeasurementBroker, RequestState, TenantQuota
+from repro.chaos import build_campaign
+from repro.chaos.invariants import InvariantChecker
+from repro.core.agent.agent import AgentConfig
+from repro.core.dsa.pipeline import DsaConfig
+from repro.core.sharded import ShardedFleet
+from repro.core.system import PingmeshSystem, PingmeshSystemConfig
+from repro.netsim.topology import TopologySpec
+
+_SPEC = TopologySpec(n_podsets=2, pods_per_podset=2, servers_per_pod=4)
+_FAST_DSA = DsaConfig(ingestion_delay_s=0.0, near_real_time_period_s=300.0)
+
+
+def _fleet(seed: int = 3, with_broker: bool = True):
+    system = PingmeshSystem(
+        PingmeshSystemConfig(
+            specs=(_SPEC,),
+            seed=seed,
+            dsa=_FAST_DSA,
+            agent=AgentConfig(round_mode="class", upload_period_s=300.0),
+        )
+    )
+    fleet = ShardedFleet(system)
+    broker = MeasurementBroker(system) if with_broker else None
+    return system, fleet, broker
+
+
+class TestFleetIntegration:
+    def test_idle_broker_keeps_baseline_bit_identical(self):
+        _s1, bare, _none = _fleet(seed=3, with_broker=False)
+        bare.run_for(600.0)
+        _s2, idle, _b = _fleet(seed=3, with_broker=True)
+        idle.run_for(600.0)
+        assert idle.probes_sent == bare.probes_sent
+        assert idle.rounds_run == bare.rounds_run
+        assert idle.broker_probes_sent == 0
+
+    def test_burst_completes_via_class_plans(self):
+        system, fleet, broker = _fleet()
+        broker.register_tenant("acme", TenantQuota(credits_per_window=2000))
+        channel = broker.submit(
+            "acme", src="podset:0/0", dst="podset:0/1", probes_per_pair=2
+        )
+        fleet.run_for(600.0)
+        assert channel.state is RequestState.COMPLETED
+        assert channel.probes_completed == channel.probes_admitted
+        assert fleet.broker_probes_sent == channel.probes_launched
+        assert broker.probes_launched == broker.probes_delivered
+
+    def test_payload_bursts_take_the_passthrough_path(self):
+        system, fleet, broker = _fleet()
+        broker.register_tenant("acme", TenantQuota(credits_per_window=2000))
+        channel = broker.submit(
+            "acme", src="podset:0/0", dst="podset:0/1", payload_bytes=8192
+        )
+        fleet.run_for(600.0)
+        assert channel.state is RequestState.COMPLETED
+        # Passthrough probes keep per-probe fidelity: detail rows exist.
+        assert channel.details
+        assert broker.probes_launched == broker.probes_delivered
+
+    def test_invariants_clean_with_active_broker_on_fleet(self):
+        system, fleet, broker = _fleet()
+        broker.register_tenant("acme", TenantQuota(credits_per_window=5000))
+        # Shard uploaders also write the class stream under a fleet.
+        checker = InvariantChecker(system, exclusive_upload_writers=False)
+        checker.attach()
+        broker.submit("acme", src="podset:0/0", dst="podset:0/1")
+        fleet.run_for(300.0)
+        broker.submit("acme", src="podset:0/1", dst="podset:1/0", probes_per_pair=2)
+        fleet.run_for(300.0)
+        violations = checker.check_phase()
+        assert violations == []
+        assert checker.probes_observed > 0
+
+    def test_round_injection_respects_fleet_cap(self):
+        system, fleet, broker = _fleet()
+        broker.register_tenant("acme", TenantQuota(credits_per_window=10_000))
+        broker.submit("acme", src="dc:0", dst="dc:0", probes_per_pair=8)
+        fleet.run_for(600.0)
+        cap = broker.admission.max_injected_per_fleet_round
+        assert broker.round_log
+        for _t, injected, logged_cap in broker.round_log:
+            assert injected <= logged_cap <= cap
+
+
+class TestBrokerStormDrill:
+    def test_storm_outcome_mix(self):
+        system, campaign, canned = build_campaign("broker-storm", seed=0)
+        report = campaign.run(canned.duration_s, phase_s=canned.phase_s)
+        report.assert_clean()
+        broker = system.broker
+        states = [
+            (ch.state, ch.reject_reason) for ch in broker.channels.values()
+        ]
+        assert (RequestState.REJECTED, "insufficient-credits") in states
+        assert (RequestState.REJECTED, "unknown-tenant") in states
+        # The blackout window fails bursts closed (more than once: the
+        # breaker's hysteresis still rejects shortly after the heal).
+        degraded = [
+            s for s in states if s == (RequestState.REJECTED, "fleet-degraded")
+        ]
+        assert len(degraded) >= 2
+        # The tight-deadline burst ends TRUNCATED with an exact refund.
+        truncated = [
+            ch
+            for ch in broker.channels.values()
+            if ch.state is RequestState.TRUNCATED
+        ]
+        assert truncated
+        # Most of the fleet-facing work still completes.
+        completed = [
+            ch
+            for ch in broker.channels.values()
+            if ch.state is RequestState.COMPLETED
+        ]
+        assert len(completed) >= 14
+        assert all(a.conserved() for a in broker.accounts.values())
+
+    def test_storm_is_deterministic(self):
+        def run():
+            system, campaign, canned = build_campaign("broker-storm", seed=11)
+            report = campaign.run(canned.duration_s, phase_s=canned.phase_s)
+            broker = system.broker
+            return (
+                report.summary(),
+                sorted(
+                    (ch.request_id, ch.state.value, ch.probes_launched)
+                    for ch in broker.channels.values()
+                ),
+                sorted(
+                    (a.tenant_id, a.ledger()["balance"])
+                    for a in broker.accounts.values()
+                ),
+            )
+
+        assert run() == run()
+
+
+class TestDownloadTelemetry:
+    def test_phase_reports_carry_download_counters(self):
+        system, campaign, canned = build_campaign("healthy-baseline", seed=0)
+        report = campaign.run(canned.duration_s, phase_s=canned.phase_s)
+        report.assert_clean()
+        last = report.phases[-1]
+        assert last.pinglist_requests > 0
+        # Steady state is mostly conditional GETs: 304s dominate.
+        assert 0 < last.pinglist_304s <= last.pinglist_requests
+
+    def test_stream_plane_sees_download_rates(self):
+        system = PingmeshSystem(
+            PingmeshSystemConfig(specs=(_SPEC,), seed=0, dsa=_FAST_DSA)
+        )
+        system.start()
+        system.run_for(600.0)
+        assert system.stream is not None
+        snapshot = system.stream.download_snapshot
+        assert snapshot is not None and snapshot["requests"] > 0
+        rates = system.stream.download_rates
+        assert rates is not None
+        fraction = rates["not_modified_fraction"]
+        assert fraction is None or 0.0 <= fraction <= 1.0

@@ -68,7 +68,12 @@ class TestScalarProbe:
         assert (fabric.probes_carried, fabric.probes_refused) == (1, 1)
 
     def test_probe_ledger_matches_observer_count(self, fabric, dc):
-        """carried + refused - batched == probes the observers saw."""
+        """carried + refused - batched == probes the observers saw.
+
+        With observers attached, *every* probe source reports — the
+        scalar path, the refused path, and batch_probe's bulk path —
+        so the batched column stays zero and the ledger covers all 52.
+        """
         seen = []
         fabric.probe_observers.append(lambda *args: seen.append(args))
         fabric.probe(dc.servers[0], dc.servers[1])
@@ -80,7 +85,31 @@ class TestScalarProbe:
             + fabric.probes_refused
             - fabric.probes_carried_batched
         )
-        assert ledger == len(seen) == 2
+        assert ledger == len(seen) == 52
+
+    def test_batch_probe_reports_every_probe_to_observers(self, fabric, dc):
+        """Regression: the healthy vectorized batch path used to bypass
+        ``probe_observers`` entirely (only controller-scheduled probes
+        were observed), leaving injected/bulk work invisible to the
+        chaos probe-conservation invariant."""
+        seen = []
+        fabric.probe_observers.append(lambda *args: seen.append(args))
+        src, dst = dc.servers[0], dc.servers[40]
+        fabric.batch_probe(src, dst, n=25, t=5.0, dst_port=8080)
+        assert len(seen) == 25
+        assert set(seen) == {(src.device_id, dst.device_id, 5.0, 0, 8080)}
+        # Observed bulk probes count as observed, not batched: the
+        # conservation ledger holds without a correction column.
+        assert fabric.probes_carried_batched == 0
+        assert fabric.probes_carried == 25
+
+    def test_batch_probe_unobserved_path_still_counts_batched(self, fabric, dc):
+        """Without observers the bulk path keeps its cheap accounting:
+        carries land in the ``batched`` ledger column so conservation
+        still balances for observer-free users (benches, notebooks)."""
+        fabric.batch_probe(dc.servers[0], dc.servers[40], n=30)
+        assert fabric.probes_carried_batched == 30
+        assert fabric.probes_carried == 30
 
     def test_no_route_when_leaf_tier_down(self, fabric, dc):
         for leaf in dc.leaves_of(0):
